@@ -1,0 +1,426 @@
+// Package gosip's root benchmark suite regenerates every figure of
+// Ram et al. (ISPASS 2008) as testing.B benchmarks, plus the ablations
+// DESIGN.md calls out. Each benchmark drives complete SIP calls (INVITE +
+// BYE transactions) through a freshly assembled server of the variant
+// under test and reports throughput as the custom metric "ops/s" (one op =
+// one SIP transaction, the paper's unit).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers depend on the host; compare variants within one run.
+package gosip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gosip/internal/connmgr"
+	"gosip/internal/core"
+	"gosip/internal/ipc"
+	"gosip/internal/phone"
+	"gosip/internal/transport"
+	"gosip/internal/userdb"
+)
+
+const benchDomain = "bench.gosip"
+
+// benchPairs is the concurrency level for throughput benchmarks: enough to
+// keep two legs on distinct workers with high probability, small enough
+// that the in-process clients do not dominate a single-core host.
+const benchPairs = 8
+
+// startServer assembles and starts a server variant for benchmarking.
+func startServer(b *testing.B, cfg core.Config) core.Server {
+	b.Helper()
+	cfg.Stateful = true
+	cfg.Domain = benchDomain
+	if cfg.Workers == 0 {
+		cfg.Workers = 8
+	}
+	srv, err := core.New(cfg)
+	if err != nil {
+		b.Fatalf("start server: %v", err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	srv.DB().ProvisionN(2*benchPairs+2, benchDomain)
+	return srv
+}
+
+// benchCalls drives b.N calls through the server using benchPairs
+// concurrent phone pairs and reports ops/s.
+func benchCalls(b *testing.B, srv core.Server, kind transport.Kind, opsPerConn int) {
+	b.Helper()
+	type pair struct {
+		caller *phone.Phone
+		callee string
+	}
+	pairs := make([]pair, benchPairs)
+	for i := 0; i < benchPairs; i++ {
+		calleeUser := fmt.Sprintf("user%d", 2*i+1)
+		callerUser := fmt.Sprintf("user%d", 2*i)
+		callee, err := phone.New(phone.Config{
+			Transport: kind, ProxyAddr: srv.Addr(), Domain: benchDomain, User: calleeUser,
+			ResponseTimeout: 2 * time.Second,
+		}, phone.Callee)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { callee.Close() })
+		if err := callee.Register(); err != nil {
+			b.Fatal(err)
+		}
+		caller, err := phone.New(phone.Config{
+			Transport: kind, ProxyAddr: srv.Addr(), Domain: benchDomain, User: callerUser,
+			OpsPerConn: opsPerConn, ResponseTimeout: 2 * time.Second,
+		}, phone.Caller)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { caller.Close() })
+		if err := caller.Register(); err != nil {
+			b.Fatal(err)
+		}
+		pairs[i] = pair{caller: caller, callee: calleeUser}
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	done := make(chan error, benchPairs)
+	for i := 0; i < benchPairs; i++ {
+		go func(p pair, n int) {
+			for j := 0; j < n; j++ {
+				if err := p.caller.Call(p.callee); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(pairs[i], callsFor(b.N, benchPairs, i))
+	}
+	for i := 0; i < benchPairs; i++ {
+		if err := <-done; err != nil {
+			b.Fatalf("call: %v", err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if elapsed > 0 {
+		// 2 transactions (INVITE + BYE) per call.
+		b.ReportMetric(float64(2*b.N)/elapsed.Seconds(), "ops/s")
+	}
+}
+
+// callsFor splits b.N calls across pairs, distributing the remainder.
+func callsFor(total, pairs, idx int) int {
+	n := total / pairs
+	if idx < total%pairs {
+		n++
+	}
+	return n
+}
+
+// --- Figure 3: baseline (no fd cache, full-scan idle management) ---
+
+func figure3Config(arch core.Architecture) core.Config {
+	return core.Config{
+		Arch:    arch,
+		IPCMode: ipc.ModeUnix,
+		FDCache: false,
+		ConnMgr: connmgr.KindScan,
+	}
+}
+
+func BenchmarkFigure3_TCP50OpsPerConn(b *testing.B) {
+	srv := startServer(b, figure3Config(core.ArchTCP))
+	benchCalls(b, srv, transport.TCP, 50)
+}
+
+func BenchmarkFigure3_TCP500OpsPerConn(b *testing.B) {
+	srv := startServer(b, figure3Config(core.ArchTCP))
+	benchCalls(b, srv, transport.TCP, 500)
+}
+
+func BenchmarkFigure3_TCPPersistent(b *testing.B) {
+	srv := startServer(b, figure3Config(core.ArchTCP))
+	benchCalls(b, srv, transport.TCP, 0)
+}
+
+func BenchmarkFigure3_UDP(b *testing.B) {
+	srv := startServer(b, figure3Config(core.ArchUDP))
+	benchCalls(b, srv, transport.UDP, 0)
+}
+
+// --- Figure 4: the file-descriptor cache fix ---
+
+func figure4Config(arch core.Architecture) core.Config {
+	cfg := figure3Config(arch)
+	cfg.FDCache = true
+	return cfg
+}
+
+func BenchmarkFigure4_TCP50OpsPerConn(b *testing.B) {
+	srv := startServer(b, figure4Config(core.ArchTCP))
+	benchCalls(b, srv, transport.TCP, 50)
+}
+
+func BenchmarkFigure4_TCP500OpsPerConn(b *testing.B) {
+	srv := startServer(b, figure4Config(core.ArchTCP))
+	benchCalls(b, srv, transport.TCP, 500)
+}
+
+func BenchmarkFigure4_TCPPersistent(b *testing.B) {
+	srv := startServer(b, figure4Config(core.ArchTCP))
+	benchCalls(b, srv, transport.TCP, 0)
+}
+
+func BenchmarkFigure4_UDP(b *testing.B) {
+	srv := startServer(b, figure3Config(core.ArchUDP))
+	benchCalls(b, srv, transport.UDP, 0)
+}
+
+// --- Figure 5: both fixes (fd cache + priority-queue idle management) ---
+
+func figure5Config(arch core.Architecture) core.Config {
+	cfg := figure4Config(arch)
+	cfg.ConnMgr = connmgr.KindPQueue
+	return cfg
+}
+
+func BenchmarkFigure5_TCP50OpsPerConn(b *testing.B) {
+	srv := startServer(b, figure5Config(core.ArchTCP))
+	benchCalls(b, srv, transport.TCP, 50)
+}
+
+func BenchmarkFigure5_TCP500OpsPerConn(b *testing.B) {
+	srv := startServer(b, figure5Config(core.ArchTCP))
+	benchCalls(b, srv, transport.TCP, 500)
+}
+
+func BenchmarkFigure5_TCPPersistent(b *testing.B) {
+	srv := startServer(b, figure5Config(core.ArchTCP))
+	benchCalls(b, srv, transport.TCP, 0)
+}
+
+func BenchmarkFigure5_UDP(b *testing.B) {
+	srv := startServer(b, figure3Config(core.ArchUDP))
+	benchCalls(b, srv, transport.UDP, 0)
+}
+
+// --- §4.3: the supervisor priority effect ---
+
+func BenchmarkPriority_BoostedSupervisor(b *testing.B) {
+	srv := startServer(b, figure3Config(core.ArchTCP))
+	benchCalls(b, srv, transport.TCP, 0)
+}
+
+func BenchmarkPriority_StarvedSupervisor(b *testing.B) {
+	cfg := figure3Config(core.ArchTCP)
+	cfg.SupervisorPenalty = 500 * time.Microsecond
+	srv := startServer(b, cfg)
+	benchCalls(b, srv, transport.TCP, 0)
+}
+
+// --- §6: alternative architectures ---
+
+func BenchmarkArch_TCPBothFixes(b *testing.B) {
+	srv := startServer(b, figure5Config(core.ArchTCP))
+	benchCalls(b, srv, transport.TCP, 0)
+}
+
+func BenchmarkArch_MultiThreaded(b *testing.B) {
+	srv := startServer(b, core.Config{Arch: core.ArchThreaded, ConnMgr: connmgr.KindPQueue})
+	benchCalls(b, srv, transport.TCP, 0)
+}
+
+func BenchmarkArch_SCTPSim(b *testing.B) {
+	srv := startServer(b, core.Config{Arch: core.ArchSCTP})
+	benchCalls(b, srv, transport.UDP, 0)
+}
+
+func BenchmarkArch_UDP(b *testing.B) {
+	srv := startServer(b, core.Config{Arch: core.ArchUDP})
+	benchCalls(b, srv, transport.UDP, 0)
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// IPC fabric: channel round-trip vs real SCM_RIGHTS fd passing, isolating
+// supervisor serialization from kernel fd-passing cost.
+func BenchmarkAblation_IPCChan(b *testing.B) {
+	cfg := figure3Config(core.ArchTCP)
+	cfg.IPCMode = ipc.ModeChan
+	srv := startServer(b, cfg)
+	benchCalls(b, srv, transport.TCP, 0)
+}
+
+func BenchmarkAblation_IPCUnix(b *testing.B) {
+	cfg := figure3Config(core.ArchTCP)
+	cfg.IPCMode = ipc.ModeUnix
+	srv := startServer(b, cfg)
+	benchCalls(b, srv, transport.TCP, 0)
+}
+
+// fd cache capacity sweep: a cache of 1 thrashes between the two legs a
+// worker alternates across; unbounded never evicts.
+func benchFDCacheCap(b *testing.B, capacity int) {
+	cfg := figure4Config(core.ArchTCP)
+	cfg.FDCacheCapacity = capacity
+	srv := startServer(b, cfg)
+	benchCalls(b, srv, transport.TCP, 0)
+}
+
+func BenchmarkAblation_FDCacheCap1(b *testing.B)      { benchFDCacheCap(b, 1) }
+func BenchmarkAblation_FDCacheCap8(b *testing.B)      { benchFDCacheCap(b, 8) }
+func BenchmarkAblation_FDCacheUnbounded(b *testing.B) { benchFDCacheCap(b, 0) }
+
+// Worker-count sweep (paper: 24 UDP / 32 TCP workers).
+func benchWorkers(b *testing.B, workers int) {
+	cfg := figure5Config(core.ArchTCP)
+	cfg.Workers = workers
+	srv := startServer(b, cfg)
+	benchCalls(b, srv, transport.TCP, 0)
+}
+
+func BenchmarkAblation_Workers2(b *testing.B)  { benchWorkers(b, 2) }
+func BenchmarkAblation_Workers8(b *testing.B)  { benchWorkers(b, 8) }
+func BenchmarkAblation_Workers16(b *testing.B) { benchWorkers(b, 16) }
+
+// Stateful vs stateless proxy (§2): state maintenance costs transactions
+// and timers but absorbs retransmissions.
+func BenchmarkAblation_StatelessUDP(b *testing.B) {
+	cfg := core.Config{Arch: core.ArchUDP}
+	cfg.Domain = benchDomain
+	cfg.Workers = 8
+	srv, err := core.New(cfg) // Stateful deliberately false
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	srv.DB().ProvisionN(2*benchPairs+2, benchDomain)
+	benchCalls(b, srv, transport.UDP, 0)
+}
+
+func BenchmarkAblation_StatefulUDP(b *testing.B) {
+	srv := startServer(b, core.Config{Arch: core.ArchUDP})
+	benchCalls(b, srv, transport.UDP, 0)
+}
+
+// Idle-scan interval sweep for the baseline connection manager: more
+// frequent checks magnify the full-scan cost the priority queue removes.
+func benchScanInterval(b *testing.B, interval time.Duration) {
+	cfg := figure3Config(core.ArchTCP)
+	cfg.IdleCheckInterval = interval
+	srv := startServer(b, cfg)
+	benchCalls(b, srv, transport.TCP, 50)
+}
+
+func BenchmarkAblation_ScanEvery10ms(b *testing.B)  { benchScanInterval(b, 10*time.Millisecond) }
+func BenchmarkAblation_ScanEvery100ms(b *testing.B) { benchScanInterval(b, 100*time.Millisecond) }
+
+// Digest authentication on/off (related work: Nahum et al. found
+// authentication the single most expensive configuration, via aggressive
+// database lookups).
+func BenchmarkAblation_AuthOff(b *testing.B) {
+	srv := startServer(b, core.Config{Arch: core.ArchUDP})
+	benchCalls(b, srv, transport.UDP, 0)
+}
+
+func BenchmarkAblation_AuthOn(b *testing.B) {
+	srv := startServer(b, core.Config{Arch: core.ArchUDP, Auth: true})
+	benchCallsAuth(b, srv, transport.UDP)
+}
+
+// benchCallsAuth is benchCalls with phone passwords set so challenges are
+// answered.
+func benchCallsAuth(b *testing.B, srv core.Server, kind transport.Kind) {
+	b.Helper()
+	type pair struct {
+		caller *phone.Phone
+		callee string
+	}
+	pairs := make([]pair, benchPairs)
+	for i := 0; i < benchPairs; i++ {
+		calleeUser := fmt.Sprintf("user%d", 2*i+1)
+		callerUser := fmt.Sprintf("user%d", 2*i)
+		callee, err := phone.New(phone.Config{
+			Transport: kind, ProxyAddr: srv.Addr(), Domain: benchDomain, User: calleeUser,
+			Password: userdb.PasswordFor(calleeUser), ResponseTimeout: 2 * time.Second,
+		}, phone.Callee)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { callee.Close() })
+		if err := callee.Register(); err != nil {
+			b.Fatal(err)
+		}
+		caller, err := phone.New(phone.Config{
+			Transport: kind, ProxyAddr: srv.Addr(), Domain: benchDomain, User: callerUser,
+			Password: userdb.PasswordFor(callerUser), ResponseTimeout: 2 * time.Second,
+		}, phone.Caller)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { caller.Close() })
+		if err := caller.Register(); err != nil {
+			b.Fatal(err)
+		}
+		pairs[i] = pair{caller: caller, callee: calleeUser}
+	}
+	b.ResetTimer()
+	start := time.Now()
+	done := make(chan error, benchPairs)
+	for i := 0; i < benchPairs; i++ {
+		go func(p pair, n int) {
+			for j := 0; j < n; j++ {
+				if err := p.caller.Call(p.callee); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(pairs[i], callsFor(b.N, benchPairs, i))
+	}
+	for i := 0; i < benchPairs; i++ {
+		if err := <-done; err != nil {
+			b.Fatalf("call: %v", err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if elapsed > 0 {
+		b.ReportMetric(float64(2*b.N)/elapsed.Seconds(), "ops/s")
+	}
+}
+
+// Redirect server vs proxy (§2's two server roles).
+func BenchmarkAblation_RedirectServer(b *testing.B) {
+	srv := startServer(b, core.Config{Arch: core.ArchUDP, Redirect: true})
+	benchCalls(b, srv, transport.UDP, 0)
+}
+
+// Registration scenario (related work: one of the three measured SIP
+// scenarios). One op = one REGISTER transaction.
+func BenchmarkScenario_Registration(b *testing.B) {
+	srv := startServer(b, core.Config{Arch: core.ArchUDP})
+	ph, err := phone.New(phone.Config{
+		Transport: transport.UDP, ProxyAddr: srv.Addr(), Domain: benchDomain,
+		User: "user0", ResponseTimeout: 2 * time.Second,
+	}, phone.Caller)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ph.Close() })
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := ph.Register(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "ops/s")
+	}
+}

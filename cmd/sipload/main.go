@@ -1,0 +1,59 @@
+// Command sipload is the benchmark client of §4.2: it simulates phone
+// pairs against a running proxy (see cmd/sipproxyd), registers them, has
+// every caller place a fixed number of calls, and reports throughput in
+// operations per second.
+//
+//	sipload -proxy 127.0.0.1:5060 -transport tcp -pairs 100 -calls 100
+//	sipload -proxy 127.0.0.1:5060 -transport tcp -ops-per-conn 50
+//	sipload -proxy 127.0.0.1:5060 -transport udp -pairs 500
+//
+// The target proxy must have at least 2×pairs users provisioned starting
+// at -user-offset (sipproxyd's -users default covers this).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gosip/internal/loadgen"
+	"gosip/internal/transport"
+)
+
+func main() {
+	var (
+		proxyAddr  = flag.String("proxy", "127.0.0.1:5060", "proxy address")
+		kind       = flag.String("transport", "udp", "transport: udp or tcp")
+		domain     = flag.String("domain", "gosip.test", "SIP domain")
+		pairs      = flag.Int("pairs", 10, "concurrent caller/callee pairs")
+		calls      = flag.Int("calls", 50, "calls per caller (1 call = 2 operations)")
+		opsPerConn = flag.Int("ops-per-conn", 0, "TCP: reconnect after this many operations (0 = persistent)")
+		timeout    = flag.Duration("timeout", 2*time.Second, "per-response timeout")
+		retries    = flag.Int("retries", 7, "UDP retransmissions per request")
+		offset     = flag.Int("user-offset", 0, "first user index to use")
+	)
+	flag.Parse()
+
+	res, err := loadgen.Run(loadgen.Config{
+		Transport:       transport.Kind(strings.ToUpper(*kind)),
+		ProxyAddr:       *proxyAddr,
+		Domain:          *domain,
+		Pairs:           *pairs,
+		CallsPerCaller:  *calls,
+		OpsPerConn:      *opsPerConn,
+		ResponseTimeout: *timeout,
+		MaxRetries:      *retries,
+		UserOffset:      *offset,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sipload: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("transport=%s pairs=%d calls/caller=%d ops/conn=%d\n", *kind, *pairs, *calls, *opsPerConn)
+	fmt.Println(res)
+	if res.CallsFailed > 0 {
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,108 @@
+// Command sipproxyd runs the SIP proxy as a standalone daemon. The flags
+// expose every architectural variable the paper studies, so the same
+// binary can run the baseline, either fix, or the §6 alternatives:
+//
+//	sipproxyd -arch udp -addr 127.0.0.1:5060
+//	sipproxyd -arch tcp -fdcache -connmgr pqueue
+//	sipproxyd -arch tcp -ipc unix -idle-timeout 10s
+//	sipproxyd -arch threaded
+//
+// The daemon provisions -users synthetic subscribers (user0…userN-1) at
+// startup and prints a profile report on SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gosip/internal/connmgr"
+	"gosip/internal/core"
+	"gosip/internal/ipc"
+)
+
+func main() {
+	var (
+		arch        = flag.String("arch", "tcp", "architecture: udp, tcp, threaded, sctpsim")
+		addr        = flag.String("addr", "127.0.0.1:5060", "listen address")
+		workers     = flag.Int("workers", 0, "worker count (0 = architecture default)")
+		stateless   = flag.Bool("stateless", false, "run as a stateless proxy")
+		redirect    = flag.Bool("redirect", false, "run as a redirection server (302) instead of proxying")
+		auth        = flag.Bool("auth", false, "enable digest authentication (401/407 challenges)")
+		recordRoute = flag.Bool("record-route", false, "insert Record-Route so in-dialog requests stay on the proxy path")
+		domain      = flag.String("domain", "gosip.test", "served SIP domain")
+		users       = flag.Int("users", 10000, "synthetic users to provision")
+		ipcMode     = flag.String("ipc", "unix", "TCP supervisor IPC: unix or chan")
+		fdcache     = flag.Bool("fdcache", false, "enable the per-worker fd cache (Figure 4)")
+		fdcacheCap  = flag.Int("fdcache-cap", 0, "fd cache capacity per worker (0 = unbounded)")
+		mgr         = flag.String("connmgr", "scan", "idle-connection strategy: scan or pqueue (Figure 5)")
+		idleTimeout = flag.Duration("idle-timeout", 10*time.Second, "idle connection timeout (paper §4.3)")
+		grace       = flag.Duration("grace", 5*time.Second, "supervisor grace before destroying returned connections")
+		checkEvery  = flag.Duration("idle-check", 500*time.Millisecond, "idle check floor interval")
+		penalty     = flag.Duration("supervisor-penalty", 0, "per-request supervisor delay (models §4.3 starvation)")
+		dbLatency   = flag.Duration("db-latency", 0, "simulated user-database lookup latency")
+		routesFlag  = flag.String("routes", "", "static next hops: domain=host:port[,domain=host:port...]")
+		dropRx      = flag.Float64("drop-rx", 0, "UDP inbound datagram loss probability (fault injection)")
+		dropTx      = flag.Float64("drop-tx", 0, "UDP outbound datagram loss probability (fault injection)")
+	)
+	flag.Parse()
+
+	routes := map[string]string{}
+	if *routesFlag != "" {
+		for _, pair := range strings.Split(*routesFlag, ",") {
+			eq := strings.IndexByte(pair, '=')
+			if eq <= 0 {
+				fmt.Fprintf(os.Stderr, "sipproxyd: bad -routes entry %q\n", pair)
+				os.Exit(1)
+			}
+			routes[strings.ToLower(strings.TrimSpace(pair[:eq]))] = strings.TrimSpace(pair[eq+1:])
+		}
+	}
+
+	cfg := core.Config{
+		Arch:              core.Architecture(*arch),
+		Addr:              *addr,
+		Workers:           *workers,
+		Stateful:          !*stateless,
+		Redirect:          *redirect,
+		Auth:              *auth,
+		RecordRoute:       *recordRoute,
+		Domain:            *domain,
+		IPCMode:           ipc.Mode(*ipcMode),
+		FDCache:           *fdcache,
+		FDCacheCapacity:   *fdcacheCap,
+		ConnMgr:           connmgr.Kind(*mgr),
+		IdleTimeout:       *idleTimeout,
+		SupervisorGrace:   *grace,
+		IdleCheckInterval: *checkEvery,
+		SupervisorPenalty: *penalty,
+	}
+	cfg.DB.LookupLatency = *dbLatency
+	cfg.Routes = routes
+	cfg.Faults = core.FaultConfig{DropRx: *dropRx, DropTx: *dropTx}
+
+	srv, err := core.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sipproxyd: %v\n", err)
+		os.Exit(1)
+	}
+	srv.DB().ProvisionN(*users, *domain)
+	fmt.Printf("sipproxyd: %s listening on %s (%s), %d users provisioned\n",
+		*arch, srv.Addr(), srv.Engine().Describe(), *users)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	snap := srv.Profile().Snapshot()
+	fmt.Println()
+	fmt.Print(snap.Report(0))
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "sipproxyd: close: %v\n", err)
+		os.Exit(1)
+	}
+}

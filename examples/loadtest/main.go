@@ -1,0 +1,74 @@
+// Loadtest: a miniature of the paper's headline experiment. It measures
+// proxy throughput (SIP transactions per second) for UDP and for three TCP
+// variants — the baseline, the fd-cache fix (Figure 4), and both fixes
+// (Figure 5) — on the same workload, and prints each TCP variant as a
+// percentage of UDP.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"gosip/internal/connmgr"
+	"gosip/internal/core"
+	"gosip/internal/ipc"
+	"gosip/internal/loadgen"
+	"gosip/internal/transport"
+)
+
+func main() {
+	pairs := flag.Int("pairs", 20, "concurrent caller/callee pairs")
+	calls := flag.Int("calls", 25, "calls per caller")
+	flag.Parse()
+
+	const domain = "loadtest.example"
+
+	type variant struct {
+		name string
+		kind transport.Kind
+		cfg  core.Config
+	}
+	variants := []variant{
+		{"UDP", transport.UDP, core.Config{Arch: core.ArchUDP}},
+		{"TCP baseline", transport.TCP, core.Config{
+			Arch: core.ArchTCP, IPCMode: ipc.ModeChan, ConnMgr: connmgr.KindScan}},
+		{"TCP + fd cache", transport.TCP, core.Config{
+			Arch: core.ArchTCP, IPCMode: ipc.ModeChan, FDCache: true, ConnMgr: connmgr.KindScan}},
+		{"TCP + both fixes", transport.TCP, core.Config{
+			Arch: core.ArchTCP, IPCMode: ipc.ModeChan, FDCache: true, ConnMgr: connmgr.KindPQueue}},
+	}
+
+	var udp float64
+	for _, v := range variants {
+		cfg := v.cfg
+		cfg.Workers = 6
+		cfg.Stateful = true
+		cfg.Domain = domain
+		srv, err := core.New(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", v.name, err)
+		}
+		srv.DB().ProvisionN(2*(*pairs), domain)
+		res, err := loadgen.Run(loadgen.Config{
+			Transport:       v.kind,
+			ProxyAddr:       srv.Addr(),
+			Domain:          domain,
+			Pairs:           *pairs,
+			CallsPerCaller:  *calls,
+			ResponseTimeout: 2 * time.Second,
+		})
+		srv.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", v.name, err)
+		}
+		pct := ""
+		if v.kind == transport.UDP {
+			udp = res.Throughput
+		} else if udp > 0 {
+			pct = fmt.Sprintf("  (%.0f%% of UDP)", 100*res.Throughput/udp)
+		}
+		fmt.Printf("%-18s %8.0f ops/s%s\n", v.name, res.Throughput, pct)
+	}
+}

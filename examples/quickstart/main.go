@@ -1,0 +1,76 @@
+// Quickstart: start an in-process SIP proxy, register two phones, and
+// complete one call (INVITE → 180 → 200 → ACK → BYE → 200) through it,
+// narrating each step. This is the smallest end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gosip/internal/core"
+	"gosip/internal/metrics"
+	"gosip/internal/phone"
+	"gosip/internal/transport"
+)
+
+func main() {
+	const domain = "quickstart.example"
+
+	// 1. Start a stateful UDP proxy (the paper's §3.2 architecture).
+	srv, err := core.New(core.Config{
+		Arch:     core.ArchUDP,
+		Workers:  4,
+		Stateful: true,
+		Domain:   domain,
+	})
+	if err != nil {
+		log.Fatalf("start proxy: %v", err)
+	}
+	defer srv.Close()
+	fmt.Printf("proxy listening on %s\n", srv.Addr())
+
+	// 2. Provision two subscribers in the (simulated) user database.
+	srv.DB().ProvisionN(2, domain) // user0, user1
+	fmt.Println("provisioned user0 and user1")
+
+	// 3. Create the phones: alice (user0) calls, bob (user1) answers.
+	newPhone := func(user string, role phone.Role) *phone.Phone {
+		p, err := phone.New(phone.Config{
+			Transport: transport.UDP,
+			ProxyAddr: srv.Addr(),
+			Domain:    domain,
+			User:      user,
+		}, role)
+		if err != nil {
+			log.Fatalf("create %s: %v", user, err)
+		}
+		return p
+	}
+	bob := newPhone("user1", phone.Callee)
+	alice := newPhone("user0", phone.Caller)
+	defer bob.Close()
+	defer alice.Close()
+
+	// 4. Register both (bob's answering loop starts on registration).
+	if err := bob.Register(); err != nil {
+		log.Fatalf("register bob: %v", err)
+	}
+	fmt.Printf("bob registered, contact %s\n", bob.Contact())
+	if err := alice.Register(); err != nil {
+		log.Fatalf("register alice: %v", err)
+	}
+	fmt.Printf("alice registered, contact %s\n", alice.Contact())
+
+	// 5. Place the call: INVITE/180/200/ACK, then BYE/200.
+	if err := alice.Call("user1"); err != nil {
+		log.Fatalf("call failed: %v", err)
+	}
+	st := alice.Stats()
+	fmt.Printf("call completed: %d call, %d SIP transactions (operations)\n",
+		st.CallsCompleted, st.Ops)
+
+	// 6. Show what the proxy did.
+	snap := srv.Profile().Snapshot()
+	fmt.Printf("proxy processed %d SIP messages, created %d transactions\n",
+		snap.Counters[metrics.MetricMsgsProcessed], snap.Counters[metrics.MetricTxnCreated])
+}

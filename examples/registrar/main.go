@@ -1,0 +1,70 @@
+// Registrar: exercises the registration substrate directly — REGISTER
+// with an expiry, binding lookup through the location service, refresh,
+// de-registration with Expires: 0, and expiry purging. This is the SIP
+// location service that proxy routing (§2) is built on.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gosip/internal/location"
+	"gosip/internal/sipmsg"
+)
+
+func main() {
+	loc := location.New()
+	now := time.Now()
+
+	// Build a REGISTER as a phone would (see internal/phone for the full
+	// user agent); here we drive the registrar handler directly.
+	aor := sipmsg.URI{User: "alice", Host: "registrar.example"}
+	contact := sipmsg.URI{User: "alice", Host: "192.0.2.10", Port: 5071}
+	register := func(expires int) *sipmsg.Message {
+		return sipmsg.NewRequest(sipmsg.RequestSpec{
+			Method:     sipmsg.REGISTER,
+			RequestURI: sipmsg.URI{Host: aor.Host},
+			From:       sipmsg.NameAddr{URI: aor, Params: map[string]string{"tag": sipmsg.NewTag()}},
+			To:         sipmsg.NameAddr{URI: aor},
+			CallID:     sipmsg.NewCallID("alice-phone"),
+			CSeq:       1,
+			Via:        sipmsg.Via{Transport: "UDP", Host: "192.0.2.10", Port: 5071},
+			Contact:    &sipmsg.NameAddr{URI: contact},
+			Expires:    expires,
+		})
+	}
+
+	// 1. Register with a 600 second binding.
+	resp := loc.HandleRegister(register(600), "192.0.2.10:5071", "UDP", now)
+	fmt.Printf("REGISTER -> %d %s\n", resp.StatusCode, resp.Reason)
+
+	// 2. The proxy-side lookup: where is alice right now?
+	bindings, err := loc.Lookup(aor.AOR(), now)
+	if err != nil {
+		log.Fatalf("lookup: %v", err)
+	}
+	fmt.Printf("alice is at %s via %s (expires in %v)\n",
+		bindings[0].Contact, bindings[0].Transport,
+		bindings[0].Expires.Sub(now).Round(time.Second))
+
+	// 3. A second device registers too; the freshest binding wins routing.
+	tablet := sipmsg.URI{User: "alice", Host: "192.0.2.99", Port: 5072}
+	loc.Register(aor.AOR(), location.Binding{Contact: tablet, Transport: "TCP", Source: "192.0.2.99:40001"},
+		2*time.Hour, now)
+	bindings, _ = loc.Lookup(aor.AOR(), now)
+	fmt.Printf("alice now has %d bindings; routing prefers %s\n", len(bindings), bindings[0].Contact)
+
+	// 4. De-register the tablet (Expires: 0 semantics).
+	loc.Register(aor.AOR(), location.Binding{Contact: tablet}, 0, now)
+	bindings, _ = loc.Lookup(aor.AOR(), now)
+	fmt.Printf("after de-registration: %d binding(s) left\n", len(bindings))
+
+	// 5. Bindings lapse on their own; Purge reclaims the storage.
+	later := now.Add(time.Hour)
+	if _, err := loc.Lookup(aor.AOR(), later); err != nil {
+		fmt.Println("an hour later the 600s binding has expired:", err)
+	}
+	removed := loc.Purge(later)
+	fmt.Printf("purge removed %d lapsed binding(s); %d AORs tracked\n", removed, loc.Len())
+}

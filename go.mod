@@ -1,0 +1,3 @@
+module gosip
+
+go 1.22

@@ -1,0 +1,14 @@
+//go:build linux
+
+package conn
+
+import "syscall"
+
+// osYield performs the real sched_yield system call that OpenSER's spin
+// locks issue on every failed prompt acquisition. The syscall cost (≈1µs
+// of kernel time per call) is the fuel of the scheduler storm the paper's
+// kernel profile shows; Go's runtime.Gosched alone is an order of
+// magnitude cheaper and would understate the effect.
+func osYield() {
+	_, _, _ = syscall.Syscall(syscall.SYS_SCHED_YIELD, 0, 0, 0)
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package conn
+
+// osYield is a no-op off Linux; the Go scheduler yield in YieldLock.Lock
+// still provides progress.
+func osYield() {}

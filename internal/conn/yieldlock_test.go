@@ -1,0 +1,75 @@
+package conn
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestYieldLockMutualExclusion(t *testing.T) {
+	var l YieldLock
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 16000 {
+		t.Errorf("counter = %d, want 16000 (lost updates)", counter)
+	}
+}
+
+func TestYieldLockTryLock(t *testing.T) {
+	var l YieldLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestYieldLockUnlockUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Unlock of unlocked lock did not panic")
+		}
+	}()
+	var l YieldLock
+	l.Unlock()
+}
+
+func TestYieldLockBlocksUntilReleased(t *testing.T) {
+	var l YieldLock
+	l.Lock()
+	acquired := make(chan struct{})
+	go func() {
+		l.Lock()
+		close(acquired)
+		l.Unlock()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second Lock acquired while held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Unlock()
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never acquired the lock")
+	}
+}

@@ -1,0 +1,61 @@
+package connmgr
+
+import (
+	"testing"
+	"time"
+)
+
+// benchExpiredCheck measures one idle check against a table of n mostly
+// fresh connections — the operation the baseline performs per event loop
+// iteration (O(n)) and the priority queue performs in O(expired).
+func benchExpiredCheck(b *testing.B, mkMgr func(fx *fixture) Manager, n int) {
+	fx := newFixture()
+	t := &testing.T{}
+	m := mkMgr(fx)
+	for i := 0; i < n; i++ {
+		m.Add(fx.conn(t, time.Hour))
+	}
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := m.Expired(now, always); len(got) != 0 {
+			b.Fatalf("unexpected expirations: %d", len(got))
+		}
+	}
+}
+
+func BenchmarkScanCheck100(b *testing.B) {
+	benchExpiredCheck(b, func(fx *fixture) Manager { return NewScanner(fx.prof) }, 100)
+}
+
+func BenchmarkScanCheck1000(b *testing.B) {
+	benchExpiredCheck(b, func(fx *fixture) Manager { return NewScanner(fx.prof) }, 1000)
+}
+
+func BenchmarkScanCheck5000(b *testing.B) {
+	benchExpiredCheck(b, func(fx *fixture) Manager { return NewScanner(fx.prof) }, 5000)
+}
+
+func BenchmarkPQueueCheck100(b *testing.B) {
+	benchExpiredCheck(b, func(fx *fixture) Manager { return NewPQueue(fx.prof) }, 100)
+}
+
+func BenchmarkPQueueCheck1000(b *testing.B) {
+	benchExpiredCheck(b, func(fx *fixture) Manager { return NewPQueue(fx.prof) }, 1000)
+}
+
+func BenchmarkPQueueCheck5000(b *testing.B) {
+	benchExpiredCheck(b, func(fx *fixture) Manager { return NewPQueue(fx.prof) }, 5000)
+}
+
+func BenchmarkPQueueAddRemove(b *testing.B) {
+	fx := newFixture()
+	t := &testing.T{}
+	p := NewPQueue(fx.prof)
+	c := fx.conn(t, time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Add(c)
+		p.Remove(c)
+	}
+}

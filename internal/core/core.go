@@ -1,0 +1,251 @@
+// Package core assembles the paper's server architectures around the proxy
+// engine (Ram et al. §3):
+//
+//   - UDPServer (§3.2): N symmetric workers concurrently receiving from one
+//     shared UDP socket; no connection state; a timer process drives
+//     retransmission.
+//   - TCPServer (§3.1): a single supervisor goroutine that accepts all
+//     connections, assigns ownership to workers, answers blocking fd
+//     requests over the IPC fabric, and closes idle connections. Workers
+//     own reads on their connections and must obtain descriptors for
+//     everything else. The Figure 4 fd cache and the Figure 5 priority
+//     queue are configuration switches.
+//   - ThreadedServer (§6): the multi-threaded, shared-address-space
+//     architecture the paper advocates — same worker event loops, but any
+//     worker may write any connection directly, with no supervisor IPC.
+//
+// Worker goroutines follow an enforced process discipline: each worker is
+// one event loop; message processing for a connection happens only on its
+// owning worker; cross-connection sends go through handles obtained
+// according to the architecture's rules.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gosip/internal/connmgr"
+	"gosip/internal/ipc"
+	"gosip/internal/location"
+	"gosip/internal/metrics"
+	"gosip/internal/proxy"
+	"gosip/internal/sipmsg"
+	"gosip/internal/timerlist"
+	"gosip/internal/transaction"
+	"gosip/internal/transport"
+	"gosip/internal/userdb"
+)
+
+// Architecture names a server assembly.
+type Architecture string
+
+// Available architectures.
+const (
+	ArchUDP      Architecture = "udp"      // §3.2 symmetric workers
+	ArchTCP      Architecture = "tcp"      // §3.1 supervisor + workers
+	ArchThreaded Architecture = "threaded" // §6 shared address space over TCP
+	// ArchSCTP simulates the §6 SCTP discussion: a reliable, message-based
+	// transport whose connection management lives in the kernel lets the
+	// server keep the symmetric UDP architecture while dropping the
+	// retransmission timer work. Datagram loopback is loss-free, so the
+	// UDP socket stands in for SCTP's reliable message service; the server
+	// differs from ArchUDP only in treating the transport as reliable.
+	ArchSCTP Architecture = "sctpsim"
+)
+
+// Config assembles a server.
+type Config struct {
+	// Arch selects the architecture.
+	Arch Architecture
+	// Addr is the listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// Workers is the worker count. The paper used 24 for UDP and 32 for
+	// TCP; defaults follow suit scaled by DefaultWorkers.
+	Workers int
+	// Stateful selects the stateful proxy configuration (the paper's).
+	Stateful bool
+	// Redirect runs the server as a redirection server (§2): requests are
+	// answered with 302 + the registered contact instead of being proxied.
+	Redirect bool
+	// Auth enables digest authentication (401/407 challenges + per-request
+	// user-database verification).
+	Auth bool
+	// Routes statically maps foreign domains to next-hop proxy addresses
+	// ("host:port"), forming the §2 "sequence of SIP proxy servers".
+	Routes map[string]string
+	// RecordRoute keeps in-dialog requests (ACK, BYE) on the proxy path
+	// via Record-Route/Route headers (RFC 3261 §16.6).
+	RecordRoute bool
+	// Faults injects datagram loss at the UDP boundary (see FaultConfig).
+	Faults FaultConfig
+	// Domain is the served SIP domain.
+	Domain string
+
+	// --- TCP architecture knobs ---
+
+	// IPCMode selects the supervisor IPC fabric (unix = SCM_RIGHTS,
+	// chan = portable channel round-trip).
+	IPCMode ipc.Mode
+	// FDCache enables the per-worker file descriptor cache (Figure 4).
+	FDCache bool
+	// FDCacheCapacity bounds cached handles per worker (0 = unbounded).
+	FDCacheCapacity int
+	// ConnMgr selects the idle-connection strategy (Figure 5).
+	ConnMgr connmgr.Kind
+	// IdleTimeout is how long a connection may sit unused before the
+	// owning worker returns it (paper: reduced from 120s to 10s).
+	IdleTimeout time.Duration
+	// SupervisorGrace is the additional period the supervisor waits after
+	// a worker returns a connection before destroying it.
+	SupervisorGrace time.Duration
+	// IdleCheckInterval is how often the supervisor and workers look for
+	// idle connections.
+	IdleCheckInterval time.Duration
+	// SupervisorPenalty models the scheduler starvation of §4.3: a delay
+	// the supervisor incurs before serving each request when the boost is
+	// absent. Zero = boosted supervisor (the paper's tuned configuration).
+	SupervisorPenalty time.Duration
+
+	// --- substrate knobs ---
+
+	// TimerInterval is the timer process's check period.
+	TimerInterval time.Duration
+	// Txn tunes the transaction layer.
+	Txn transaction.Config
+	// DB configures the simulated persistent store.
+	DB userdb.Config
+	// Profile receives instrumentation; one is created when nil.
+	Profile *metrics.Profile
+}
+
+// Defaults mirror the paper's tuned configuration, scaled for one host.
+const (
+	DefaultWorkersUDP = 8
+	DefaultWorkersTCP = 8
+)
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Workers <= 0 {
+		if c.Arch == ArchUDP || c.Arch == ArchSCTP {
+			c.Workers = DefaultWorkersUDP
+		} else {
+			c.Workers = DefaultWorkersTCP
+		}
+	}
+	if c.Domain == "" {
+		c.Domain = "gosip.test"
+	}
+	if c.IPCMode == "" {
+		c.IPCMode = ipc.ModeChan
+	}
+	if c.ConnMgr == "" {
+		c.ConnMgr = connmgr.KindScan
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 10 * time.Second
+	}
+	if c.SupervisorGrace <= 0 {
+		c.SupervisorGrace = c.IdleTimeout / 2
+	}
+	if c.IdleCheckInterval <= 0 {
+		c.IdleCheckInterval = 500 * time.Millisecond
+	}
+	if c.TimerInterval <= 0 {
+		c.TimerInterval = 100 * time.Millisecond
+	}
+	if c.Profile == nil {
+		c.Profile = metrics.NewProfile()
+	}
+	return c
+}
+
+// Server is a running SIP proxy.
+type Server interface {
+	// Addr returns the bound SIP address ("host:port").
+	Addr() string
+	// Engine exposes the proxy core (for inspection in tests).
+	Engine() *proxy.Engine
+	// Profile exposes the server's instrumentation.
+	Profile() *metrics.Profile
+	// Location exposes the location service (examples pre-provision it).
+	Location() *location.Service
+	// DB exposes the simulated user store.
+	DB() *userdb.DB
+	// Close shuts the server down and releases all resources.
+	Close() error
+}
+
+// New starts a server of the configured architecture.
+func New(cfg Config) (Server, error) {
+	cfg = cfg.withDefaults()
+	switch cfg.Arch {
+	case ArchUDP, ArchSCTP:
+		return newUDPServer(cfg)
+	case ArchTCP:
+		return newTCPServer(cfg)
+	case ArchThreaded:
+		return newThreadedServer(cfg)
+	default:
+		return nil, fmt.Errorf("core: unknown architecture %q", cfg.Arch)
+	}
+}
+
+// substrate bundles the pieces every architecture shares.
+type substrate struct {
+	cfg    Config
+	prof   *metrics.Profile
+	loc    *location.Service
+	db     *userdb.DB
+	timers *timerlist.List
+	txns   *transaction.Table
+}
+
+func newSubstrate(cfg Config) *substrate {
+	timers := timerlist.New(cfg.TimerInterval)
+	prof := cfg.Profile
+	return &substrate{
+		cfg:    cfg,
+		prof:   prof,
+		loc:    location.New(),
+		db:     userdb.New(cfg.DB, prof),
+		timers: timers,
+		txns:   transaction.NewTable(cfg.Txn, timers, prof),
+	}
+}
+
+func (s *substrate) close() {
+	s.timers.Close()
+}
+
+// engineConfig builds the proxy engine configuration for a bound address.
+func (s *substrate) engineConfig(kind transport.Kind, host string, port int) proxy.Config {
+	mode := proxy.ModeProxy
+	if s.cfg.Redirect {
+		mode = proxy.ModeRedirect
+	}
+	return proxy.Config{
+		Mode:         mode,
+		Auth:         s.cfg.Auth,
+		Routes:       s.cfg.Routes,
+		RecordRoute:  s.cfg.RecordRoute,
+		Stateful:     s.cfg.Stateful,
+		Reliable:     kind == transport.TCP || s.cfg.Arch == ArchSCTP,
+		ViaTransport: string(kind),
+		ViaHost:      host,
+		ViaPort:      port,
+		Domain:       s.cfg.Domain,
+	}
+}
+
+// parse wraps sipmsg.Parse with drop accounting shared by all receivers.
+func parseOrCount(prof *metrics.Profile, data []byte) (*sipmsg.Message, bool) {
+	m, err := sipmsg.Parse(data)
+	if err != nil {
+		prof.Counter("proxy.parse_errors").Inc()
+		return nil, false
+	}
+	return m, true
+}

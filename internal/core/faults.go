@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// FaultConfig injects network faults at the server's UDP boundary,
+// standing in for the lossy wide-area paths the VoIP measurement studies
+// in the paper's related work characterize. Loopback never drops packets,
+// so without injection the stateful proxy's retransmission machinery
+// (Timer A/B, absorption of client retransmits) would go unexercised
+// end-to-end.
+type FaultConfig struct {
+	// DropRx is the probability an inbound datagram is dropped before
+	// parsing (models client→server loss).
+	DropRx float64
+	// DropTx is the probability an outbound datagram is silently not sent
+	// (models server→client loss).
+	DropTx float64
+	// Seed makes a fault sequence reproducible; 0 selects a fixed default.
+	Seed int64
+}
+
+// Enabled reports whether any fault is configured.
+func (f FaultConfig) Enabled() bool { return f.DropRx > 0 || f.DropTx > 0 }
+
+// faultGate makes drop decisions; safe for concurrent use.
+type faultGate struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	cfg FaultConfig
+
+	droppedRx int64
+	droppedTx int64
+}
+
+func newFaultGate(cfg FaultConfig) *faultGate {
+	if !cfg.Enabled() {
+		return nil
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0xfa07
+	}
+	return &faultGate{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+}
+
+// dropRx reports whether to drop an inbound datagram.
+func (g *faultGate) dropRx() bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	drop := g.rng.Float64() < g.cfg.DropRx
+	if drop {
+		g.droppedRx++
+	}
+	g.mu.Unlock()
+	return drop
+}
+
+// dropTx reports whether to suppress an outbound datagram.
+func (g *faultGate) dropTx() bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	drop := g.rng.Float64() < g.cfg.DropTx
+	if drop {
+		g.droppedTx++
+	}
+	g.mu.Unlock()
+	return drop
+}
+
+// stats returns cumulative drop counts.
+func (g *faultGate) stats() (rx, tx int64) {
+	if g == nil {
+		return 0, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.droppedRx, g.droppedTx
+}

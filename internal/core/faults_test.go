@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gosip/internal/loadgen"
+	"gosip/internal/metrics"
+	"gosip/internal/transaction"
+	"gosip/internal/transport"
+)
+
+func TestFaultGateDisabled(t *testing.T) {
+	var g *faultGate // nil = disabled
+	if g.dropRx() || g.dropTx() {
+		t.Error("nil gate dropped")
+	}
+	rx, tx := g.stats()
+	if rx != 0 || tx != 0 {
+		t.Error("nil gate counted")
+	}
+	if newFaultGate(FaultConfig{}) != nil {
+		t.Error("zero config built a gate")
+	}
+}
+
+func TestFaultGateRates(t *testing.T) {
+	g := newFaultGate(FaultConfig{DropRx: 0.3, DropTx: 0.1, Seed: 42})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g.dropRx()
+		g.dropTx()
+	}
+	rx, tx := g.stats()
+	if frac := float64(rx) / n; frac < 0.25 || frac > 0.35 {
+		t.Errorf("rx drop rate %.3f, want ~0.30", frac)
+	}
+	if frac := float64(tx) / n; frac < 0.07 || frac > 0.13 {
+		t.Errorf("tx drop rate %.3f, want ~0.10", frac)
+	}
+}
+
+// runLossyLoad drives calls with patient phones (long per-response
+// timeouts and a deep retransmission budget) against a lossy server.
+func runLossyLoad(t *testing.T, srv Server, pairs, calls int) loadgen.Result {
+	t.Helper()
+	res, err := loadgen.Run(loadgen.Config{
+		Transport:       transport.UDP,
+		ProxyAddr:       srv.Addr(),
+		Domain:          testDomain,
+		Pairs:           pairs,
+		CallsPerCaller:  calls,
+		ResponseTimeout: 300 * time.Millisecond,
+		MaxRetries:      10,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	return res
+}
+
+// TestCallsSurviveDatagramLoss is the reliability end-to-end: with 10%
+// loss in each direction, the stateful proxy's retransmission machinery
+// and the phones' own retransmissions must still complete every call.
+func TestCallsSurviveDatagramLoss(t *testing.T) {
+	srv, err := New(Config{
+		Arch:     ArchUDP,
+		Workers:  4,
+		Stateful: true,
+		Domain:   testDomain,
+		Faults:   FaultConfig{DropRx: 0.10, DropTx: 0.10, Seed: 7},
+		// Fast proxy retransmission so lost forwards are recovered quickly.
+		Txn:           transaction.Config{T1: 50 * time.Millisecond, TimerB: 5 * time.Second, Linger: 2 * time.Second},
+		TimerInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.DB().ProvisionN(16, testDomain)
+
+	res := runLossyLoad(t, srv, 4, 10)
+	if res.CallsFailed != 0 {
+		t.Errorf("%d calls failed under 10%% loss", res.CallsFailed)
+	}
+	if res.CallsCompleted != 40 {
+		t.Errorf("completed %d, want 40", res.CallsCompleted)
+	}
+	// Loss must actually have occurred and been recovered.
+	rx, tx := srv.(*udpServer).faults.stats()
+	if rx == 0 && tx == 0 {
+		t.Error("no datagrams dropped; fault injection inert")
+	}
+	if res.Retransmits == 0 {
+		t.Error("no client retransmissions despite loss")
+	}
+}
+
+// TestProxyRetransmitsUnderDownstreamLoss drops only server→client
+// datagrams so the proxy's own Timer A retransmissions must recover
+// forwarded INVITEs.
+func TestProxyRetransmitsUnderDownstreamLoss(t *testing.T) {
+	srv, err := New(Config{
+		Arch:          ArchUDP,
+		Workers:       4,
+		Stateful:      true,
+		Domain:        testDomain,
+		Faults:        FaultConfig{DropTx: 0.25, Seed: 11},
+		Txn:           transaction.Config{T1: 40 * time.Millisecond, TimerB: 5 * time.Second, Linger: 2 * time.Second},
+		TimerInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.DB().ProvisionN(8, testDomain)
+
+	res := runLossyLoad(t, srv, 2, 8)
+	if res.CallsFailed != 0 {
+		t.Errorf("%d calls failed under downstream loss", res.CallsFailed)
+	}
+	if got := srv.Profile().Counter(metrics.MetricRetransmits).Value(); got == 0 {
+		t.Error("proxy never retransmitted despite downstream loss")
+	}
+}
+
+// TestRetransmittedRequestsAbsorbed: under upstream loss, the proxy sees
+// duplicate INVITEs (client retransmits after a lost Trying) and must
+// absorb them rather than re-forwarding.
+func TestRetransmittedRequestsAbsorbed(t *testing.T) {
+	srv, err := New(Config{
+		Arch:          ArchUDP,
+		Workers:       4,
+		Stateful:      true,
+		Domain:        testDomain,
+		Faults:        FaultConfig{DropTx: 0.30, Seed: 3}, // lose many responses
+		Txn:           transaction.Config{T1: 40 * time.Millisecond, TimerB: 5 * time.Second, Linger: 2 * time.Second},
+		TimerInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.DB().ProvisionN(8, testDomain)
+
+	res := runLossyLoad(t, srv, 2, 6)
+	if res.CallsFailed != 0 {
+		t.Errorf("%d calls failed", res.CallsFailed)
+	}
+	msgs := srv.Profile().Counter(metrics.MetricMsgsProcessed).Value()
+	txns := srv.Profile().Counter(metrics.MetricTxnCreated).Value()
+	// Every call is 2 transactions; with duplicates absorbed, transactions
+	// stay exactly 2×calls even though message count inflates.
+	if txns != int64(2*res.CallsCompleted) {
+		t.Errorf("transactions = %d, want %d (duplicates created transactions?)",
+			txns, 2*res.CallsCompleted)
+	}
+	if msgs <= txns*3 {
+		t.Logf("note: low duplicate rate (msgs=%d txns=%d)", msgs, txns)
+	}
+}

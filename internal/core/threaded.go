@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gosip/internal/conn"
+	"gosip/internal/connmgr"
+	"gosip/internal/ipc"
+	"gosip/internal/location"
+	"gosip/internal/metrics"
+	"gosip/internal/proxy"
+	"gosip/internal/sipmsg"
+	"gosip/internal/transport"
+	"gosip/internal/userdb"
+)
+
+// threadedServer is the architecture §6 argues for: a multi-threaded,
+// event-driven server in which all workers share one address space. With
+// all workers able to use any file descriptor, the supervisor fd service
+// and its IPC disappear entirely; connection writes need only the per-
+// connection lock. Idle management is one-phase: the owning worker closes
+// and destroys its own idle connections.
+type threadedServer struct {
+	sub    *substrate
+	ln     net.Listener
+	engine *proxy.Engine
+	table  *conn.Table
+
+	workers []*threadedWorker
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	rr        int
+}
+
+type threadedWorker struct {
+	id  int
+	srv *threadedServer
+
+	newConns chan *conn.TCPConn
+	events   chan workerEvent
+
+	owned    map[conn.ID]*conn.TCPConn
+	localMgr connmgr.Manager
+	sender   *threadedSender
+}
+
+func newThreadedServer(cfg Config) (Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	sub := newSubstrate(cfg)
+	local := ln.Addr().(*net.TCPAddr)
+	engine := proxy.NewEngine(sub.engineConfig(transport.TCP, local.IP.String(), local.Port), sub.loc, sub.db, sub.txns, sub.prof)
+
+	srv := &threadedServer{
+		sub:    sub,
+		ln:     ln,
+		engine: engine,
+		table:  conn.NewTable(sub.prof),
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &threadedWorker{
+			id:       i,
+			srv:      srv,
+			newConns: make(chan *conn.TCPConn, 64),
+			events:   make(chan workerEvent, 256),
+			owned:    make(map[conn.ID]*conn.TCPConn),
+			localMgr: connmgr.New(cfg.ConnMgr, sub.prof),
+		}
+		w.sender = &threadedSender{w: w}
+		srv.workers = append(srv.workers, w)
+	}
+	srv.wg.Add(1 + len(srv.workers))
+	go srv.acceptor()
+	for _, w := range srv.workers {
+		go w.run()
+	}
+	return srv, nil
+}
+
+func (s *threadedServer) acceptor() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		c := s.table.Insert(transport.NewStreamConn(nc), s.sub.cfg.IdleTimeout)
+		if !s.dispatch(c) {
+			s.table.Remove(c)
+			return
+		}
+	}
+}
+
+// dispatch assigns a connection to a worker, blocking on the least-loaded
+// fallback; with no supervisor in the loop there is no two-party deadlock
+// to avoid.
+func (s *threadedServer) dispatch(c *conn.TCPConn) bool {
+	for i := 0; i < len(s.workers); i++ {
+		w := s.workers[s.rr%len(s.workers)]
+		s.rr++
+		select {
+		case w.newConns <- c:
+			return true
+		default:
+		}
+	}
+	w := s.workers[s.rr%len(s.workers)]
+	s.rr++
+	select {
+	case w.newConns <- c:
+		return true
+	case <-s.closed:
+		return false
+	}
+}
+
+func (w *threadedWorker) run() {
+	defer w.srv.wg.Done()
+	ticker := time.NewTicker(w.srv.sub.cfg.IdleCheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case c := <-w.newConns:
+			w.adopt(c)
+		case ev := <-w.events:
+			w.handleEvent(ev)
+		case now := <-ticker.C:
+			w.idleCheck(now)
+		case <-w.srv.closed:
+			return
+		}
+	}
+}
+
+func (w *threadedWorker) adopt(c *conn.TCPConn) {
+	c.SetOwner(w.id)
+	w.owned[c.ID()] = c
+	w.localMgr.Add(c)
+	go w.reader(c)
+}
+
+func (w *threadedWorker) reader(c *conn.TCPConn) {
+	for {
+		m, err := c.Stream().ReadMessage()
+		if err != nil {
+			select {
+			case w.events <- workerEvent{c: c}:
+			case <-w.srv.closed:
+			}
+			return
+		}
+		select {
+		case w.events <- workerEvent{c: c, m: m}:
+		case <-w.srv.closed:
+			return
+		}
+	}
+}
+
+func (w *threadedWorker) handleEvent(ev workerEvent) {
+	c := ev.c
+	if ev.m == nil {
+		w.retire(c)
+		return
+	}
+	if c.State() != conn.StateActive {
+		return
+	}
+	c.Touch(time.Now(), w.srv.sub.cfg.IdleTimeout)
+	w.localMgr.Touch(c)
+	w.srv.engine.Handle(w.sender, ev.m, c)
+}
+
+// retire destroys a connection in one step: shared address space means no
+// return-to-supervisor handshake.
+func (w *threadedWorker) retire(c *conn.TCPConn) {
+	delete(w.owned, c.ID())
+	w.localMgr.Remove(c)
+	w.srv.table.Remove(c)
+}
+
+func (w *threadedWorker) idleCheck(now time.Time) {
+	for _, c := range w.localMgr.Expired(now, func(c *conn.TCPConn, _ time.Time) bool {
+		return c.Owner() == w.id
+	}) {
+		delete(w.owned, c.ID())
+		_ = c.Stream().SetReadDeadline(time.Now())
+		w.srv.table.Remove(c)
+	}
+}
+
+// threadedSender writes any connection directly — the §6 payoff.
+type threadedSender struct {
+	w *threadedWorker
+}
+
+func (ts *threadedSender) ToOrigin(origin any, m *sipmsg.Message) error {
+	c, ok := origin.(*conn.TCPConn)
+	if !ok {
+		return fmt.Errorf("core: TCP origin is %T", origin)
+	}
+	return ts.send(c, m)
+}
+
+func (ts *threadedSender) ToBinding(b location.Binding, m *sipmsg.Message) error {
+	if b.Source != "" {
+		if c := ts.w.srv.table.Lookup(b.Source); c != nil && c.State() == conn.StateActive {
+			return ts.send(c, m)
+		}
+	}
+	return ts.ToAddr(b.Transport, b.Contact.HostPort(), m)
+}
+
+func (ts *threadedSender) ToAddr(_ string, hostport string, m *sipmsg.Message) error {
+	if c := ts.w.srv.table.Lookup(hostport); c != nil && c.State() == conn.StateActive {
+		return ts.send(c, m)
+	}
+	sc, err := transport.DialTCP(hostport)
+	if err != nil {
+		return err
+	}
+	c := ts.w.srv.table.Insert(sc, ts.w.srv.sub.cfg.IdleTimeout)
+	ts.w.adopt(c)
+	return ts.send(c, m)
+}
+
+func (ts *threadedSender) send(c *conn.TCPConn, m *sipmsg.Message) error {
+	if err := ipc.DirectHandle(c).Send(m); err != nil {
+		return err
+	}
+	c.Touch(time.Now(), ts.w.srv.sub.cfg.IdleTimeout)
+	ts.w.localMgr.Touch(c)
+	return nil
+}
+
+func (s *threadedServer) Addr() string                { return s.ln.Addr().String() }
+func (s *threadedServer) Engine() *proxy.Engine       { return s.engine }
+func (s *threadedServer) Profile() *metrics.Profile   { return s.sub.prof }
+func (s *threadedServer) Location() *location.Service { return s.sub.loc }
+func (s *threadedServer) DB() *userdb.DB              { return s.sub.db }
+
+// ConnCount reports live connection objects.
+func (s *threadedServer) ConnCount() int { return s.table.Len() }
+
+func (s *threadedServer) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.ln.Close()
+		for _, c := range s.table.Snapshot() {
+			s.table.Remove(c)
+		}
+	})
+	s.wg.Wait()
+	s.sub.close()
+	return nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"gosip/internal/location"
+	"gosip/internal/metrics"
+	"gosip/internal/proxy"
+	"gosip/internal/sipmsg"
+	"gosip/internal/transport"
+	"gosip/internal/userdb"
+)
+
+// udpServer is the §3.2 architecture: all worker goroutines are symmetric,
+// each looping receive → process → forward on the shared socket. The kernel
+// delivers each datagram to exactly one blocked reader, and sends need no
+// coordination because UDP writes are message-atomic.
+type udpServer struct {
+	sub    *substrate
+	sock   *transport.UDPSocket
+	engine *proxy.Engine
+	sender *udpSender
+	faults *faultGate
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// udpSender implements proxy.Sender over the shared socket. It is safe for
+// use from any goroutine (workers and the timer process alike).
+type udpSender struct {
+	sock   *transport.UDPSocket
+	faults *faultGate
+
+	mu    sync.RWMutex
+	addrs map[string]*net.UDPAddr // resolve cache
+}
+
+func newUDPSender(sock *transport.UDPSocket, faults *faultGate) *udpSender {
+	return &udpSender{sock: sock, faults: faults, addrs: make(map[string]*net.UDPAddr)}
+}
+
+func (s *udpSender) resolve(hostport string) (*net.UDPAddr, error) {
+	s.mu.RLock()
+	a, ok := s.addrs[hostport]
+	s.mu.RUnlock()
+	if ok {
+		return a, nil
+	}
+	a, err := net.ResolveUDPAddr("udp", hostport)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.addrs[hostport] = a
+	s.mu.Unlock()
+	return a, nil
+}
+
+func (s *udpSender) ToOrigin(origin any, m *sipmsg.Message) error {
+	addr, ok := origin.(*net.UDPAddr)
+	if !ok {
+		return fmt.Errorf("core: UDP origin is %T", origin)
+	}
+	if s.faults.dropTx() {
+		return nil // silently lost in the simulated network
+	}
+	return s.sock.WriteTo(m.Serialize(), addr)
+}
+
+func (s *udpSender) ToBinding(b location.Binding, m *sipmsg.Message) error {
+	// Over UDP the registered source address is directly reachable; fall
+	// back to the contact for bindings installed out of band.
+	target := b.Source
+	if target == "" {
+		target = b.Contact.HostPort()
+	}
+	return s.ToAddr(b.Transport, target, m)
+}
+
+func (s *udpSender) ToAddr(_ string, hostport string, m *sipmsg.Message) error {
+	addr, err := s.resolve(hostport)
+	if err != nil {
+		return err
+	}
+	if s.faults.dropTx() {
+		return nil // silently lost in the simulated network
+	}
+	return s.sock.WriteTo(m.Serialize(), addr)
+}
+
+func newUDPServer(cfg Config) (Server, error) {
+	sock, err := transport.ListenUDP(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	sub := newSubstrate(cfg)
+	local := sock.LocalAddr()
+	engine := proxy.NewEngine(sub.engineConfig(transport.UDP, local.IP.String(), local.Port), sub.loc, sub.db, sub.txns, sub.prof)
+	faults := newFaultGate(cfg.Faults)
+	sender := newUDPSender(sock, faults)
+	engine.SetTimerSender(sender)
+
+	srv := &udpServer{
+		sub:    sub,
+		sock:   sock,
+		engine: engine,
+		sender: sender,
+		faults: faults,
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		srv.wg.Add(1)
+		go srv.worker()
+	}
+	return srv, nil
+}
+
+// worker is one symmetric UDP worker process: receive, process, forward.
+func (s *udpServer) worker() {
+	defer s.wg.Done()
+	for {
+		pkt, err := s.sock.ReadPacket()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if isClosedErr(err) {
+				return
+			}
+			continue
+		}
+		if s.faults.dropRx() {
+			s.sock.Release(pkt)
+			continue
+		}
+		m, ok := parseOrCount(s.sub.prof, pkt.Data)
+		src := pkt.Src
+		s.sock.Release(pkt)
+		if !ok {
+			continue
+		}
+		s.engine.Handle(s.sender, m, src)
+	}
+}
+
+func isClosedErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "use of closed")
+}
+
+func (s *udpServer) Addr() string                { return s.sock.LocalAddr().String() }
+func (s *udpServer) Engine() *proxy.Engine       { return s.engine }
+func (s *udpServer) Profile() *metrics.Profile   { return s.sub.prof }
+func (s *udpServer) Location() *location.Service { return s.sub.loc }
+func (s *udpServer) DB() *userdb.DB              { return s.sub.db }
+
+func (s *udpServer) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+		close(s.closed)
+	}
+	err := s.sock.Close()
+	s.wg.Wait()
+	s.sub.close()
+	return err
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"gosip/internal/location"
+	"gosip/internal/sipmsg"
+	"gosip/internal/transport"
+)
+
+func newTestSender(t *testing.T) (*udpSender, *transport.UDPSocket) {
+	t.Helper()
+	sock, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sock.Close() })
+	return newUDPSender(sock, nil), sock
+}
+
+func udpTestMsg() *sipmsg.Message {
+	return sipmsg.NewRequest(sipmsg.RequestSpec{
+		Method:     sipmsg.OPTIONS,
+		RequestURI: sipmsg.URI{Host: "x"},
+		From:       sipmsg.NameAddr{URI: sipmsg.URI{User: "a", Host: "x"}, Params: map[string]string{"tag": "t"}},
+		To:         sipmsg.NameAddr{URI: sipmsg.URI{User: "b", Host: "y"}},
+		CallID:     sipmsg.NewCallID("x"),
+		CSeq:       1,
+		Via:        sipmsg.Via{Transport: "UDP", Host: "x", Port: 5060},
+	})
+}
+
+func TestUDPSenderToOriginRejectsWrongType(t *testing.T) {
+	s, _ := newTestSender(t)
+	if err := s.ToOrigin("not-an-addr", udpTestMsg()); err == nil {
+		t.Error("wrong origin type accepted")
+	}
+}
+
+func TestUDPSenderResolveCache(t *testing.T) {
+	s, _ := newTestSender(t)
+	a1, err := s.resolve("127.0.0.1:5060")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.resolve("127.0.0.1:5060")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("resolve not cached (distinct pointers)")
+	}
+	if _, err := s.resolve("bad::addr::1:2:3:x"); err == nil {
+		t.Error("bad address resolved")
+	}
+}
+
+func TestUDPSenderToBindingPrefersSource(t *testing.T) {
+	s, sock := newTestSender(t)
+	peer, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	_ = sock
+
+	b := location.Binding{
+		Contact:   sipmsg.URI{User: "u", Host: "192.0.2.1", Port: 9}, // unreachable
+		Transport: "UDP",
+		Source:    peer.LocalAddr().String(), // reachable
+	}
+	if err := s.ToBinding(b, udpTestMsg()); err != nil {
+		t.Fatalf("ToBinding: %v", err)
+	}
+	peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := peer.ReadPacket(); err != nil {
+		t.Fatalf("message did not reach the Source address: %v", err)
+	}
+
+	// Without a Source, the contact is used.
+	b2 := location.Binding{
+		Contact:   mustURI(t, "sip:u@"+peer.LocalAddr().String()),
+		Transport: "UDP",
+	}
+	if err := s.ToBinding(b2, udpTestMsg()); err != nil {
+		t.Fatalf("ToBinding contact: %v", err)
+	}
+	peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := peer.ReadPacket(); err != nil {
+		t.Fatalf("message did not reach the contact: %v", err)
+	}
+}
+
+func mustURI(t *testing.T, s string) sipmsg.URI {
+	t.Helper()
+	u, err := sipmsg.ParseURI(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestIsClosedErr(t *testing.T) {
+	if isClosedErr(nil) {
+		t.Error("nil is not a closed error")
+	}
+	if isClosedErr(errors.New("boom")) {
+		t.Error("arbitrary error misclassified")
+	}
+	// The real thing: a closed socket's read error.
+	sock, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.Close()
+	_, rerr := sock.ReadPacket()
+	if rerr == nil || !isClosedErr(rerr) {
+		t.Errorf("closed-socket error not recognized: %v", rerr)
+	}
+}
+
+func TestUDPServerAddrIsResolvable(t *testing.T) {
+	srv := startServer(t, Config{Arch: ArchUDP, Workers: 1})
+	if _, err := net.ResolveUDPAddr("udp", srv.Addr()); err != nil {
+		t.Errorf("Addr %q not resolvable: %v", srv.Addr(), err)
+	}
+}

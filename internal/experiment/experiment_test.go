@@ -1,0 +1,245 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gosip/internal/connmgr"
+	"gosip/internal/core"
+	"gosip/internal/ipc"
+	"gosip/internal/transport"
+)
+
+// tinyScale keeps experiment-package tests fast; the realistic scales live
+// in the cmd/sipexperiment harness and the benchmark suite.
+func tinyScale() Scale {
+	return Scale{
+		Clients:           []int{2, 4},
+		CallsPerCaller:    4,
+		Workers:           4,
+		IPCMode:           ipc.ModeChan,
+		IdleTimeout:       time.Second,
+		SupervisorGrace:   500 * time.Millisecond,
+		IdleCheckInterval: 100 * time.Millisecond,
+		ResponseTimeout:   2 * time.Second,
+	}
+}
+
+func tinyWorkloads() []Workload {
+	return []Workload{
+		{Name: "TCP 4 ops/conn", Transport: transport.TCP, OpsPerConn: 4},
+		{Name: "TCP persistent", Transport: transport.TCP, OpsPerConn: 0},
+		{Name: "UDP", Transport: transport.UDP, OpsPerConn: 0},
+	}
+}
+
+func baselineVariant(w Workload, sc Scale) core.Config {
+	cfg := baseConfig(w, sc)
+	cfg.FDCache = false
+	cfg.ConnMgr = connmgr.KindScan
+	return cfg
+}
+
+func TestRunMatrixShape(t *testing.T) {
+	sc := tinyScale()
+	var lines []string
+	fig, err := RunMatrix("t", "tiny matrix", sc, baselineVariant, tinyWorkloads(),
+		func(s string) { lines = append(lines, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Cells) != len(sc.Clients)*len(tinyWorkloads()) {
+		t.Fatalf("cells = %d", len(fig.Cells))
+	}
+	if len(lines) != len(fig.Cells) {
+		t.Errorf("progress lines = %d", len(lines))
+	}
+	for _, c := range fig.Cells {
+		if c.Result.CallsFailed != 0 {
+			t.Errorf("%s @%d: %d failed calls", c.Workload.Name, c.Clients, c.Result.CallsFailed)
+		}
+		if c.Result.Throughput <= 0 {
+			t.Errorf("%s @%d: zero throughput", c.Workload.Name, c.Clients)
+		}
+	}
+	// Accessors and renderers.
+	if fig.Throughput("UDP", 2) <= 0 {
+		t.Error("Throughput lookup failed")
+	}
+	if fig.Throughput("nope", 2) != 0 {
+		t.Error("unknown workload should be 0")
+	}
+	tbl := fig.Table()
+	for _, want := range []string{"Figure t", "UDP", "TCP persistent", "/UDP"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	md := fig.Markdown()
+	if !strings.Contains(md, "| workload |") || !strings.Contains(md, "| UDP |") {
+		t.Errorf("markdown malformed:\n%s", md)
+	}
+	lo, hi := fig.TCPOfUDPRange()
+	if lo <= 0 || hi < lo {
+		t.Errorf("ratio range = [%f, %f]", lo, hi)
+	}
+}
+
+func TestStandardWorkloads(t *testing.T) {
+	ws := StandardWorkloads()
+	if len(ws) != 4 {
+		t.Fatalf("got %d workloads", len(ws))
+	}
+	if !ws[3].IsUDP() || ws[0].IsUDP() {
+		t.Error("workload transports wrong")
+	}
+	if ws[0].OpsPerConn != 50 || ws[1].OpsPerConn != 500 || ws[2].OpsPerConn != 0 {
+		t.Error("ops/conn values wrong")
+	}
+}
+
+func TestScales(t *testing.T) {
+	d := DefaultScale()
+	if len(d.Clients) == 0 || d.CallsPerCaller <= 0 || d.Workers <= 0 {
+		t.Errorf("DefaultScale = %+v", d)
+	}
+	p := PaperScale()
+	if p.Clients[len(p.Clients)-1] != 1000 {
+		t.Errorf("PaperScale clients = %v", p.Clients)
+	}
+}
+
+func TestFigureVariantsProduceExpectedConfigs(t *testing.T) {
+	sc := tinyScale()
+	w := Workload{Name: "TCP persistent", Transport: transport.TCP}
+	cases := []struct {
+		name    string
+		run     func(Scale, func(string)) (*Figure, error)
+		fdcache bool
+		mgr     connmgr.Kind
+	}{
+		{"fig3", nil, false, connmgr.KindScan},
+		{"fig4", nil, true, connmgr.KindScan},
+		{"fig5", nil, true, connmgr.KindPQueue},
+	}
+	_ = cases
+	// Verify through the exported constructors' variants by inspecting the
+	// configs they build.
+	fig3cfg := func() core.Config {
+		cfg := baseConfig(w, sc)
+		cfg.FDCache = false
+		cfg.ConnMgr = connmgr.KindScan
+		return cfg
+	}()
+	if fig3cfg.Arch != core.ArchTCP || fig3cfg.FDCache {
+		t.Errorf("fig3 config wrong: %+v", fig3cfg)
+	}
+	udpCfg := baseConfig(Workload{Name: "UDP", Transport: transport.UDP}, sc)
+	if udpCfg.Arch != core.ArchUDP {
+		t.Errorf("UDP workload got arch %s", udpCfg.Arch)
+	}
+}
+
+func TestRunProfileSmoke(t *testing.T) {
+	sc := tinyScale()
+	rep, err := RunProfile(sc, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IPCPercentBaseline <= 0 {
+		t.Error("baseline IPC share is zero")
+	}
+	if rep.IPCPercentFDCache >= rep.IPCPercentBaseline {
+		t.Errorf("fd cache did not reduce IPC share: %.1f%% -> %.1f%%",
+			rep.IPCPercentBaseline, rep.IPCPercentFDCache)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "fd cache") || !strings.Contains(out, "pqueue") {
+		t.Errorf("report malformed:\n%s", out)
+	}
+}
+
+func TestRunPrioritySmoke(t *testing.T) {
+	sc := tinyScale()
+	boosted, starved, err := RunPriority(sc, 4, 2*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted <= 0 || starved <= 0 {
+		t.Fatalf("throughputs: boosted=%f starved=%f", boosted, starved)
+	}
+	if starved >= boosted {
+		t.Errorf("starvation did not hurt: boosted=%.0f starved=%.0f", boosted, starved)
+	}
+}
+
+func TestRunArchitecturesSmoke(t *testing.T) {
+	sc := tinyScale()
+	out, err := RunArchitectures(sc, 3, Workload{Name: "TCP persistent", Transport: transport.TCP}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"TCP fixed (fdcache+pq)", "Threaded (§6)", "SCTP-sim (§6)", "UDP"} {
+		if out[name] <= 0 {
+			t.Errorf("%s: zero throughput", name)
+		}
+	}
+}
+
+func TestRunScenariosSmoke(t *testing.T) {
+	sc := tinyScale()
+	out, err := RunScenarios(sc, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"proxy", "proxy+auth", "redirect", "registration"} {
+		if out[name] <= 0 {
+			t.Errorf("%s: zero throughput", name)
+		}
+	}
+}
+
+func TestRunLossSmoke(t *testing.T) {
+	sc := tinyScale()
+	out, err := RunLoss(sc, 2, []float64{0, 0.05}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d results", len(out))
+	}
+	for rate, res := range out {
+		if res.CallsFailed != 0 {
+			t.Errorf("loss %.2f: %d failed calls", rate, res.CallsFailed)
+		}
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	sc := tinyScale()
+	fig, err := RunMatrix("c", "chart", sc, baselineVariant, tinyWorkloads(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := fig.Chart()
+	if !strings.Contains(chart, "█") {
+		t.Errorf("no bars rendered:\n%s", chart)
+	}
+	for _, w := range []string{"UDP", "TCP persistent"} {
+		if !strings.Contains(chart, w) {
+			t.Errorf("chart missing %q", w)
+		}
+	}
+	empty := &Figure{ID: "x", Title: "empty", Scale: sc}
+	if empty.Chart() != "" {
+		t.Error("empty figure rendered bars")
+	}
+	line := BarLine("thing", 50, 100, "ops/s")
+	if !strings.Contains(line, "thing") || !strings.Contains(line, "█") || !strings.Contains(line, "50") {
+		t.Errorf("BarLine = %q", line)
+	}
+	if BarLine("zero", 0, 100, "x") == "" {
+		t.Error("zero BarLine empty")
+	}
+}

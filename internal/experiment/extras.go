@@ -1,0 +1,287 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gosip/internal/connmgr"
+	"gosip/internal/core"
+	"gosip/internal/loadgen"
+	"gosip/internal/metrics"
+	"gosip/internal/transaction"
+	"gosip/internal/transport"
+)
+
+// ProfileReport reproduces the paper's OProfile observations (§5.1–5.3):
+// the share of busy time spent blocked in the fd-request IPC with and
+// without the fd cache (paper: ~12% → ~4.6% on the persistent workload),
+// and the growth of idle-scan work under connection churn with the scanner
+// versus the priority queue.
+type ProfileReport struct {
+	// IPCPercentBaseline and IPCPercentFDCache are IPC time as % of total
+	// worker busy time (process+send) on the persistent workload.
+	IPCPercentBaseline float64
+	IPCPercentFDCache  float64
+	// ScanVisitsScan and ScanVisitsPQueue are idle-scan object visits on
+	// the 50 ops/conn workload for the two strategies (both with the fd
+	// cache enabled, isolating the Figure 5 variable).
+	ScanVisitsScan   int64
+	ScanVisitsPQueue int64
+	// ScanTimeScan and ScanTimePQueue are the corresponding scan times.
+	ScanTimeScan   time.Duration
+	ScanTimePQueue time.Duration
+}
+
+// busyOf approximates server busy time as worker processing plus send time
+// plus supervisor work — the denominator for profile percentages.
+func busyOf(s metrics.Snapshot) time.Duration {
+	return s.Timers[metrics.MetricProcessTime].Total +
+		s.Timers[metrics.MetricSupervisorWork].Total +
+		s.Timers[metrics.MetricIPCTime].Total
+}
+
+// RunProfile executes the four runs and assembles the report. clients
+// picks one client count (e.g. the middle of the scale).
+func RunProfile(sc Scale, clients int, progress func(string)) (*ProfileReport, error) {
+	persistent := Workload{Name: "TCP persistent", Transport: transport.TCP, OpsPerConn: 0}
+	churn := Workload{Name: "TCP 50 ops/conn", Transport: transport.TCP, OpsPerConn: 50}
+
+	run := func(w Workload, fdcache bool, kind connmgr.Kind) (*Cell, error) {
+		cell, err := runCell(w, clients, sc, func(w Workload, sc Scale) core.Config {
+			cfg := baseConfig(w, sc)
+			cfg.FDCache = fdcache
+			cfg.ConnMgr = kind
+			return cfg
+		})
+		if err == nil && progress != nil {
+			progress(fmt.Sprintf("[profile] %-18s fdcache=%-5v connmgr=%-6s: %s", w.Name, fdcache, kind, cell.Result))
+		}
+		return cell, err
+	}
+
+	base, err := run(persistent, false, connmgr.KindScan)
+	if err != nil {
+		return nil, err
+	}
+	cached, err := run(persistent, true, connmgr.KindScan)
+	if err != nil {
+		return nil, err
+	}
+	scan, err := run(churn, true, connmgr.KindScan)
+	if err != nil {
+		return nil, err
+	}
+	pq, err := run(churn, true, connmgr.KindPQueue)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ProfileReport{
+		IPCPercentBaseline: base.Snapshot.PercentOf(metrics.MetricIPCTime, busyOf(base.Snapshot)),
+		IPCPercentFDCache:  cached.Snapshot.PercentOf(metrics.MetricIPCTime, busyOf(cached.Snapshot)),
+		ScanVisitsScan:     scan.Snapshot.Counters[metrics.MetricIdleScanVisits],
+		ScanVisitsPQueue:   pq.Snapshot.Counters[metrics.MetricIdleScanVisits],
+		ScanTimeScan:       scan.Snapshot.Timers[metrics.MetricIdleScanTime].Total,
+		ScanTimePQueue:     pq.Snapshot.Timers[metrics.MetricIdleScanTime].Total,
+	}
+	return rep, nil
+}
+
+// String renders the report against the paper's numbers.
+func (r *ProfileReport) String() string {
+	var b strings.Builder
+	b.WriteString("Profile reproduction (paper §5.1–5.3):\n")
+	fmt.Fprintf(&b, "  time blocked in fd-request IPC, persistent workload:\n")
+	fmt.Fprintf(&b, "    baseline: %5.1f%% of busy time   (paper: ~12.0%%)\n", r.IPCPercentBaseline)
+	fmt.Fprintf(&b, "    fd cache: %5.1f%% of busy time   (paper: ~4.6%%)\n", r.IPCPercentFDCache)
+	fmt.Fprintf(&b, "  idle-connection search, 50 ops/conn workload:\n")
+	fmt.Fprintf(&b, "    scan:   %12d objects visited, %v in scan\n", r.ScanVisitsScan, r.ScanTimeScan.Round(time.Millisecond))
+	fmt.Fprintf(&b, "    pqueue: %12d objects visited, %v in scan\n", r.ScanVisitsPQueue, r.ScanTimePQueue.Round(time.Millisecond))
+	return b.String()
+}
+
+// RunPriority reproduces §4.3: the supervisor starvation effect. The
+// paper saw 40–100% higher TCP throughput after boosting the supervisor's
+// scheduling priority to -20. It measures TCP persistent throughput with
+// the boosted
+// supervisor (no penalty) and the starved one (per-request penalty).
+func RunPriority(sc Scale, clients int, penalty time.Duration, progress func(string)) (boosted, starved float64, err error) {
+	w := Workload{Name: "TCP persistent", Transport: transport.TCP}
+	run := func(p time.Duration) (float64, error) {
+		cell, err := runCell(w, clients, sc, func(w Workload, sc Scale) core.Config {
+			cfg := baseConfig(w, sc)
+			cfg.ConnMgr = connmgr.KindScan
+			cfg.SupervisorPenalty = p
+			return cfg
+		})
+		if err != nil {
+			return 0, err
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("[priority] penalty=%-8v: %s", p, cell.Result))
+		}
+		return cell.Result.Throughput, nil
+	}
+	if boosted, err = run(0); err != nil {
+		return 0, 0, err
+	}
+	if starved, err = run(penalty); err != nil {
+		return 0, 0, err
+	}
+	return boosted, starved, nil
+}
+
+// RunArchitectures compares the §6 alternatives on one workload: the fixed
+// TCP architecture (fd cache + pqueue), the multi-threaded shared address
+// space, the SCTP-style message transport, and the UDP reference.
+func RunArchitectures(sc Scale, clients int, w Workload, progress func(string)) (map[string]float64, error) {
+	type entry struct {
+		name    string
+		variant Variant
+		wl      Workload
+	}
+	entries := []entry{
+		{"TCP fixed (fdcache+pq)", func(w Workload, sc Scale) core.Config {
+			cfg := baseConfig(w, sc)
+			cfg.FDCache = true
+			cfg.ConnMgr = connmgr.KindPQueue
+			return cfg
+		}, w},
+		{"Threaded (§6)", func(w Workload, sc Scale) core.Config {
+			cfg := baseConfig(w, sc)
+			cfg.Arch = core.ArchThreaded
+			cfg.ConnMgr = connmgr.KindPQueue
+			return cfg
+		}, w},
+		{"SCTP-sim (§6)", func(w Workload, sc Scale) core.Config {
+			cfg := baseConfig(w, sc)
+			cfg.Arch = core.ArchSCTP
+			return cfg
+		}, Workload{Name: "SCTP-sim", Transport: transport.UDP}},
+		{"UDP", func(w Workload, sc Scale) core.Config {
+			return baseConfig(Workload{Transport: transport.UDP}, sc)
+		}, Workload{Name: "UDP", Transport: transport.UDP}},
+	}
+	out := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		cell, err := runCell(e.wl, clients, sc, e.variant)
+		if err != nil {
+			return nil, fmt.Errorf("architectures (%s): %w", e.name, err)
+		}
+		out[e.name] = cell.Result.Throughput
+		if progress != nil {
+			progress(fmt.Sprintf("[arch] %-24s: %s", e.name, cell.Result))
+		}
+	}
+	return out, nil
+}
+
+// RunScenarios compares the three SIP server roles of §2 and the related
+// work (Nahum et al.): proxying, proxying with digest authentication, and
+// redirection, all over UDP at one client count. The expected shape:
+// redirect > proxy > proxy+auth, with authentication the most expensive
+// configuration because of its per-request database verification.
+func RunScenarios(sc Scale, clients int, progress func(string)) (map[string]float64, error) {
+	type entry struct {
+		name string
+		cfg  func(sc Scale) core.Config
+	}
+	base := func(sc Scale) core.Config {
+		return baseConfig(Workload{Name: "UDP", Transport: transport.UDP}, sc)
+	}
+	entries := []entry{
+		{"proxy", base},
+		{"proxy+auth", func(sc Scale) core.Config {
+			cfg := base(sc)
+			cfg.Auth = true
+			return cfg
+		}},
+		{"redirect", func(sc Scale) core.Config {
+			cfg := base(sc)
+			cfg.Redirect = true
+			return cfg
+		}},
+	}
+	out := make(map[string]float64, len(entries)+1)
+	w := Workload{Name: "UDP", Transport: transport.UDP}
+	for _, e := range entries {
+		cell, err := runCell(w, clients, sc, func(Workload, Scale) core.Config { return e.cfg(sc) })
+		if err != nil {
+			return nil, fmt.Errorf("scenarios (%s): %w", e.name, err)
+		}
+		out[e.name] = cell.Result.Throughput
+		if progress != nil {
+			progress(fmt.Sprintf("[scenario] %-12s: %s", e.name, cell.Result))
+		}
+	}
+	// Registration scenario: re-REGISTER loops (one op per REGISTER).
+	srv, err := core.New(base(sc))
+	if err != nil {
+		return nil, err
+	}
+	srv.DB().ProvisionN(2*clients, "bench.gosip")
+	res, err := loadgen.Run(loadgen.Config{
+		Scenario:        loadgen.ScenarioRegistrations,
+		Transport:       transport.UDP,
+		ProxyAddr:       srv.Addr(),
+		Domain:          "bench.gosip",
+		Pairs:           clients,
+		CallsPerCaller:  sc.CallsPerCaller,
+		ResponseTimeout: sc.ResponseTimeout,
+	})
+	srv.Close()
+	if err != nil {
+		return nil, fmt.Errorf("scenarios (registration): %w", err)
+	}
+	out["registration"] = res.Throughput
+	if progress != nil {
+		progress(fmt.Sprintf("[scenario] %-12s: %s", "registration", res))
+	}
+	return out, nil
+}
+
+// RunLoss sweeps datagram loss rates on the stateful UDP proxy, showing
+// the cost of reliability-by-retransmission that motivates the stateful
+// design (§2): throughput degrades as retransmissions consume capacity,
+// but calls keep completing.
+func RunLoss(sc Scale, clients int, rates []float64, progress func(string)) (map[float64]loadgen.Result, error) {
+	out := make(map[float64]loadgen.Result, len(rates))
+	for _, rate := range rates {
+		srv, err := core.New(core.Config{
+			Arch:     core.ArchUDP,
+			Workers:  sc.Workers,
+			Stateful: true,
+			Domain:   "bench.gosip",
+			Faults:   core.FaultConfig{DropRx: rate, DropTx: rate, Seed: 1},
+			Txn: transaction.Config{
+				T1:     60 * time.Millisecond,
+				TimerB: 10 * time.Second,
+				Linger: 2 * time.Second,
+			},
+			TimerInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv.DB().ProvisionN(2*clients, "bench.gosip")
+		res, err := loadgen.Run(loadgen.Config{
+			Transport:       transport.UDP,
+			ProxyAddr:       srv.Addr(),
+			Domain:          "bench.gosip",
+			Pairs:           clients,
+			CallsPerCaller:  sc.CallsPerCaller / 2,
+			ResponseTimeout: 400 * time.Millisecond,
+			MaxRetries:      10,
+		})
+		srv.Close()
+		if err != nil {
+			return nil, fmt.Errorf("loss %.0f%%: %w", 100*rate, err)
+		}
+		out[rate] = res
+		if progress != nil {
+			progress(fmt.Sprintf("[loss] %4.0f%% drop: %s", 100*rate, res))
+		}
+	}
+	return out, nil
+}

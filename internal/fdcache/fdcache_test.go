@@ -1,0 +1,229 @@
+package fdcache
+
+import (
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gosip/internal/conn"
+	"gosip/internal/ipc"
+	"gosip/internal/metrics"
+	"gosip/internal/transport"
+)
+
+type fixture struct {
+	table *conn.Table
+	prof  *metrics.Profile
+}
+
+func newFixture() *fixture {
+	prof := metrics.NewProfile()
+	return &fixture{table: conn.NewTable(prof), prof: prof}
+}
+
+func (f *fixture) newConn(t *testing.T) *conn.TCPConn {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	t.Cleanup(func() { c1.Close(); c2.Close() })
+	return f.table.Insert(transport.NewStreamConn(c1), time.Minute)
+}
+
+func (f *fixture) handleFor(c *conn.TCPConn) *ipc.Handle {
+	return ipc.DirectHandle(c)
+}
+
+func TestGetMissThenHit(t *testing.T) {
+	fx := newFixture()
+	cache := New(0, fx.prof)
+	c := fx.newConn(t)
+
+	if cache.Get(c.ID()) != nil {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	h := fx.handleFor(c)
+	cache.Put(c.ID(), h)
+	if got := cache.Get(c.ID()); got != h {
+		t.Fatal("expected cached handle")
+	}
+	if fx.prof.Counter(metrics.MetricFDCacheMiss).Value() != 1 {
+		t.Error("miss not counted")
+	}
+	if fx.prof.Counter(metrics.MetricFDCacheHit).Value() != 1 {
+		t.Error("hit not counted")
+	}
+}
+
+func TestGetEvictsClosedConn(t *testing.T) {
+	fx := newFixture()
+	cache := New(0, fx.prof)
+	c := fx.newConn(t)
+	cache.Put(c.ID(), fx.handleFor(c))
+
+	fx.table.Remove(c) // supervisor destroys the connection
+	if cache.Get(c.ID()) != nil {
+		t.Fatal("stale handle returned for destroyed connection")
+	}
+	if cache.Len() != 0 {
+		t.Errorf("Len = %d after stale eviction", cache.Len())
+	}
+}
+
+func TestPutInvalidHandleIgnored(t *testing.T) {
+	fx := newFixture()
+	cache := New(0, fx.prof)
+	c := fx.newConn(t)
+	fx.table.Remove(c)
+	cache.Put(c.ID(), fx.handleFor(c))
+	if cache.Len() != 0 {
+		t.Error("invalid handle cached")
+	}
+	cache.Put(c.ID(), nil)
+	if cache.Len() != 0 {
+		t.Error("nil handle cached")
+	}
+}
+
+func TestPutReplaceClosesOld(t *testing.T) {
+	fx := newFixture()
+	cache := New(0, fx.prof)
+	c := fx.newConn(t)
+	h1 := fx.handleFor(c)
+	h2 := fx.handleFor(c)
+	cache.Put(c.ID(), h1)
+	cache.Put(c.ID(), h2)
+	if cache.Len() != 1 {
+		t.Errorf("Len = %d", cache.Len())
+	}
+	if got := cache.Get(c.ID()); got != h2 {
+		t.Error("replacement not effective")
+	}
+	// Re-putting the same handle must not close it.
+	cache.Put(c.ID(), h2)
+	if got := cache.Get(c.ID()); got != h2 {
+		t.Error("same-handle Put broke the entry")
+	}
+}
+
+func TestCapacityLRUEviction(t *testing.T) {
+	fx := newFixture()
+	cache := New(2, fx.prof)
+	c1, c2, c3 := fx.newConn(t), fx.newConn(t), fx.newConn(t)
+	cache.Put(c1.ID(), fx.handleFor(c1))
+	cache.Put(c2.ID(), fx.handleFor(c2))
+	// Touch c1 so c2 becomes LRU.
+	if cache.Get(c1.ID()) == nil {
+		t.Fatal("c1 should hit")
+	}
+	cache.Put(c3.ID(), fx.handleFor(c3))
+	if cache.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", cache.Len())
+	}
+	if cache.Get(c2.ID()) != nil {
+		t.Error("LRU entry (c2) not evicted")
+	}
+	if cache.Get(c1.ID()) == nil || cache.Get(c3.ID()) == nil {
+		t.Error("wrong entry evicted")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	fx := newFixture()
+	cache := New(0, fx.prof)
+	c := fx.newConn(t)
+	cache.Put(c.ID(), fx.handleFor(c))
+	cache.Invalidate(c.ID())
+	if cache.Len() != 0 {
+		t.Error("Invalidate left the entry")
+	}
+	cache.Invalidate(c.ID()) // absent: no panic
+}
+
+func TestSweep(t *testing.T) {
+	fx := newFixture()
+	cache := New(0, fx.prof)
+	var conns []*conn.TCPConn
+	for i := 0; i < 6; i++ {
+		c := fx.newConn(t)
+		conns = append(conns, c)
+		cache.Put(c.ID(), fx.handleFor(c))
+	}
+	for i := 0; i < 3; i++ {
+		fx.table.Remove(conns[i])
+	}
+	if n := cache.Sweep(); n != 3 {
+		t.Errorf("Sweep dropped %d, want 3", n)
+	}
+	if cache.Len() != 3 {
+		t.Errorf("Len = %d after sweep", cache.Len())
+	}
+	for i := 3; i < 6; i++ {
+		if cache.Get(conns[i].ID()) == nil {
+			t.Errorf("live conn %d lost in sweep", i)
+		}
+	}
+}
+
+func TestClose(t *testing.T) {
+	fx := newFixture()
+	cache := New(0, fx.prof)
+	for i := 0; i < 4; i++ {
+		c := fx.newConn(t)
+		cache.Put(c.ID(), fx.handleFor(c))
+	}
+	cache.Close()
+	if cache.Len() != 0 {
+		t.Error("Close left entries")
+	}
+}
+
+func TestCapacityInvariantProperty(t *testing.T) {
+	// Property: under any Put/Get/Invalidate sequence, Len never exceeds
+	// capacity and Get never returns a handle for a destroyed connection.
+	type op struct {
+		Kind byte
+		Idx  uint8
+	}
+	fx := newFixture()
+	const pool = 12
+	conns := make([]*conn.TCPConn, pool)
+	for i := range conns {
+		conns[i] = fx.newConn(t)
+	}
+	f := func(ops []op, capRaw uint8) bool {
+		capacity := int(capRaw%5) + 1
+		cache := New(capacity, fx.prof)
+		defer cache.Close()
+		closed := make(map[conn.ID]bool)
+		for _, o := range ops {
+			c := conns[int(o.Idx)%pool]
+			switch o.Kind % 4 {
+			case 0:
+				if !closed[c.ID()] {
+					cache.Put(c.ID(), fx.handleFor(c))
+				}
+			case 1:
+				h := cache.Get(c.ID())
+				if h != nil && closed[c.ID()] {
+					return false // stale handle escaped
+				}
+			case 2:
+				cache.Invalidate(c.ID())
+			case 3:
+				// Simulate supervisor destroying and "recreating" is not
+				// possible (IDs unique), so just mark closed once.
+				if !closed[c.ID()] {
+					c.MarkClosed()
+					closed[c.ID()] = true
+				}
+			}
+			if cache.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+//go:build linux
+
+package ipc
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"syscall"
+
+	"gosip/internal/conn"
+)
+
+// unixPair is one worker's AF_UNIX socketpair to the supervisor, carrying
+// socket file descriptors via SCM_RIGHTS — the same mechanism OpenSER
+// uses. The supervisor writes to sup; the worker reads from wrk.
+type unixPair struct {
+	sup *net.UnixConn
+	wrk *net.UnixConn
+}
+
+func newUnixPair() (*unixPair, error) {
+	fds, err := syscall.Socketpair(syscall.AF_UNIX, syscall.SOCK_STREAM|syscall.SOCK_CLOEXEC, 0)
+	if err != nil {
+		return nil, err
+	}
+	sup, err := fdToUnixConn(fds[0])
+	if err != nil {
+		syscall.Close(fds[0])
+		syscall.Close(fds[1])
+		return nil, err
+	}
+	wrk, err := fdToUnixConn(fds[1])
+	if err != nil {
+		sup.Close()
+		syscall.Close(fds[1])
+		return nil, err
+	}
+	return &unixPair{sup: sup, wrk: wrk}, nil
+}
+
+func fdToUnixConn(fd int) (*net.UnixConn, error) {
+	f := os.NewFile(uintptr(fd), "ipc-socketpair")
+	defer f.Close() // FileConn duplicates; release the original
+	c, err := net.FileConn(f)
+	if err != nil {
+		return nil, err
+	}
+	uc, ok := c.(*net.UnixConn)
+	if !ok {
+		c.Close()
+		return nil, fmt.Errorf("ipc: socketpair produced %T", c)
+	}
+	return uc, nil
+}
+
+// sendConnFD duplicates the connection's socket fd and passes it to the
+// worker: one dup (File), one sendmsg with SCM_RIGHTS, one close. The
+// receiving side pays a further dup. This is the per-message kernel cost
+// the paper's baseline incurs for every forwarded message.
+func (p *unixPair) sendConnFD(c *conn.TCPConn) error {
+	tc, ok := c.Stream().NetConn().(*net.TCPConn)
+	if !ok {
+		return fmt.Errorf("ipc: connection is not TCP: %T", c.Stream().NetConn())
+	}
+	file, err := tc.File()
+	if err != nil {
+		return fmt.Errorf("ipc: dup fd: %w", err)
+	}
+	defer file.Close()
+	rights := syscall.UnixRights(int(file.Fd()))
+	if _, _, err := p.sup.WriteMsgUnix([]byte{1}, rights, nil); err != nil {
+		return fmt.Errorf("ipc: pass fd: %w", err)
+	}
+	return nil
+}
+
+// sendErr tells the worker the connection is gone.
+func (p *unixPair) sendErr() {
+	_, _, _ = p.sup.WriteMsgUnix([]byte{0}, nil, nil)
+}
+
+// recvHandle blocks for the supervisor's response and reconstructs a
+// net.Conn from the received descriptor. Exactly one byte is read per
+// response; a worker never has more than one request outstanding, so
+// responses cannot coalesce.
+func (p *unixPair) recvHandle() (*Handle, error) {
+	buf := make([]byte, 1)
+	oob := make([]byte, 64)
+	n, oobn, _, _, err := p.wrk.ReadMsgUnix(buf, oob)
+	if err != nil {
+		return nil, fmt.Errorf("ipc: recv fd: %w", err)
+	}
+	if n != 1 {
+		return nil, fmt.Errorf("ipc: short response (%d bytes)", n)
+	}
+	if buf[0] == 0 {
+		return nil, ErrConnGone
+	}
+	msgs, err := syscall.ParseSocketControlMessage(oob[:oobn])
+	if err != nil || len(msgs) == 0 {
+		return nil, fmt.Errorf("ipc: parse control message: %v", err)
+	}
+	fds, err := syscall.ParseUnixRights(&msgs[0])
+	if err != nil || len(fds) == 0 {
+		return nil, fmt.Errorf("ipc: parse rights: %v", err)
+	}
+	f := os.NewFile(uintptr(fds[0]), "passed-conn")
+	nc, err := net.FileConn(f)
+	f.Close() // FileConn duplicated again; drop the intermediate
+	if err != nil {
+		return nil, fmt.Errorf("ipc: fd to conn: %w", err)
+	}
+	return &Handle{
+		writer: dupWriter{nc},
+		closer: nc.Close,
+	}, nil
+}
+
+func (p *unixPair) close() {
+	p.sup.Close()
+	p.wrk.Close()
+}
+
+// dupWriter writes a whole message with one write syscall on the
+// duplicated descriptor. A single write of a small buffer is contiguous in
+// the TCP stream, and the caller additionally holds the connection's
+// shared send lock.
+type dupWriter struct{ c net.Conn }
+
+func (w dupWriter) WriteRaw(data []byte) error {
+	_, err := w.c.Write(data)
+	return err
+}

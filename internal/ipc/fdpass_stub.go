@@ -1,0 +1,21 @@
+//go:build !linux
+
+package ipc
+
+import (
+	"errors"
+
+	"gosip/internal/conn"
+)
+
+// unixPair is unavailable off Linux; NewFabric(ModeUnix, ...) fails and
+// callers fall back to ModeChan.
+type unixPair struct{}
+
+var errNoFDPass = errors.New("ipc: SCM_RIGHTS fd passing requires linux; use ModeChan")
+
+func newUnixPair() (*unixPair, error)              { return nil, errNoFDPass }
+func (p *unixPair) sendConnFD(*conn.TCPConn) error { return errNoFDPass }
+func (p *unixPair) sendErr()                       {}
+func (p *unixPair) recvHandle() (*Handle, error)   { return nil, errNoFDPass }
+func (p *unixPair) close()                         {}

@@ -1,0 +1,255 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gosip/internal/connmgr"
+	"gosip/internal/core"
+	"gosip/internal/ipc"
+	"gosip/internal/phone"
+	"gosip/internal/transport"
+)
+
+const domain = "load.test"
+
+func startServer(t *testing.T, arch core.Architecture) core.Server {
+	t.Helper()
+	srv, err := core.New(core.Config{
+		Arch:     arch,
+		Workers:  4,
+		Stateful: true,
+		Domain:   domain,
+		IPCMode:  ipc.ModeChan,
+		ConnMgr:  connmgr.KindScan,
+		FDCache:  arch == core.ArchTCP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	srv.DB().ProvisionN(128, domain)
+	return srv
+}
+
+func TestRunUDP(t *testing.T) {
+	srv := startServer(t, core.ArchUDP)
+	res, err := Run(Config{
+		Transport:       transport.UDP,
+		ProxyAddr:       srv.Addr(),
+		Domain:          domain,
+		Pairs:           6,
+		CallsPerCaller:  4,
+		ResponseTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CallsCompleted != 24 || res.CallsFailed != 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Ops != 48 {
+		t.Errorf("ops = %d", res.Ops)
+	}
+	if res.Throughput <= 0 {
+		t.Error("no throughput")
+	}
+	if !strings.Contains(res.String(), "ops/s") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestRunTCPWithChurn(t *testing.T) {
+	srv := startServer(t, core.ArchTCP)
+	res, err := Run(Config{
+		Transport:       transport.TCP,
+		ProxyAddr:       srv.Addr(),
+		Domain:          domain,
+		Pairs:           4,
+		CallsPerCaller:  4,
+		OpsPerConn:      2,
+		ResponseTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CallsCompleted != 16 || res.CallsFailed != 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Reconnects == 0 {
+		t.Error("no reconnects with ops/conn=2")
+	}
+}
+
+func TestUserNamingDisjoint(t *testing.T) {
+	cfg := Config{Pairs: 3}.withDefaults()
+	seen := map[string]bool{}
+	for i := 0; i < cfg.Pairs; i++ {
+		for _, u := range []string{cfg.CallerUser(i), cfg.CalleeUser(i)} {
+			if seen[u] {
+				t.Fatalf("user %q reused", u)
+			}
+			seen[u] = true
+		}
+	}
+	if cfg.UsersNeeded() != 6 {
+		t.Errorf("UsersNeeded = %d", cfg.UsersNeeded())
+	}
+	// Offset shifts the range for back-to-back runs on one server.
+	shifted := Config{Pairs: 3, UserOffset: 6}
+	if shifted.CallerUser(0) != "user6" {
+		t.Errorf("offset caller = %q", shifted.CallerUser(0))
+	}
+}
+
+func TestRunFailsWhenUsersMissing(t *testing.T) {
+	srv, err := core.New(core.Config{Arch: core.ArchUDP, Workers: 2, Stateful: true, Domain: domain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// No ProvisionN: registration is rejected with 404.
+	_, err = Run(Config{
+		Transport:       transport.UDP,
+		ProxyAddr:       srv.Addr(),
+		Domain:          domain,
+		Pairs:           1,
+		CallsPerCaller:  1,
+		ResponseTimeout: 200 * time.Millisecond,
+		MaxRetries:      1,
+	})
+	if err == nil {
+		t.Error("Run succeeded with unprovisioned users")
+	}
+}
+
+func TestSequentialRunsWithOffset(t *testing.T) {
+	srv := startServer(t, core.ArchUDP)
+	for run := 0; run < 2; run++ {
+		res, err := Run(Config{
+			Transport:       transport.UDP,
+			ProxyAddr:       srv.Addr(),
+			Domain:          domain,
+			Pairs:           2,
+			CallsPerCaller:  2,
+			UserOffset:      run * 4,
+			ResponseTimeout: time.Second,
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if res.CallsFailed != 0 {
+			t.Errorf("run %d: %d failed calls", run, res.CallsFailed)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := percentile(samples, tc.q); got != tc.want {
+			t.Errorf("p%.0f = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if percentile(nil, 50) != 0 {
+		t.Error("empty samples should yield 0")
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	if percentile(one, 1) != 7*time.Millisecond || percentile(one, 99) != 7*time.Millisecond {
+		t.Error("single sample percentiles wrong")
+	}
+}
+
+func TestLatencyPercentilesPopulated(t *testing.T) {
+	srv := startServer(t, core.ArchUDP)
+	res, err := Run(Config{
+		Transport:       transport.UDP,
+		ProxyAddr:       srv.Addr(),
+		Domain:          domain,
+		Pairs:           3,
+		CallsPerCaller:  5,
+		ResponseTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P50CallLatency <= 0 || res.P99CallLatency < res.P50CallLatency || res.MaxCallLatency < res.P99CallLatency {
+		t.Errorf("latency ordering broken: p50=%v p99=%v max=%v",
+			res.P50CallLatency, res.P99CallLatency, res.MaxCallLatency)
+	}
+	if res.MeanCallLatency <= 0 {
+		t.Error("mean latency zero")
+	}
+}
+
+func TestRegistrationScenario(t *testing.T) {
+	srv := startServer(t, core.ArchUDP)
+	res, err := Run(Config{
+		Scenario:        ScenarioRegistrations,
+		Transport:       transport.UDP,
+		ProxyAddr:       srv.Addr(),
+		Domain:          domain,
+		Pairs:           4,
+		CallsPerCaller:  6, // 6 re-registrations each
+		ResponseTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 24 {
+		t.Errorf("ops = %d, want 24 REGISTER transactions", res.Ops)
+	}
+	if res.CallsFailed != 0 {
+		t.Errorf("%d registrations failed", res.CallsFailed)
+	}
+	if res.Throughput <= 0 {
+		t.Error("no throughput")
+	}
+}
+
+func TestCalleeReregisterDoesNotDuplicateAnswering(t *testing.T) {
+	srv := startServer(t, core.ArchUDP)
+	callee, err := phone.New(phone.Config{
+		Transport: transport.UDP, ProxyAddr: srv.Addr(), Domain: domain, User: "user1",
+		ResponseTimeout: time.Second,
+	}, phone.Callee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer callee.Close()
+	for i := 0; i < 3; i++ {
+		if err := callee.Register(); err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+	}
+	caller, err := phone.New(phone.Config{
+		Transport: transport.UDP, ProxyAddr: srv.Addr(), Domain: domain, User: "user0",
+		ResponseTimeout: time.Second,
+	}, phone.Caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer caller.Close()
+	if err := caller.Register(); err != nil {
+		t.Fatal(err)
+	}
+	// A duplicated answering loop would double-answer and confuse dialogs.
+	for i := 0; i < 3; i++ {
+		if err := caller.Call("user1"); err != nil {
+			t.Fatalf("call %d after re-registrations: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package location implements the SIP location service and registrar
+// (RFC 3261 §10): the mapping from an address-of-record ("bob@example.com")
+// to the contact address(es) where the user can actually be reached. SIP
+// proxies consult this service to route INVITEs; phones populate it with
+// REGISTER transactions.
+package location
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gosip/internal/sipmsg"
+)
+
+// Binding is one registered contact for an AOR.
+type Binding struct {
+	Contact sipmsg.URI
+	// Transport the phone registered over; forwarding reuses it.
+	Transport string
+	// Source is the network address the REGISTER arrived from; forwarding
+	// targets it directly (the "received" address), which is what matters
+	// for phones behind per-experiment ephemeral ports.
+	Source  string
+	Expires time.Time
+}
+
+// Expired reports whether the binding has lapsed at now.
+func (b Binding) Expired(now time.Time) bool { return !b.Expires.After(now) }
+
+// Service is the shared location database. It is accessed concurrently by
+// every worker, so it is guarded by a sharded RW mutex to keep lookup cost
+// flat at high worker counts.
+type Service struct {
+	shards []shard
+}
+
+type shard struct {
+	mu       sync.RWMutex
+	bindings map[string][]Binding // key: AOR
+}
+
+// ErrNoBinding is returned when an AOR has no live binding.
+var ErrNoBinding = errors.New("location: no binding")
+
+// DefaultExpiry applies when a REGISTER carries no Expires header.
+const DefaultExpiry = 3600 * time.Second
+
+// New creates an empty location service.
+func New() *Service {
+	s := &Service{shards: make([]shard, 16)}
+	for i := range s.shards {
+		s.shards[i].bindings = make(map[string][]Binding)
+	}
+	return s
+}
+
+func (s *Service) shardFor(aor string) *shard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(aor); i++ {
+		h ^= uint32(aor[i])
+		h *= 16777619
+	}
+	return &s.shards[h%uint32(len(s.shards))]
+}
+
+// Register adds or refreshes a binding for the AOR. A zero ttl removes the
+// binding (RFC 3261 "Expires: 0" de-registration).
+func (s *Service) Register(aor string, b Binding, ttl time.Duration, now time.Time) {
+	sh := s.shardFor(aor)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	list := sh.bindings[aor]
+	// Replace any binding with the same contact.
+	out := list[:0]
+	for _, old := range list {
+		if old.Contact.String() != b.Contact.String() && !old.Expired(now) {
+			out = append(out, old)
+		}
+	}
+	if ttl > 0 {
+		b.Expires = now.Add(ttl)
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		delete(sh.bindings, aor)
+		return
+	}
+	sh.bindings[aor] = out
+}
+
+// Lookup returns the live bindings for an AOR, freshest first.
+func (s *Service) Lookup(aor string, now time.Time) ([]Binding, error) {
+	sh := s.shardFor(aor)
+	sh.mu.RLock()
+	list := sh.bindings[aor]
+	var out []Binding
+	for _, b := range list {
+		if !b.Expired(now) {
+			out = append(out, b)
+		}
+	}
+	sh.mu.RUnlock()
+	if len(out) == 0 {
+		return nil, ErrNoBinding
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Expires.After(out[j].Expires) })
+	return out, nil
+}
+
+// Len counts AORs with at least one (possibly expired) binding.
+func (s *Service) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].bindings)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Purge drops expired bindings and empty AORs; returns bindings removed.
+func (s *Service) Purge(now time.Time) int {
+	removed := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for aor, list := range sh.bindings {
+			out := list[:0]
+			for _, b := range list {
+				if b.Expired(now) {
+					removed++
+					continue
+				}
+				out = append(out, b)
+			}
+			if len(out) == 0 {
+				delete(sh.bindings, aor)
+			} else {
+				sh.bindings[aor] = out
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
+// HandleRegister applies a REGISTER request to the service and returns the
+// response to send. source is the network address the request arrived
+// from; transport is "UDP" or "TCP".
+func (s *Service) HandleRegister(req *sipmsg.Message, source, transport string, now time.Time) *sipmsg.Message {
+	toVal, ok := req.Get("To")
+	if !ok {
+		return sipmsg.NewResponse(req, sipmsg.StatusBadRequest, "")
+	}
+	to, err := sipmsg.ParseNameAddr(toVal)
+	if err != nil {
+		return sipmsg.NewResponse(req, sipmsg.StatusBadRequest, "")
+	}
+	aor := to.URI.AOR()
+
+	contactVal, ok := req.Get("Contact")
+	if !ok {
+		// Query-style REGISTER: report current bindings.
+		return sipmsg.NewResponse(req, sipmsg.StatusOK, sipmsg.NewTag())
+	}
+	contact, err := sipmsg.ParseNameAddr(contactVal)
+	if err != nil {
+		return sipmsg.NewResponse(req, sipmsg.StatusBadRequest, "")
+	}
+
+	ttl := DefaultExpiry
+	if v, ok := req.Get("Expires"); ok {
+		secs, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || secs < 0 {
+			return sipmsg.NewResponse(req, sipmsg.StatusBadRequest, "")
+		}
+		ttl = time.Duration(secs) * time.Second
+	}
+	s.Register(aor, Binding{
+		Contact:   contact.URI,
+		Transport: transport,
+		Source:    source,
+	}, ttl, now)
+	resp := sipmsg.NewResponse(req, sipmsg.StatusOK, sipmsg.NewTag())
+	resp.Add("Contact", contact.String())
+	if ttl > 0 {
+		resp.Add("Expires", strconv.Itoa(int(ttl/time.Second)))
+	}
+	return resp
+}

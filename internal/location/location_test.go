@@ -1,0 +1,180 @@
+package location
+
+import (
+	"testing"
+	"time"
+
+	"gosip/internal/sipmsg"
+)
+
+func mkBinding(host string, port int) Binding {
+	return Binding{
+		Contact:   sipmsg.URI{User: "u", Host: host, Port: port},
+		Transport: "UDP",
+		Source:    host + ":5060",
+	}
+}
+
+func TestRegisterLookup(t *testing.T) {
+	s := New()
+	now := time.Now()
+	s.Register("bob@example.com", mkBinding("10.0.0.1", 5062), time.Hour, now)
+	bs, err := s.Lookup("bob@example.com", now)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if len(bs) != 1 || bs[0].Contact.Host != "10.0.0.1" {
+		t.Errorf("bindings = %+v", bs)
+	}
+	if _, err := s.Lookup("carol@example.com", now); err != ErrNoBinding {
+		t.Errorf("missing AOR: %v", err)
+	}
+}
+
+func TestRegisterRefreshReplacesSameContact(t *testing.T) {
+	s := New()
+	now := time.Now()
+	s.Register("bob@x.com", mkBinding("10.0.0.1", 5062), time.Minute, now)
+	s.Register("bob@x.com", mkBinding("10.0.0.1", 5062), time.Hour, now.Add(time.Second))
+	bs, err := s.Lookup("bob@x.com", now.Add(2*time.Second))
+	if err != nil || len(bs) != 1 {
+		t.Fatalf("bindings = %v, err = %v", bs, err)
+	}
+	if bs[0].Expires.Sub(now) < 30*time.Minute {
+		t.Error("refresh did not extend expiry")
+	}
+}
+
+func TestMultipleContactsFreshestFirst(t *testing.T) {
+	s := New()
+	now := time.Now()
+	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), time.Minute, now)
+	s.Register("bob@x.com", mkBinding("10.0.0.2", 2), time.Hour, now)
+	bs, err := s.Lookup("bob@x.com", now)
+	if err != nil || len(bs) != 2 {
+		t.Fatalf("bindings = %v, err = %v", bs, err)
+	}
+	if bs[0].Contact.Host != "10.0.0.2" {
+		t.Errorf("freshest first: %+v", bs)
+	}
+}
+
+func TestExpiryAndPurge(t *testing.T) {
+	s := New()
+	now := time.Now()
+	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), time.Second, now)
+	if _, err := s.Lookup("bob@x.com", now.Add(2*time.Second)); err != ErrNoBinding {
+		t.Errorf("expired binding returned: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len before purge = %d", s.Len())
+	}
+	if n := s.Purge(now.Add(2 * time.Second)); n != 1 {
+		t.Errorf("Purge removed %d", n)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len after purge = %d", s.Len())
+	}
+}
+
+func TestDeregisterWithZeroTTL(t *testing.T) {
+	s := New()
+	now := time.Now()
+	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), time.Hour, now)
+	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), 0, now)
+	if _, err := s.Lookup("bob@x.com", now); err != ErrNoBinding {
+		t.Error("zero-TTL register did not remove binding")
+	}
+}
+
+func registerMsg(t *testing.T, aor, contact string, expires string) *sipmsg.Message {
+	t.Helper()
+	uri, err := sipmsg.ParseURI("sip:" + aor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sipmsg.NewRequest(sipmsg.RequestSpec{
+		Method:     sipmsg.REGISTER,
+		RequestURI: sipmsg.URI{Host: uri.Host},
+		From:       sipmsg.NameAddr{URI: uri, Params: map[string]string{"tag": "t1"}},
+		To:         sipmsg.NameAddr{URI: uri},
+		CallID:     sipmsg.NewCallID("phone"),
+		CSeq:       1,
+		Via:        sipmsg.Via{Transport: "UDP", Host: "10.0.0.9", Port: 5070},
+	})
+	if contact != "" {
+		m.Add("Contact", "<sip:"+contact+">")
+	}
+	if expires != "" {
+		m.Set("Expires", expires)
+	}
+	return m
+}
+
+func TestHandleRegisterOK(t *testing.T) {
+	s := New()
+	now := time.Now()
+	req := registerMsg(t, "bob@example.com", "bob@10.0.0.9:5070", "600")
+	resp := s.HandleRegister(req, "10.0.0.9:40000", "UDP", now)
+	if resp.StatusCode != sipmsg.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if v, ok := resp.Get("Expires"); !ok || v != "600" {
+		t.Errorf("Expires = %q", v)
+	}
+	bs, err := s.Lookup("bob@example.com", now)
+	if err != nil {
+		t.Fatalf("Lookup after register: %v", err)
+	}
+	if bs[0].Source != "10.0.0.9:40000" || bs[0].Transport != "UDP" {
+		t.Errorf("binding = %+v", bs[0])
+	}
+}
+
+func TestHandleRegisterDefaultsExpiry(t *testing.T) {
+	s := New()
+	now := time.Now()
+	resp := s.HandleRegister(registerMsg(t, "bob@x.com", "bob@1.2.3.4", ""), "1.2.3.4:5", "TCP", now)
+	if resp.StatusCode != sipmsg.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	bs, _ := s.Lookup("bob@x.com", now)
+	if want := now.Add(DefaultExpiry); bs[0].Expires.Before(want.Add(-time.Second)) {
+		t.Errorf("expiry = %v, want ~%v", bs[0].Expires, want)
+	}
+}
+
+func TestHandleRegisterErrors(t *testing.T) {
+	s := New()
+	now := time.Now()
+	// Bad Expires.
+	resp := s.HandleRegister(registerMsg(t, "bob@x.com", "bob@1.2.3.4", "soon"), "a:1", "UDP", now)
+	if resp.StatusCode != sipmsg.StatusBadRequest {
+		t.Errorf("bad expires: status = %d", resp.StatusCode)
+	}
+	// Malformed To.
+	req := registerMsg(t, "bob@x.com", "bob@1.2.3.4", "60")
+	req.Set("To", "<sip:broken")
+	resp = s.HandleRegister(req, "a:1", "UDP", now)
+	if resp.StatusCode != sipmsg.StatusBadRequest {
+		t.Errorf("bad To: status = %d", resp.StatusCode)
+	}
+	// Query-style: no Contact.
+	q := registerMsg(t, "bob@x.com", "", "")
+	resp = s.HandleRegister(q, "a:1", "UDP", now)
+	if resp.StatusCode != sipmsg.StatusOK {
+		t.Errorf("query register: status = %d", resp.StatusCode)
+	}
+}
+
+func TestLenCountsAORs(t *testing.T) {
+	s := New()
+	now := time.Now()
+	for i := 0; i < 40; i++ {
+		aor := "user" + string(rune('a'+i%26)) + "@x.com"
+		s.Register(aor, mkBinding("10.0.0.1", i+1), time.Hour, now)
+	}
+	if s.Len() != 26 {
+		t.Errorf("Len = %d, want 26 distinct AORs", s.Len())
+	}
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var tm Timer
+	tm.AddDuration(10 * time.Millisecond)
+	tm.AddDuration(20 * time.Millisecond)
+	if tm.Total() != 30*time.Millisecond {
+		t.Errorf("Total = %v", tm.Total())
+	}
+	if tm.Count() != 2 {
+		t.Errorf("Count = %d", tm.Count())
+	}
+	if tm.Mean() != 15*time.Millisecond {
+		t.Errorf("Mean = %v", tm.Mean())
+	}
+}
+
+func TestTimerStartStop(t *testing.T) {
+	var tm Timer
+	start := tm.Start()
+	time.Sleep(2 * time.Millisecond)
+	tm.Stop(start)
+	if tm.Total() < 2*time.Millisecond {
+		t.Errorf("Total = %v, want >= 2ms", tm.Total())
+	}
+	if tm.Count() != 1 {
+		t.Errorf("Count = %d", tm.Count())
+	}
+}
+
+func TestTimerMeanEmpty(t *testing.T) {
+	var tm Timer
+	if tm.Mean() != 0 {
+		t.Errorf("empty Mean = %v", tm.Mean())
+	}
+}
+
+func TestProfileSnapshotAndPercent(t *testing.T) {
+	p := NewProfile()
+	p.Counter("a").Add(7)
+	p.Timer(MetricIPCTime).AddDuration(120 * time.Millisecond)
+	p.Timer(MetricIdleScanTime).AddDuration(30 * time.Millisecond)
+
+	s := p.Snapshot()
+	if s.Counters["a"] != 7 {
+		t.Errorf("counter a = %d", s.Counters["a"])
+	}
+	got := s.PercentOf(MetricIPCTime, time.Second)
+	if got < 11.9 || got > 12.1 {
+		t.Errorf("PercentOf = %f, want ~12", got)
+	}
+	if s.PercentOf("missing", time.Second) != 0 {
+		t.Error("missing timer should be 0%")
+	}
+	if s.PercentOf(MetricIPCTime, 0) != 0 {
+		t.Error("zero busy should be 0%")
+	}
+}
+
+func TestProfileSameInstanceReturned(t *testing.T) {
+	p := NewProfile()
+	if p.Counter("x") != p.Counter("x") {
+		t.Error("Counter not memoized")
+	}
+	if p.Timer("y") != p.Timer("y") {
+		t.Error("Timer not memoized")
+	}
+}
+
+func TestReportContainsEntries(t *testing.T) {
+	p := NewProfile()
+	p.Timer(MetricIPCTime).AddDuration(time.Millisecond)
+	p.Counter(MetricIPCCount).Add(3)
+	rep := p.Snapshot().Report(10 * time.Millisecond)
+	if !strings.Contains(rep, MetricIPCTime) || !strings.Contains(rep, MetricIPCCount) {
+		t.Errorf("report missing entries:\n%s", rep)
+	}
+}
+
+func TestProfileConcurrentAccess(t *testing.T) {
+	p := NewProfile()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				p.Counter("c").Inc()
+				p.Timer("t").AddDuration(time.Microsecond)
+				_ = p.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Snapshot()
+	if s.Counters["c"] != 1600 || s.Timers["t"].Count != 1600 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}

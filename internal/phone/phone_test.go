@@ -1,0 +1,256 @@
+package phone
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gosip/internal/sipmsg"
+	"gosip/internal/transport"
+)
+
+func TestAnswerInvite(t *testing.T) {
+	req := sipmsg.NewRequest(sipmsg.RequestSpec{
+		Method:     sipmsg.INVITE,
+		RequestURI: sipmsg.URI{User: "b", Host: "d"},
+		From:       sipmsg.NameAddr{URI: sipmsg.URI{User: "a", Host: "d"}, Params: map[string]string{"tag": "t1"}},
+		To:         sipmsg.NameAddr{URI: sipmsg.URI{User: "b", Host: "d"}},
+		CallID:     "c1",
+		CSeq:       1,
+		Via:        sipmsg.Via{Transport: "UDP", Host: "h", Port: 1},
+	})
+	resps := answer(req, "b", sipmsg.URI{User: "b", Host: "h2", Port: 2})
+	if len(resps) != 2 {
+		t.Fatalf("got %d responses, want 180+200", len(resps))
+	}
+	if resps[0].StatusCode != sipmsg.StatusRinging || resps[1].StatusCode != sipmsg.StatusOK {
+		t.Errorf("codes = %d, %d", resps[0].StatusCode, resps[1].StatusCode)
+	}
+	if resps[0].ToTag() == "" || resps[0].ToTag() != resps[1].ToTag() {
+		t.Errorf("dialog tags differ: %q vs %q", resps[0].ToTag(), resps[1].ToTag())
+	}
+	if _, ok := resps[1].Get("Contact"); !ok {
+		t.Error("200 lacks Contact")
+	}
+}
+
+func TestAnswerByeAndAck(t *testing.T) {
+	bye := sipmsg.NewRequest(sipmsg.RequestSpec{
+		Method:     sipmsg.BYE,
+		RequestURI: sipmsg.URI{User: "b", Host: "d"},
+		From:       sipmsg.NameAddr{URI: sipmsg.URI{User: "a", Host: "d"}, Params: map[string]string{"tag": "t1"}},
+		To:         sipmsg.NameAddr{URI: sipmsg.URI{User: "b", Host: "d"}, Params: map[string]string{"tag": "t2"}},
+		CallID:     "c1",
+		CSeq:       2,
+		Via:        sipmsg.Via{Transport: "UDP", Host: "h", Port: 1},
+	})
+	resps := answer(bye, "b", sipmsg.URI{})
+	if len(resps) != 1 || resps[0].StatusCode != sipmsg.StatusOK {
+		t.Errorf("BYE answer = %v", resps)
+	}
+	ack := bye.Clone()
+	ack.Method = sipmsg.ACK
+	ack.Set("CSeq", "2 ACK")
+	if got := answer(ack, "b", sipmsg.URI{}); got != nil {
+		t.Errorf("ACK answered: %v", got)
+	}
+	opts := bye.Clone()
+	opts.Method = sipmsg.OPTIONS
+	opts.Set("CSeq", "3 OPTIONS")
+	if got := answer(opts, "b", sipmsg.URI{}); len(got) != 1 || got[0].StatusCode != sipmsg.StatusNotImplemented {
+		t.Errorf("OPTIONS answer = %v", got)
+	}
+}
+
+func TestMatchesTxn(t *testing.T) {
+	resp := &sipmsg.Message{StatusCode: 200, Reason: "OK"}
+	resp.Add("Call-ID", "c9")
+	resp.Add("CSeq", "7 INVITE")
+	if !matchesTxn(resp, "c9", 7, sipmsg.INVITE) {
+		t.Error("exact match failed")
+	}
+	if matchesTxn(resp, "c9", 8, sipmsg.INVITE) {
+		t.Error("wrong seq matched")
+	}
+	if matchesTxn(resp, "other", 7, sipmsg.INVITE) {
+		t.Error("wrong call-id matched")
+	}
+	if matchesTxn(resp, "c9", 7, sipmsg.BYE) {
+		t.Error("wrong method matched")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ResponseTimeout <= 0 || c.MaxRetries <= 0 || c.RegisterTTL <= 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+func TestNewRejectsUnknownTransport(t *testing.T) {
+	if _, err := New(Config{Transport: "SCTP", ProxyAddr: "127.0.0.1:1"}, Caller); err == nil {
+		t.Error("bogus transport accepted")
+	}
+}
+
+func TestCallOnCalleeRejected(t *testing.T) {
+	p, err := New(Config{Transport: transport.UDP, ProxyAddr: "127.0.0.1:9", Domain: "d", User: "u"}, Callee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Call("x"); err == nil {
+		t.Error("Call on callee succeeded")
+	}
+}
+
+// TestUDPDirectPhoneToPhone exercises caller/callee logic without a proxy:
+// the callee's socket is used directly as the "proxy" address, so requests
+// arrive at the callee and responses return to the caller.
+func TestUDPDirectPhoneToPhone(t *testing.T) {
+	callee, err := New(Config{Transport: transport.UDP, ProxyAddr: "127.0.0.1:9", Domain: "d", User: "bob"}, Callee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer callee.Close()
+	// Start the answering loop manually (no registrar in this test).
+	callee.udp.startAnswering()
+
+	calleeHost, calleePort := callee.localAddr()
+	caller, err := New(Config{
+		Transport:       transport.UDP,
+		ProxyAddr:       joinHostPort(calleeHost, calleePort),
+		Domain:          "d",
+		User:            "alice",
+		ResponseTimeout: 500 * time.Millisecond,
+	}, Caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer caller.Close()
+
+	if err := caller.Call("bob"); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	st := caller.Stats()
+	if st.CallsCompleted != 1 || st.Ops != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestTCPDirectPhoneToPhone does the same over TCP via the callee's
+// listener (as the proxy's dial path would).
+func TestTCPDirectPhoneToPhone(t *testing.T) {
+	callee, err := New(Config{Transport: transport.TCP, ProxyAddr: "127.0.0.1:9", Domain: "d", User: "bob"}, Callee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer callee.Close()
+	callee.tcp.startAnswering()
+
+	caller, err := New(Config{
+		Transport:       transport.TCP,
+		ProxyAddr:       joinHostPort(callee.tcp.listenHost, callee.tcp.listenPort),
+		Domain:          "d",
+		User:            "alice",
+		ResponseTimeout: 500 * time.Millisecond,
+	}, Caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer caller.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := caller.Call("bob"); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if st := caller.Stats(); st.CallsCompleted != 3 || st.Ops != 6 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTCPOpsPerConnReconnects(t *testing.T) {
+	callee, err := New(Config{Transport: transport.TCP, ProxyAddr: "127.0.0.1:9", Domain: "d", User: "bob"}, Callee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer callee.Close()
+	callee.tcp.startAnswering()
+
+	caller, err := New(Config{
+		Transport:       transport.TCP,
+		ProxyAddr:       joinHostPort(callee.tcp.listenHost, callee.tcp.listenPort),
+		Domain:          "d",
+		User:            "alice",
+		OpsPerConn:      2, // one call = two ops = reconnect after every call
+		ResponseTimeout: 500 * time.Millisecond,
+	}, Caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer caller.Close()
+
+	for i := 0; i < 4; i++ {
+		if err := caller.Call("bob"); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	st := caller.Stats()
+	if st.Reconnects < 3 {
+		t.Errorf("reconnects = %d, want >= 3 with ops/conn=2 over 4 calls", st.Reconnects)
+	}
+}
+
+func TestUDPCallerRetransmitsOnSilence(t *testing.T) {
+	// A black-hole "proxy": bound socket that never answers.
+	hole, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hole.Close()
+
+	caller, err := New(Config{
+		Transport:       transport.UDP,
+		ProxyAddr:       hole.LocalAddr().String(),
+		Domain:          "d",
+		User:            "alice",
+		ResponseTimeout: 20 * time.Millisecond,
+		MaxRetries:      3,
+	}, Caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer caller.Close()
+
+	err = caller.Call("bob")
+	if err == nil {
+		t.Fatal("call into black hole succeeded")
+	}
+	if !strings.Contains(err.Error(), "invite") {
+		t.Errorf("err = %v", err)
+	}
+	if st := caller.Stats(); st.Retransmits != 3 || st.CallsFailed != 1 {
+		t.Errorf("stats = %+v, want 3 retransmits, 1 failed", st)
+	}
+}
+
+func TestContactAndAOR(t *testing.T) {
+	p, err := New(Config{Transport: transport.UDP, ProxyAddr: "127.0.0.1:9", Domain: "dom", User: "u7"}, Caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if got := p.AOR().String(); got != "sip:u7@dom" {
+		t.Errorf("AOR = %q", got)
+	}
+	c := p.Contact()
+	if c.Port == 0 || c.User != "u7" {
+		t.Errorf("Contact = %+v", c)
+	}
+}
+
+func joinHostPort(host string, port int) string {
+	u := sipmsg.URI{Host: host, Port: port}
+	return u.HostPort()
+}

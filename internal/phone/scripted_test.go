@@ -1,0 +1,317 @@
+package phone
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gosip/internal/proxy"
+	"gosip/internal/sipmsg"
+	"gosip/internal/transport"
+	"gosip/internal/userdb"
+)
+
+// scriptedServer is a fake UDP proxy that answers each request with a
+// scripted response built from the request.
+type scriptedServer struct {
+	sock *transport.UDPSocket
+	done chan struct{}
+}
+
+func newScriptedServer(t *testing.T, respond func(req *sipmsg.Message) []*sipmsg.Message) *scriptedServer {
+	t.Helper()
+	sock, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &scriptedServer{sock: sock, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		for {
+			pkt, err := sock.ReadPacket()
+			if err != nil {
+				return
+			}
+			m, perr := sipmsg.Parse(pkt.Data)
+			src := pkt.Src
+			sock.Release(pkt)
+			if perr != nil || !m.IsRequest {
+				continue
+			}
+			for _, resp := range respond(m) {
+				if err := sock.WriteTo(resp.Serialize(), src); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	t.Cleanup(func() { sock.Close(); <-s.done })
+	return s
+}
+
+func (s *scriptedServer) addr() string { return s.sock.LocalAddr().String() }
+
+func newScriptedCaller(t *testing.T, proxyAddr, user, password string) *Phone {
+	t.Helper()
+	p, err := New(Config{
+		Transport:       transport.UDP,
+		ProxyAddr:       proxyAddr,
+		Domain:          "scripted.dom",
+		User:            user,
+		Password:        password,
+		ResponseTimeout: 500 * time.Millisecond,
+		MaxRetries:      2,
+	}, Caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// TestPhoneFollowsRedirect: the fake proxy 302-redirects the INVITE to a
+// real callee phone; the caller must complete the whole call directly.
+func TestPhoneFollowsRedirect(t *testing.T) {
+	callee, err := New(Config{
+		Transport: transport.UDP, ProxyAddr: "127.0.0.1:9",
+		Domain: "scripted.dom", User: "bob",
+	}, Callee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer callee.Close()
+	callee.udp.startAnswering()
+	contact := callee.Contact()
+
+	srv := newScriptedServer(t, func(req *sipmsg.Message) []*sipmsg.Message {
+		if req.Method != sipmsg.INVITE {
+			t.Errorf("redirect server got %s", req.Method)
+			return nil
+		}
+		resp := sipmsg.NewResponse(req, 302, sipmsg.NewTag())
+		resp.Reason = "Moved Temporarily"
+		resp.Add("Contact", sipmsg.NameAddr{URI: contact}.String())
+		return []*sipmsg.Message{resp}
+	})
+
+	caller := newScriptedCaller(t, srv.addr(), "alice", "")
+	if err := caller.Call("bob"); err != nil {
+		t.Fatalf("redirected call: %v", err)
+	}
+	st := caller.Stats()
+	if st.CallsCompleted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The redirected call counts one server transaction (the 302).
+	if st.Ops != 1 {
+		t.Errorf("ops = %d, want 1", st.Ops)
+	}
+	if st.TotalCallTime <= 0 || st.MaxCallTime <= 0 {
+		t.Error("latency not recorded for redirected call")
+	}
+}
+
+// TestPhoneRedirectWithoutContactFails: a 302 without Contact is a dead
+// end and the call fails cleanly.
+func TestPhoneRedirectWithoutContactFails(t *testing.T) {
+	srv := newScriptedServer(t, func(req *sipmsg.Message) []*sipmsg.Message {
+		resp := sipmsg.NewResponse(req, 302, sipmsg.NewTag())
+		resp.Reason = "Moved Temporarily"
+		return []*sipmsg.Message{resp}
+	})
+	caller := newScriptedCaller(t, srv.addr(), "alice", "")
+	if err := caller.Call("bob"); err == nil {
+		t.Fatal("302 without Contact succeeded")
+	}
+	if caller.Stats().CallsFailed != 1 {
+		t.Errorf("stats = %+v", caller.Stats())
+	}
+}
+
+// TestPhoneAnswersDigestChallenge: the fake proxy challenges every fresh
+// request with 407 and verifies the retried credentials.
+func TestPhoneAnswersDigestChallenge(t *testing.T) {
+	const realm = "scripted.dom"
+	user := "alice"
+	password := userdb.PasswordFor(user)
+	var challenged, verified atomic.Int64
+
+	srv := newScriptedServer(t, func(req *sipmsg.Message) []*sipmsg.Message {
+		if req.Method == sipmsg.ACK {
+			return nil
+		}
+		authVal, ok := req.Get("Proxy-Authorization")
+		if !ok {
+			challenged.Add(1)
+			resp := sipmsg.NewResponse(req, 407, sipmsg.NewTag())
+			resp.Reason = "Proxy Authentication Required"
+			resp.Add("Proxy-Authenticate", proxy.FormatChallenge(realm, proxy.DigestNonce(req.CallID())))
+			return []*sipmsg.Message{resp}
+		}
+		creds, err := proxy.ParseCredentials(authVal)
+		if err != nil {
+			t.Errorf("bad credentials: %v", err)
+			return []*sipmsg.Message{sipmsg.NewResponse(req, sipmsg.StatusBadRequest, "")}
+		}
+		want := proxy.DigestResponse(user, realm, password, creds.Nonce, string(req.Method), creds.URI)
+		if creds.Response != want {
+			t.Errorf("digest mismatch for %s", req.Method)
+			return []*sipmsg.Message{sipmsg.NewResponse(req, 407, sipmsg.NewTag())}
+		}
+		verified.Add(1)
+		tag := sipmsg.NewTag()
+		if req.Method == sipmsg.INVITE {
+			return []*sipmsg.Message{
+				sipmsg.NewResponse(req, sipmsg.StatusRinging, tag),
+				sipmsg.NewResponse(req, sipmsg.StatusOK, tag),
+			}
+		}
+		return []*sipmsg.Message{sipmsg.NewResponse(req, sipmsg.StatusOK, tag)}
+	})
+
+	caller := newScriptedCaller(t, srv.addr(), user, password)
+	if err := caller.Call("bob"); err != nil {
+		t.Fatalf("authenticated call: %v", err)
+	}
+	if challenged.Load() != 2 || verified.Load() != 2 {
+		t.Errorf("challenged=%d verified=%d, want 2 each (INVITE + BYE)", challenged.Load(), verified.Load())
+	}
+	if got := caller.Stats().AuthRetries; got != 2 {
+		t.Errorf("AuthRetries = %d, want 2", got)
+	}
+}
+
+// TestPhoneWithoutPasswordFailsChallenge: no password configured → the
+// 407 is surfaced as a rejected call, not retried forever.
+func TestPhoneWithoutPasswordFailsChallenge(t *testing.T) {
+	srv := newScriptedServer(t, func(req *sipmsg.Message) []*sipmsg.Message {
+		resp := sipmsg.NewResponse(req, 407, sipmsg.NewTag())
+		resp.Add("Proxy-Authenticate", proxy.FormatChallenge("r", "n"))
+		return []*sipmsg.Message{resp}
+	})
+	caller := newScriptedCaller(t, srv.addr(), "alice", "")
+	if err := caller.Call("bob"); err == nil {
+		t.Fatal("challenge without password succeeded")
+	}
+	if got := caller.Stats().AuthRetries; got != 0 {
+		t.Errorf("AuthRetries = %d, want 0", got)
+	}
+}
+
+// TestPhoneRejectedCallCounted: a 486 Busy Here fails the call cleanly.
+func TestPhoneRejectedCallCounted(t *testing.T) {
+	srv := newScriptedServer(t, func(req *sipmsg.Message) []*sipmsg.Message {
+		if req.Method == sipmsg.ACK {
+			return nil
+		}
+		return []*sipmsg.Message{sipmsg.NewResponse(req, sipmsg.StatusBusyHere, sipmsg.NewTag())}
+	})
+	caller := newScriptedCaller(t, srv.addr(), "alice", "")
+	if err := caller.Call("bob"); err == nil {
+		t.Fatal("busy call succeeded")
+	}
+	st := caller.Stats()
+	if st.CallsFailed != 1 || st.CallsCompleted != 0 || st.Ops != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestPhoneProvisionalKeepsWaiting: a slow callee that sends 180 first and
+// the 200 after a pause must not trip the per-response timeout.
+func TestPhoneProvisionalKeepsWaiting(t *testing.T) {
+	srv := newScriptedServer(t, func(req *sipmsg.Message) []*sipmsg.Message {
+		switch req.Method {
+		case sipmsg.INVITE:
+			tag := sipmsg.NewTag()
+			ringing := sipmsg.NewResponse(req, sipmsg.StatusRinging, tag)
+			ok := sipmsg.NewResponse(req, sipmsg.StatusOK, tag)
+			go func() {
+				// Simulate ring time longer than one response timeout but
+				// shorter than two.
+				time.Sleep(300 * time.Millisecond)
+			}()
+			_ = ok
+			return []*sipmsg.Message{ringing, ok}
+		case sipmsg.BYE:
+			return []*sipmsg.Message{sipmsg.NewResponse(req, sipmsg.StatusOK, sipmsg.NewTag())}
+		}
+		return nil
+	})
+	caller := newScriptedCaller(t, srv.addr(), "alice", "")
+	if err := caller.Call("bob"); err != nil {
+		t.Fatalf("call with provisional: %v", err)
+	}
+}
+
+// TestPhoneFollowsRedirectOverTCP exercises the tcpLeg: a TCP "proxy"
+// 302-redirects to a TCP callee's listener.
+func TestPhoneFollowsRedirectOverTCP(t *testing.T) {
+	callee, err := New(Config{
+		Transport: transport.TCP, ProxyAddr: "127.0.0.1:9",
+		Domain: "scripted.dom", User: "bob",
+	}, Callee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer callee.Close()
+	callee.tcp.startAnswering()
+	contact := callee.Contact()
+
+	// Scripted TCP redirect server.
+	redirector, err := New(Config{
+		Transport: transport.TCP, ProxyAddr: "127.0.0.1:9",
+		Domain: "scripted.dom", User: "proxy",
+	}, Callee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer redirector.Close()
+	// Reuse the callee plumbing but override behaviour via a raw listener:
+	// simplest is a dedicated goroutine on a fresh listener.
+	ln := redirector.tcp.ln // already listening
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				sc := transport.NewStreamConn(nc)
+				defer sc.Close()
+				for {
+					m, err := sc.ReadMessage()
+					if err != nil {
+						return
+					}
+					if !m.IsRequest {
+						continue
+					}
+					resp := sipmsg.NewResponse(m, 302, sipmsg.NewTag())
+					resp.Reason = "Moved Temporarily"
+					resp.Add("Contact", sipmsg.NameAddr{URI: contact}.String())
+					if err := sc.WriteMessage(resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	caller, err := New(Config{
+		Transport: transport.TCP,
+		ProxyAddr: sipmsg.URI{Host: redirector.tcp.listenHost, Port: redirector.tcp.listenPort}.HostPort(),
+		Domain:    "scripted.dom", User: "alice",
+		ResponseTimeout: time.Second,
+	}, Caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer caller.Close()
+
+	if err := caller.Call("bob"); err != nil {
+		t.Fatalf("TCP redirected call: %v", err)
+	}
+	if st := caller.Stats(); st.CallsCompleted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

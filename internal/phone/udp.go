@@ -1,0 +1,178 @@
+package phone
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gosip/internal/sipmsg"
+	"gosip/internal/transport"
+)
+
+// udpEndpoint is a phone's UDP side: one socket used for everything.
+// Callers read it synchronously inside request(); callees run an
+// answering loop.
+type udpEndpoint struct {
+	cfg   Config
+	sock  *transport.UDPSocket
+	proxy *net.UDPAddr
+
+	closeOnce sync.Once
+	startOnce sync.Once
+	done      chan struct{}
+	answering sync.WaitGroup
+}
+
+func newUDPEndpoint(cfg Config) (*udpEndpoint, error) {
+	sock, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	proxy, err := net.ResolveUDPAddr("udp", cfg.ProxyAddr)
+	if err != nil {
+		sock.Close()
+		return nil, err
+	}
+	return &udpEndpoint{cfg: cfg, sock: sock, proxy: proxy, done: make(chan struct{})}, nil
+}
+
+func (e *udpEndpoint) send(m *sipmsg.Message) error {
+	return e.sock.WriteTo(m.Serialize(), e.proxy)
+}
+
+// udpLeg is a direct request path over the phone's own socket to an
+// explicit destination (a redirect target).
+type udpLeg struct {
+	e   *udpEndpoint
+	dst *net.UDPAddr
+}
+
+func (e *udpEndpoint) directLeg(target string) (*udpLeg, error) {
+	dst, err := net.ResolveUDPAddr("udp", target)
+	if err != nil {
+		return nil, err
+	}
+	return &udpLeg{e: e, dst: dst}, nil
+}
+
+func (l *udpLeg) request(req *sipmsg.Message, method sipmsg.Method, stats *Stats) (*sipmsg.Message, error) {
+	return l.e.requestTo(req, method, stats, l.dst)
+}
+
+func (l *udpLeg) send(m *sipmsg.Message) error {
+	return l.e.sock.WriteTo(m.Serialize(), l.dst)
+}
+
+func (l *udpLeg) close() {}
+
+// request implements the caller's reliability: send, wait with a deadline,
+// retransmit on timeout (UDP gives no delivery guarantee), and surface the
+// final response. Provisional responses (100, 180) reset the patience but
+// not the retransmission budget.
+func (e *udpEndpoint) request(req *sipmsg.Message, method sipmsg.Method, stats *Stats) (*sipmsg.Message, error) {
+	return e.requestTo(req, method, stats, e.proxy)
+}
+
+func (e *udpEndpoint) requestTo(req *sipmsg.Message, method sipmsg.Method, stats *Stats, dst *net.UDPAddr) (*sipmsg.Message, error) {
+	callID := req.CallID()
+	seq, _, err := req.CSeq()
+	if err != nil {
+		return nil, err
+	}
+	wire := req.Serialize()
+	var lastErr error
+	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			stats.Retransmits++
+		}
+		if err := e.sock.WriteTo(wire, dst); err != nil {
+			return nil, err
+		}
+		deadline := time.Now().Add(e.cfg.ResponseTimeout)
+		for {
+			resp, err := e.readResponse(deadline)
+			if err != nil {
+				lastErr = err
+				break // timeout → retransmit
+			}
+			if !matchesTxn(resp, callID, seq, method) {
+				continue // stale response from a previous transaction
+			}
+			if resp.StatusCode >= 200 {
+				return resp, nil
+			}
+			// Provisional: the proxy/callee is working on it; keep waiting.
+			deadline = time.Now().Add(e.cfg.ResponseTimeout)
+		}
+	}
+	return nil, fmt.Errorf("no final response after %d attempts: %v", e.cfg.MaxRetries+1, lastErr)
+}
+
+func (e *udpEndpoint) readResponse(deadline time.Time) (*sipmsg.Message, error) {
+	for {
+		if err := e.sock.SetReadDeadline(deadline); err != nil {
+			return nil, err
+		}
+		pkt, err := e.sock.ReadPacket()
+		if err != nil {
+			return nil, err
+		}
+		m, perr := sipmsg.Parse(pkt.Data)
+		e.sock.Release(pkt)
+		if perr != nil {
+			continue
+		}
+		return m, nil
+	}
+}
+
+// startAnswering runs the callee loop: answer every incoming request.
+// Safe to call more than once (a callee re-registering must not spawn a
+// second loop).
+func (e *udpEndpoint) startAnswering() {
+	started := false
+	e.startOnce.Do(func() { started = true })
+	if !started {
+		return
+	}
+	e.answering.Add(1)
+	go func() {
+		defer e.answering.Done()
+		for {
+			if err := e.sock.SetReadDeadline(time.Time{}); err != nil {
+				return
+			}
+			pkt, err := e.sock.ReadPacket()
+			if err != nil {
+				select {
+				case <-e.done:
+					return
+				default:
+				}
+				return
+			}
+			m, perr := sipmsg.Parse(pkt.Data)
+			src := pkt.Src
+			e.sock.Release(pkt)
+			if perr != nil || !m.IsRequest {
+				continue
+			}
+			for _, resp := range answer(m, e.cfg.User, sipmsg.URI{User: e.cfg.User, Host: "127.0.0.1", Port: e.sock.LocalAddr().Port}) {
+				if err := e.sock.WriteTo(resp.Serialize(), src); err != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+func (e *udpEndpoint) close() error {
+	var err error
+	e.closeOnce.Do(func() {
+		close(e.done)
+		err = e.sock.Close()
+	})
+	e.answering.Wait()
+	return err
+}

@@ -1,0 +1,202 @@
+package proxy
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"gosip/internal/sipmsg"
+)
+
+// Digest authentication (RFC 2617 as profiled by RFC 3261 §22), the
+// configuration Nahum et al. found to have the largest performance impact
+// on SIP servers because every challenge verification costs a user-
+// database lookup. Registrars challenge with 401 WWW-Authenticate; proxies
+// challenge other requests with 407 Proxy-Authenticate.
+
+// nonceSecret seeds stateless nonce generation: the nonce for a request is
+// a deterministic digest of the Call-ID, so verification needs no server
+// state. A production deployment would rotate this.
+const nonceSecret = "gosip-nonce-secret-v1"
+
+// DigestNonce derives the challenge nonce for a request.
+func DigestNonce(callID string) string {
+	return md5hex(nonceSecret + ":" + callID)
+}
+
+// DigestResponse computes the RFC 2617 response value (no qop):
+//
+//	MD5( MD5(user:realm:password) : nonce : MD5(method:uri) )
+func DigestResponse(user, realm, password, nonce, method, uri string) string {
+	ha1 := md5hex(user + ":" + realm + ":" + password)
+	ha2 := md5hex(method + ":" + uri)
+	return md5hex(ha1 + ":" + nonce + ":" + ha2)
+}
+
+func md5hex(s string) string {
+	sum := md5.Sum([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// Credentials is a parsed Authorization / Proxy-Authorization header.
+type Credentials struct {
+	Username string
+	Realm    string
+	Nonce    string
+	URI      string
+	Response string
+}
+
+// ParseCredentials parses `Digest key="value", ...`.
+func ParseCredentials(v string) (Credentials, error) {
+	var c Credentials
+	rest, ok := strings.CutPrefix(strings.TrimSpace(v), "Digest ")
+	if !ok {
+		return c, fmt.Errorf("proxy: not a Digest credential: %q", v)
+	}
+	for _, part := range splitAuthParams(rest) {
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			continue
+		}
+		key := strings.ToLower(strings.TrimSpace(part[:eq]))
+		val := strings.Trim(strings.TrimSpace(part[eq+1:]), `"`)
+		switch key {
+		case "username":
+			c.Username = val
+		case "realm":
+			c.Realm = val
+		case "nonce":
+			c.Nonce = val
+		case "uri":
+			c.URI = val
+		case "response":
+			c.Response = val
+		}
+	}
+	if c.Username == "" || c.Nonce == "" || c.Response == "" {
+		return c, fmt.Errorf("proxy: incomplete Digest credential: %q", v)
+	}
+	return c, nil
+}
+
+// splitAuthParams splits on commas outside quoted strings.
+func splitAuthParams(s string) []string {
+	var parts []string
+	start := 0
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// ParseChallenge extracts realm and nonce from a WWW-Authenticate /
+// Proxy-Authenticate value. Phones use it to answer challenges.
+func ParseChallenge(v string) (realm, nonce string, err error) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(v), "Digest ")
+	if !ok {
+		return "", "", fmt.Errorf("proxy: not a Digest challenge: %q", v)
+	}
+	for _, part := range splitAuthParams(rest) {
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			continue
+		}
+		key := strings.ToLower(strings.TrimSpace(part[:eq]))
+		val := strings.Trim(strings.TrimSpace(part[eq+1:]), `"`)
+		switch key {
+		case "realm":
+			realm = val
+		case "nonce":
+			nonce = val
+		}
+	}
+	if realm == "" || nonce == "" {
+		return "", "", fmt.Errorf("proxy: incomplete challenge: %q", v)
+	}
+	return realm, nonce, nil
+}
+
+// FormatChallenge renders a WWW-Authenticate / Proxy-Authenticate value.
+func FormatChallenge(realm, nonce string) string {
+	return fmt.Sprintf(`Digest realm=%q, nonce=%q, algorithm=MD5`, realm, nonce)
+}
+
+// FormatCredentials renders an Authorization / Proxy-Authorization value.
+func (c Credentials) Format() string {
+	return fmt.Sprintf(`Digest username=%q, realm=%q, nonce=%q, uri=%q, response=%q, algorithm=MD5`,
+		c.Username, c.Realm, c.Nonce, c.URI, c.Response)
+}
+
+// authorized verifies the request's credentials against the user database.
+// Verification is the expensive part: it performs the database lookup the
+// related work blames for authentication's cost.
+func (e *Engine) authorized(m *sipmsg.Message) bool {
+	header := "Authorization"
+	if m.Method != sipmsg.REGISTER {
+		header = "Proxy-Authorization"
+	}
+	v, ok := m.Get(header)
+	if !ok {
+		return false
+	}
+	creds, err := ParseCredentials(v)
+	if err != nil {
+		return false
+	}
+	if creds.Realm != e.cfg.Domain {
+		return false
+	}
+	if creds.Nonce != DigestNonce(m.CallID()) {
+		return false
+	}
+	user, err := e.db.Lookup(creds.Username, e.cfg.Domain)
+	if err != nil {
+		return false
+	}
+	want := DigestResponse(creds.Username, creds.Realm, user.Password, creds.Nonce, string(m.Method), creds.URI)
+	return want == creds.Response
+}
+
+// challenge answers an unauthenticated request with 401 (REGISTER) or 407
+// (everything else) carrying a fresh nonce.
+func (e *Engine) challenge(s Sender, m *sipmsg.Message, origin any) {
+	code, header := sipmsg.StatusUnauthorized, "WWW-Authenticate"
+	if m.Method != sipmsg.REGISTER {
+		code, header = 407, "Proxy-Authenticate"
+	}
+	resp := sipmsg.NewResponse(m, code, sipmsg.NewTag())
+	if code == 407 {
+		resp.Reason = "Proxy Authentication Required"
+	}
+	resp.Add(header, FormatChallenge(e.cfg.Domain, DigestNonce(m.CallID())))
+	e.authChallenges.Inc()
+	e.sendToOrigin(s, origin, resp)
+}
+
+// requireAuth gates a request when authentication is enabled: it reports
+// true when processing may continue.
+func (e *Engine) requireAuth(s Sender, m *sipmsg.Message, origin any) bool {
+	if !e.cfg.Auth {
+		return true
+	}
+	// ACK and CANCEL are never challenged (RFC 3261 §22.1).
+	if m.Method == sipmsg.ACK || m.Method == sipmsg.CANCEL {
+		return true
+	}
+	if e.authorized(m) {
+		return true
+	}
+	e.challenge(s, m, origin)
+	return false
+}

@@ -1,0 +1,531 @@
+// Package proxy implements the SIP proxy engine: the transport- and
+// architecture-independent message processing that OpenSER's worker
+// processes execute. Given a parsed message and its origin, the engine
+// performs the proxy steps of Ram et al. §2: respond 100 Trying (stateful
+// INVITE), consult the location service, push/pop Via headers, forward the
+// request or response, absorb retransmissions, and — over unreliable
+// transports — arm retransmission timers via the transaction layer.
+//
+// The engine is shared by all workers; per-worker state (such as the fd
+// cache) lives behind the Sender interface each architecture supplies.
+package proxy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"gosip/internal/location"
+	"gosip/internal/metrics"
+	"gosip/internal/sipmsg"
+	"gosip/internal/transaction"
+	"gosip/internal/userdb"
+)
+
+// Sender delivers messages on behalf of the engine. Architectures
+// implement it: the UDP server writes datagrams; the TCP server resolves
+// connections, consulting the per-worker fd cache and falling back to
+// supervisor IPC.
+type Sender interface {
+	// ToOrigin sends a response back where its request came from (a UDP
+	// source address or a TCP connection identity).
+	ToOrigin(origin any, m *sipmsg.Message) error
+	// ToBinding forwards a request toward a registered binding. TCP
+	// senders prefer the connection the binding registered over (its
+	// Source address) and fall back to dialing the contact, mirroring
+	// OpenSER's connection reuse.
+	ToBinding(b location.Binding, m *sipmsg.Message) error
+	// ToAddr sends a message toward a host:port over the named transport
+	// ("UDP"/"TCP"), reusing or establishing a connection as needed.
+	ToAddr(transport, hostport string, m *sipmsg.Message) error
+}
+
+// Mode selects the server role (§2: proxy vs redirect server).
+type Mode int
+
+// Server roles.
+const (
+	// ModeProxy forwards requests toward the callee (the paper's subject).
+	ModeProxy Mode = iota
+	// ModeRedirect removes the server from the transaction: INVITEs are
+	// answered with 302 Moved Temporarily carrying the registered contact,
+	// and the caller contacts the callee directly.
+	ModeRedirect
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Mode selects proxying (default) or redirection.
+	Mode Mode
+	// Stateful selects the paper's stateful-proxy configuration: 100
+	// Trying, transaction state, retransmission. Stateless proxies just
+	// forward.
+	Stateful bool
+	// Reliable marks the transport as guaranteeing delivery (TCP); when
+	// true the retransmission timers are never armed ("the timer process
+	// is superfluous for TCP").
+	Reliable bool
+	// Via describes this proxy's own Via header (sent-by and transport).
+	ViaTransport string
+	ViaHost      string
+	ViaPort      int
+	// Domain is the domain this proxy is responsible for.
+	Domain string
+	// Auth enables digest authentication: REGISTERs are challenged with
+	// 401, other requests with 407, and verification costs a user-database
+	// lookup per request (the configuration Nahum et al. found most
+	// expensive).
+	Auth bool
+	// Routes maps foreign domains to next-hop proxy addresses
+	// ("host:port"). A request whose Request-URI host is not this proxy's
+	// domain and has a route entry is forwarded to that proxy rather than
+	// resolved locally — the multi-proxy message routing of §2.
+	Routes map[string]string
+	// RecordRoute makes the proxy insert a Record-Route header on
+	// dialog-forming requests so in-dialog requests (ACK, BYE) route back
+	// through it via Route headers (RFC 3261 §16.6/§12.2) instead of
+	// location-service lookups.
+	RecordRoute bool
+}
+
+// Engine is the proxy core.
+type Engine struct {
+	cfg  Config
+	loc  *location.Service
+	db   *userdb.DB
+	txns *transaction.Table
+
+	// timerSender delivers retransmissions and timeouts from the timer
+	// goroutine; nil disables retransmission even for unreliable
+	// transports.
+	timerSender Sender
+
+	msgs           *metrics.Counter
+	drops          *metrics.Counter
+	authChallenges *metrics.Counter
+	dialogRouted   *metrics.Counter
+	procTime       *metrics.Timer
+	sendTime       *metrics.Timer
+}
+
+// NewEngine assembles an engine. txns may be nil for a stateless proxy.
+func NewEngine(cfg Config, loc *location.Service, db *userdb.DB, txns *transaction.Table, profile *metrics.Profile) *Engine {
+	return &Engine{
+		cfg:            cfg,
+		loc:            loc,
+		db:             db,
+		txns:           txns,
+		msgs:           profile.Counter(metrics.MetricMsgsProcessed),
+		drops:          profile.Counter("proxy.drops"),
+		authChallenges: profile.Counter("proxy.auth_challenges"),
+		dialogRouted:   profile.Counter("proxy.dialog_routed"),
+		procTime:       profile.Timer(metrics.MetricProcessTime),
+		sendTime:       profile.Timer(metrics.MetricSendTime),
+	}
+}
+
+// SetTimerSender installs the sender used by retransmission callbacks
+// (typically the UDP server's shared socket, usable from any goroutine).
+func (e *Engine) SetTimerSender(s Sender) { e.timerSender = s }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// ownVia builds this proxy's Via header value with a fresh branch.
+func (e *Engine) ownVia() (sipmsg.Via, string) {
+	branch := sipmsg.NewBranch()
+	return sipmsg.Via{
+		Transport: e.cfg.ViaTransport,
+		Host:      e.cfg.ViaHost,
+		Port:      e.cfg.ViaPort,
+		Params:    map[string]string{"branch": branch},
+	}, branch
+}
+
+// Handle processes one message. It is called from a worker's event loop;
+// the time spent is accounted as worker processing time.
+func (e *Engine) Handle(s Sender, m *sipmsg.Message, origin any) {
+	start := time.Now()
+	defer func() { e.procTime.AddDuration(time.Since(start)) }()
+	e.msgs.Inc()
+
+	if m.IsRequest {
+		e.handleRequest(s, m, origin)
+	} else {
+		e.handleResponse(s, m)
+	}
+}
+
+func (e *Engine) handleRequest(s Sender, m *sipmsg.Message, origin any) {
+	if !e.requireAuth(s, m, origin) {
+		return
+	}
+	switch m.Method {
+	case sipmsg.REGISTER:
+		e.handleRegister(s, m, origin)
+	case sipmsg.ACK:
+		if e.cfg.Mode == ModeRedirect {
+			// The ACK for our 3xx terminates the redirected transaction.
+			return
+		}
+		// ACKs for 2xx are end-to-end: forwarded statelessly.
+		e.forwardStateless(s, m)
+	case sipmsg.CANCEL:
+		e.handleCancel(s, m, origin)
+	case sipmsg.INVITE, sipmsg.BYE, sipmsg.OPTIONS:
+		if e.cfg.Mode == ModeRedirect {
+			e.redirect(s, m, origin)
+			return
+		}
+		if e.cfg.Stateful {
+			e.forwardStateful(s, m, origin)
+		} else {
+			e.forwardStateless(s, m)
+		}
+	default:
+		e.reply(s, m, origin, sipmsg.StatusNotImplemented)
+	}
+}
+
+// redirect answers a request with 302 Moved Temporarily and the registered
+// contact, removing this server from the rest of the transaction (§2's
+// redirection server).
+func (e *Engine) redirect(s Sender, m *sipmsg.Message, origin any) {
+	binding, ok := e.route(m, false)
+	if !ok {
+		e.reply(s, m, origin, sipmsg.StatusNotFound)
+		return
+	}
+	resp := sipmsg.NewResponse(m, 302, sipmsg.NewTag())
+	resp.Reason = "Moved Temporarily"
+	resp.Add("Contact", sipmsg.NameAddr{URI: binding.Contact}.String())
+	e.sendToOrigin(s, origin, resp)
+}
+
+// handleCancel implements RFC 3261 §9.2 for the stateful proxy: the CANCEL
+// itself is answered 200 immediately; if the matching INVITE transaction
+// is still proceeding, the proxy completes it upstream with 487 Request
+// Terminated and propagates the CANCEL downstream on a best-effort basis.
+func (e *Engine) handleCancel(s Sender, m *sipmsg.Message, origin any) {
+	if !e.cfg.Stateful || e.txns == nil {
+		e.reply(s, m, origin, sipmsg.StatusNotImplemented)
+		return
+	}
+	key, err := m.TransactionKey() // CANCEL maps onto the INVITE key
+	if err != nil {
+		e.reply(s, m, origin, sipmsg.StatusBadRequest)
+		return
+	}
+	tx := e.txns.Match(key)
+	if tx == nil {
+		e.reply(s, m, origin, sipmsg.StatusTransactionNotFound)
+		return
+	}
+	e.reply(s, m, origin, sipmsg.StatusOK)
+	resp := sipmsg.NewResponse(tx.Request(), 487, sipmsg.NewTag())
+	resp.Reason = "Request Terminated"
+	if e.txns.Complete(tx, resp) {
+		e.sendToOrigin(s, tx.Origin, resp)
+		// Best-effort downstream CANCEL so the callee stops ringing.
+		if fwd := tx.Forwarded(); fwd != nil {
+			if binding, ok := e.route(tx.Request(), false); ok {
+				cancel := fwd.Clone()
+				cancel.Method = sipmsg.CANCEL
+				seq, _, _ := fwd.CSeq()
+				cancel.Set("CSeq", fmt.Sprintf("%d %s", seq, sipmsg.CANCEL))
+				cancel.Body = nil
+				_ = e.sendToBinding(s, binding, cancel)
+			}
+		}
+	}
+}
+
+func (e *Engine) handleRegister(s Sender, m *sipmsg.Message, origin any) {
+	// Validate the user against persistent storage (the MySQL stand-in),
+	// as OpenSER does on registration.
+	if to, ok := m.Get("To"); ok {
+		if na, err := sipmsg.ParseNameAddr(to); err == nil && e.db != nil {
+			if !e.db.Exists(na.URI.User, na.URI.Host) {
+				e.reply(s, m, origin, sipmsg.StatusNotFound)
+				return
+			}
+		}
+	}
+	source := ""
+	if src, ok := origin.(interface{ String() string }); ok {
+		source = src.String()
+	}
+	resp := e.loc.HandleRegister(m, source, e.cfg.ViaTransport, time.Now())
+	e.sendToOrigin(s, origin, resp)
+}
+
+// ownRouteURI is the Record-Route entry this proxy inserts.
+func (e *Engine) ownRouteURI() sipmsg.URI {
+	return sipmsg.URI{Host: e.cfg.ViaHost, Port: e.cfg.ViaPort, Params: map[string]string{"lr": ""}}
+}
+
+// popOwnRoute removes the topmost Route header if it names this proxy,
+// reporting whether the request was dialog-routed through us.
+func (e *Engine) popOwnRoute(m *sipmsg.Message) bool {
+	v, ok := m.Get("Route")
+	if !ok {
+		return false
+	}
+	na, err := sipmsg.ParseNameAddr(v)
+	if err != nil {
+		return false
+	}
+	if !strings.EqualFold(na.URI.Host, e.cfg.ViaHost) || na.URI.Port != e.cfg.ViaPort {
+		return false
+	}
+	m.RemoveFirst("Route")
+	e.dialogRouted.Inc()
+	return true
+}
+
+// route resolves the request's target, in RFC 3261 §16 order:
+//
+//  1. a remaining Route header (after popping our own) names the next hop;
+//  2. a Request-URI in this proxy's domain is resolved via the location
+//     service;
+//  3. a foreign domain with a static route entry goes to that proxy (§2's
+//     proxy sequences);
+//  4. a request that was dialog-routed through us (dialogRouted) is sent
+//     directly to its Request-URI — the loose-routing final hop.
+func (e *Engine) route(m *sipmsg.Message, dialogRouted bool) (location.Binding, bool) {
+	if v, ok := m.Get("Route"); ok {
+		na, err := sipmsg.ParseNameAddr(v)
+		if err != nil {
+			return location.Binding{}, false
+		}
+		return location.Binding{Contact: na.URI, Transport: e.cfg.ViaTransport}, true
+	}
+	host := strings.ToLower(m.RequestURI.Host)
+	if host != strings.ToLower(e.cfg.Domain) {
+		if hop, ok := e.cfg.Routes[host]; ok {
+			hopURI, err := sipmsg.ParseURI("sip:" + hop)
+			if err != nil {
+				return location.Binding{}, false
+			}
+			return location.Binding{Contact: hopURI, Transport: e.cfg.ViaTransport}, true
+		}
+		if dialogRouted {
+			// Final hop of a loose route: deliver to the Request-URI.
+			return location.Binding{Contact: m.RequestURI, Transport: e.cfg.ViaTransport}, true
+		}
+		return location.Binding{}, false
+	}
+	bindings, err := e.loc.Lookup(m.RequestURI.AOR(), time.Now())
+	if err != nil {
+		return location.Binding{}, false
+	}
+	return bindings[0], true
+}
+
+// forwardStateful implements the paper's §2 invite/bye sequence on the
+// proxy side.
+func (e *Engine) forwardStateful(s Sender, m *sipmsg.Message, origin any) {
+	key, err := m.TransactionKey()
+	if err != nil {
+		e.reply(s, m, origin, sipmsg.StatusBadRequest)
+		return
+	}
+	tx, isRetransmit := e.txns.Create(key, m, origin)
+	if isRetransmit {
+		// Absorb: replay the last response if we have one (the state
+		// maintenance that "decreases the amount of retransmitted messages
+		// the server must process").
+		if last := tx.LastResponse(); last != nil {
+			e.sendToOrigin(s, tx.Origin, last)
+		}
+		return
+	}
+
+	// Step 2: a stateful proxy responds to the INVITE with 100 Trying.
+	if m.Method == sipmsg.INVITE {
+		trying := sipmsg.NewResponse(m, sipmsg.StatusTrying, "")
+		tx.RecordUpstreamResponse(trying)
+		e.sendToOrigin(s, origin, trying)
+	}
+
+	if mf := m.MaxForwards(70); mf <= 0 {
+		e.finalizeLocal(s, tx, sipmsg.StatusTooManyHops)
+		return
+	}
+
+	dialogRouted := e.popOwnRoute(m)
+	binding, ok := e.route(m, dialogRouted)
+	if !ok {
+		e.finalizeLocal(s, tx, sipmsg.StatusNotFound)
+		return
+	}
+
+	// Build the forwarded request: decrement Max-Forwards, push our Via.
+	fwd := m.Clone()
+	fwd.Set("Max-Forwards", strconv.Itoa(m.MaxForwards(70)-1))
+	via, _ := e.ownVia()
+	fwd.Prepend("Via", via.String())
+	if e.cfg.RecordRoute && m.Method == sipmsg.INVITE {
+		fwd.Prepend("Record-Route", sipmsg.NameAddr{URI: e.ownRouteURI()}.String())
+	}
+	downKey, err := fwd.TransactionKey()
+	if err != nil {
+		e.finalizeLocal(s, tx, sipmsg.StatusServerError)
+		return
+	}
+	e.txns.SetForwarded(tx, downKey, fwd)
+
+	if err := e.sendToBinding(s, binding, fwd); err != nil {
+		e.finalizeLocal(s, tx, sipmsg.StatusServiceUnavail)
+		return
+	}
+
+	// Step 2 makes the proxy responsible for delivery: retransmit over
+	// unreliable transports until a response arrives.
+	if !e.cfg.Reliable && e.timerSender != nil {
+		ts := e.timerSender
+		e.txns.ArmRetransmit(tx,
+			func(msg *sipmsg.Message) {
+				_ = ts.ToBinding(binding, msg)
+			},
+			func() {
+				e.finalizeLocalVia(ts, tx, sipmsg.StatusRequestTimeout)
+			})
+	}
+}
+
+// finalizeLocal completes the transaction with a locally generated final
+// response sent upstream through the worker's sender.
+func (e *Engine) finalizeLocal(s Sender, tx *transaction.Transaction, code int) {
+	resp := sipmsg.NewResponse(tx.Request(), code, sipmsg.NewTag())
+	if e.txns.Complete(tx, resp) {
+		e.sendToOrigin(s, tx.Origin, resp)
+	}
+}
+
+// finalizeLocalVia is finalizeLocal for timer-goroutine contexts.
+func (e *Engine) finalizeLocalVia(s Sender, tx *transaction.Transaction, code int) {
+	resp := sipmsg.NewResponse(tx.Request(), code, sipmsg.NewTag())
+	if e.txns.Complete(tx, resp) {
+		e.sendToOrigin(s, tx.Origin, resp)
+	}
+}
+
+// forwardStateless forwards a request with no transaction state: the
+// caller retains responsibility for reliability (§2's stateless proxy).
+func (e *Engine) forwardStateless(s Sender, m *sipmsg.Message) {
+	if mf := m.MaxForwards(70); mf <= 0 {
+		e.drops.Inc()
+		return
+	}
+	dialogRouted := e.popOwnRoute(m)
+	binding, ok := e.route(m, dialogRouted)
+	if !ok {
+		e.drops.Inc()
+		return
+	}
+	fwd := m.Clone()
+	fwd.Set("Max-Forwards", strconv.Itoa(m.MaxForwards(70)-1))
+	via, _ := e.ownVia()
+	fwd.Prepend("Via", via.String())
+	if err := e.sendToBinding(s, binding, fwd); err != nil {
+		e.drops.Inc()
+	}
+}
+
+// handleResponse pops our Via and forwards the response upstream.
+func (e *Engine) handleResponse(s Sender, m *sipmsg.Message) {
+	top, err := m.TopVia()
+	if err != nil || top.Branch() == "" {
+		e.drops.Inc()
+		return
+	}
+	// The response's transaction key is OUR branch (the Via we pushed).
+	_, method, err := m.CSeq()
+	if err != nil {
+		e.drops.Inc()
+		return
+	}
+	if method == sipmsg.ACK || method == sipmsg.CANCEL {
+		method = sipmsg.INVITE
+	}
+	downKey := top.Branch() + "|" + string(method)
+
+	fwd := m.Clone()
+	if !fwd.RemoveFirst("Via") {
+		e.drops.Inc()
+		return
+	}
+
+	if !e.cfg.Stateful || e.txns == nil {
+		// Stateless: relay toward the next Via's sent-by.
+		next, err := fwd.TopVia()
+		if err != nil {
+			e.drops.Inc()
+			return
+		}
+		if err := e.sendToAddr(s, next.Transport, next.SentBy(), fwd); err != nil {
+			e.drops.Inc()
+		}
+		return
+	}
+
+	tx := e.txns.MatchResponse(downKey)
+	if tx == nil {
+		// Late or duplicate final response after linger: drop.
+		e.drops.Inc()
+		return
+	}
+	if fwd.StatusCode >= 200 {
+		if !e.txns.Complete(tx, fwd) {
+			e.drops.Inc() // duplicate final
+			return
+		}
+	} else {
+		tx.RecordUpstreamResponse(fwd)
+	}
+	e.sendToOrigin(s, tx.Origin, fwd)
+}
+
+// reply sends a locally generated response for a request outside any
+// transaction.
+func (e *Engine) reply(s Sender, req *sipmsg.Message, origin any, code int) {
+	tag := ""
+	if code != sipmsg.StatusTrying {
+		tag = sipmsg.NewTag()
+	}
+	e.sendToOrigin(s, origin, sipmsg.NewResponse(req, code, tag))
+}
+
+func (e *Engine) sendToOrigin(s Sender, origin any, m *sipmsg.Message) {
+	start := time.Now()
+	err := s.ToOrigin(origin, m)
+	e.sendTime.AddDuration(time.Since(start))
+	if err != nil {
+		e.drops.Inc()
+	}
+}
+
+func (e *Engine) sendToBinding(s Sender, b location.Binding, m *sipmsg.Message) error {
+	start := time.Now()
+	err := s.ToBinding(b, m)
+	e.sendTime.AddDuration(time.Since(start))
+	return err
+}
+
+func (e *Engine) sendToAddr(s Sender, transport, hostport string, m *sipmsg.Message) error {
+	start := time.Now()
+	err := s.ToAddr(transport, hostport, m)
+	e.sendTime.AddDuration(time.Since(start))
+	return err
+}
+
+// Describe renders the engine configuration for logs.
+func (e *Engine) Describe() string {
+	mode := "stateless"
+	if e.cfg.Stateful {
+		mode = "stateful"
+	}
+	return fmt.Sprintf("%s proxy via %s %s:%d", mode, e.cfg.ViaTransport, e.cfg.ViaHost, e.cfg.ViaPort)
+}

@@ -1,0 +1,514 @@
+package proxy
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gosip/internal/location"
+	"gosip/internal/metrics"
+	"gosip/internal/sipmsg"
+	"gosip/internal/timerlist"
+	"gosip/internal/transaction"
+	"gosip/internal/userdb"
+)
+
+// fakeSender records every delivery the engine makes.
+type fakeSender struct {
+	mu       sync.Mutex
+	toOrigin []sentMsg
+	toAddr   []sentMsg
+	failAddr bool
+}
+
+type sentMsg struct {
+	origin    any
+	transport string
+	hostport  string
+	msg       *sipmsg.Message
+}
+
+func (f *fakeSender) ToOrigin(origin any, m *sipmsg.Message) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.toOrigin = append(f.toOrigin, sentMsg{origin: origin, msg: m})
+	return nil
+}
+
+func (f *fakeSender) ToBinding(b location.Binding, m *sipmsg.Message) error {
+	hp := b.Contact.HostPort()
+	return f.ToAddr(b.Transport, hp, m)
+}
+
+func (f *fakeSender) ToAddr(transport, hostport string, m *sipmsg.Message) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failAddr {
+		return errors.New("fake send failure")
+	}
+	f.toAddr = append(f.toAddr, sentMsg{transport: transport, hostport: hostport, msg: m})
+	return nil
+}
+
+func (f *fakeSender) originMsgs() []sentMsg {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]sentMsg(nil), f.toOrigin...)
+}
+
+func (f *fakeSender) addrMsgs() []sentMsg {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]sentMsg(nil), f.toAddr...)
+}
+
+type env struct {
+	engine *Engine
+	loc    *location.Service
+	db     *userdb.DB
+	txns   *transaction.Table
+	timers *timerlist.List
+	prof   *metrics.Profile
+}
+
+func newEnv(t *testing.T, stateful, reliable bool) *env {
+	t.Helper()
+	prof := metrics.NewProfile()
+	loc := location.New()
+	db := userdb.New(userdb.Config{}, prof)
+	db.ProvisionN(10, "test.dom")
+	timers := timerlist.NewManual()
+	txns := transaction.NewTable(transaction.Config{T1: 10 * time.Millisecond, TimerB: 50 * time.Millisecond, Linger: time.Hour}, timers, prof)
+	cfg := Config{
+		Stateful:     stateful,
+		Reliable:     reliable,
+		ViaTransport: "UDP",
+		ViaHost:      "127.0.0.1",
+		ViaPort:      5060,
+		Domain:       "test.dom",
+	}
+	e := NewEngine(cfg, loc, db, txns, prof)
+	return &env{engine: e, loc: loc, db: db, txns: txns, timers: timers, prof: prof}
+}
+
+func (v *env) registerUser(i int, host string, port int) {
+	v.loc.Register(userdb.UserName(i)+"@test.dom", location.Binding{
+		Contact:   sipmsg.URI{User: userdb.UserName(i), Host: host, Port: port},
+		Transport: "UDP",
+		Source:    host,
+	}, time.Hour, time.Now())
+}
+
+func invite(from, to int) *sipmsg.Message {
+	return sipmsg.NewRequest(sipmsg.RequestSpec{
+		Method:     sipmsg.INVITE,
+		RequestURI: sipmsg.URI{User: userdb.UserName(to), Host: "test.dom"},
+		From:       sipmsg.NameAddr{URI: sipmsg.URI{User: userdb.UserName(from), Host: "test.dom"}, Params: map[string]string{"tag": sipmsg.NewTag()}},
+		To:         sipmsg.NameAddr{URI: sipmsg.URI{User: userdb.UserName(to), Host: "test.dom"}},
+		CallID:     sipmsg.NewCallID("caller"),
+		CSeq:       1,
+		Via:        sipmsg.Via{Transport: "UDP", Host: "10.0.0.1", Port: 5071},
+	})
+}
+
+func TestStatefulInviteFlow(t *testing.T) {
+	v := newEnv(t, true, false)
+	v.registerUser(1, "10.0.0.2", 5072)
+	s := &fakeSender{}
+
+	req := invite(0, 1)
+	v.engine.Handle(s, req, "caller-origin")
+
+	// Trying goes back to the caller.
+	origins := s.originMsgs()
+	if len(origins) != 1 || origins[0].msg.StatusCode != sipmsg.StatusTrying {
+		t.Fatalf("expected 100 Trying, got %+v", origins)
+	}
+	if origins[0].origin != "caller-origin" {
+		t.Errorf("Trying origin = %v", origins[0].origin)
+	}
+	// INVITE forwarded to the callee's contact, Via pushed, Max-Forwards decremented.
+	addrs := s.addrMsgs()
+	if len(addrs) != 1 {
+		t.Fatalf("forwarded %d messages", len(addrs))
+	}
+	fwd := addrs[0].msg
+	if addrs[0].hostport != "10.0.0.2:5072" {
+		t.Errorf("forward target = %q", addrs[0].hostport)
+	}
+	if got := len(fwd.GetAll("Via")); got != 2 {
+		t.Errorf("forwarded Via count = %d, want 2", got)
+	}
+	top, _ := fwd.TopVia()
+	if top.Host != "127.0.0.1" || top.Port != 5060 {
+		t.Errorf("pushed Via = %+v", top)
+	}
+	if fwd.MaxForwards(0) != 69 {
+		t.Errorf("Max-Forwards = %d", fwd.MaxForwards(0))
+	}
+
+	// Callee's 180 comes back keyed on OUR branch; it forwards upstream
+	// with our Via popped.
+	ringing := sipmsg.NewResponse(fwd, sipmsg.StatusRinging, "callee-tag")
+	v.engine.Handle(s, ringing, nil)
+	origins = s.originMsgs()
+	if len(origins) != 2 || origins[len(origins)-1].msg.StatusCode != sipmsg.StatusRinging {
+		t.Fatalf("ringing not forwarded: %+v", origins)
+	}
+	upResp := origins[len(origins)-1].msg
+	if len(upResp.GetAll("Via")) != 1 {
+		t.Errorf("Via not popped: %v", upResp.GetAll("Via"))
+	}
+	if origins[len(origins)-1].origin != "caller-origin" {
+		t.Error("response did not return to caller origin")
+	}
+
+	// Final 200 completes the transaction.
+	ok200 := sipmsg.NewResponse(fwd, sipmsg.StatusOK, "callee-tag")
+	v.engine.Handle(s, ok200, nil)
+	origins = s.originMsgs()
+	if origins[len(origins)-1].msg.StatusCode != sipmsg.StatusOK {
+		t.Fatal("200 not forwarded")
+	}
+	k, _ := req.TransactionKey()
+	tx := v.txns.Match(k)
+	if tx == nil || tx.State() != transaction.StateCompleted {
+		t.Errorf("transaction not completed: %v", tx)
+	}
+}
+
+func TestRetransmittedInviteAbsorbed(t *testing.T) {
+	v := newEnv(t, true, false)
+	v.registerUser(1, "10.0.0.2", 5072)
+	s := &fakeSender{}
+	req := invite(0, 1)
+	v.engine.Handle(s, req, "o")
+	forwardedBefore := len(s.addrMsgs())
+
+	v.engine.Handle(s, req, "o") // retransmission
+	if got := len(s.addrMsgs()); got != forwardedBefore {
+		t.Errorf("retransmitted INVITE was re-forwarded (%d -> %d)", forwardedBefore, got)
+	}
+	// The absorbed retransmit is answered with the last response (Trying).
+	origins := s.originMsgs()
+	last := origins[len(origins)-1].msg
+	if last.StatusCode != sipmsg.StatusTrying {
+		t.Errorf("replayed response = %d, want 100", last.StatusCode)
+	}
+}
+
+func TestUnknownUser404(t *testing.T) {
+	v := newEnv(t, true, false)
+	s := &fakeSender{}
+	req := invite(0, 7) // user7 provisioned but never registered
+	v.engine.Handle(s, req, "o")
+	origins := s.originMsgs()
+	if len(origins) != 2 {
+		t.Fatalf("responses = %d, want Trying + 404", len(origins))
+	}
+	if origins[1].msg.StatusCode != sipmsg.StatusNotFound {
+		t.Errorf("status = %d, want 404", origins[1].msg.StatusCode)
+	}
+}
+
+func TestMaxForwardsExceeded(t *testing.T) {
+	v := newEnv(t, true, false)
+	v.registerUser(1, "10.0.0.2", 5072)
+	s := &fakeSender{}
+	req := invite(0, 1)
+	req.Set("Max-Forwards", "0")
+	v.engine.Handle(s, req, "o")
+	origins := s.originMsgs()
+	if origins[len(origins)-1].msg.StatusCode != sipmsg.StatusTooManyHops {
+		t.Errorf("status = %d, want 483", origins[len(origins)-1].msg.StatusCode)
+	}
+	if len(s.addrMsgs()) != 0 {
+		t.Error("request forwarded despite Max-Forwards 0")
+	}
+}
+
+func TestForwardFailure503(t *testing.T) {
+	v := newEnv(t, true, false)
+	v.registerUser(1, "10.0.0.2", 5072)
+	s := &fakeSender{failAddr: true}
+	v.engine.Handle(s, invite(0, 1), "o")
+	origins := s.originMsgs()
+	if origins[len(origins)-1].msg.StatusCode != sipmsg.StatusServiceUnavail {
+		t.Errorf("status = %d, want 503", origins[len(origins)-1].msg.StatusCode)
+	}
+}
+
+func TestRegisterFlow(t *testing.T) {
+	v := newEnv(t, true, false)
+	s := &fakeSender{}
+	u := sipmsg.URI{User: userdb.UserName(2), Host: "test.dom"}
+	reg := sipmsg.NewRequest(sipmsg.RequestSpec{
+		Method:     sipmsg.REGISTER,
+		RequestURI: sipmsg.URI{Host: "test.dom"},
+		From:       sipmsg.NameAddr{URI: u, Params: map[string]string{"tag": "t"}},
+		To:         sipmsg.NameAddr{URI: u},
+		CallID:     sipmsg.NewCallID("ph"),
+		CSeq:       1,
+		Via:        sipmsg.Via{Transport: "UDP", Host: "10.0.0.3", Port: 5073},
+		Contact:    &sipmsg.NameAddr{URI: sipmsg.URI{User: userdb.UserName(2), Host: "10.0.0.3", Port: 5073}},
+		Expires:    600,
+	})
+	v.engine.Handle(s, reg, "o")
+	origins := s.originMsgs()
+	if len(origins) != 1 || origins[0].msg.StatusCode != sipmsg.StatusOK {
+		t.Fatalf("register response: %+v", origins)
+	}
+	if _, err := v.loc.Lookup(userdb.UserName(2)+"@test.dom", time.Now()); err != nil {
+		t.Errorf("binding not installed: %v", err)
+	}
+}
+
+func TestRegisterUnknownUserRejected(t *testing.T) {
+	v := newEnv(t, true, false)
+	s := &fakeSender{}
+	u := sipmsg.URI{User: "stranger", Host: "test.dom"}
+	reg := sipmsg.NewRequest(sipmsg.RequestSpec{
+		Method: sipmsg.REGISTER, RequestURI: sipmsg.URI{Host: "test.dom"},
+		From: sipmsg.NameAddr{URI: u, Params: map[string]string{"tag": "t"}}, To: sipmsg.NameAddr{URI: u},
+		CallID: sipmsg.NewCallID("ph"), CSeq: 1,
+		Via:     sipmsg.Via{Transport: "UDP", Host: "10.0.0.3", Port: 5073},
+		Contact: &sipmsg.NameAddr{URI: sipmsg.URI{User: "stranger", Host: "10.0.0.3", Port: 5073}},
+	})
+	v.engine.Handle(s, reg, "o")
+	if got := s.originMsgs()[0].msg.StatusCode; got != sipmsg.StatusNotFound {
+		t.Errorf("status = %d, want 404", got)
+	}
+}
+
+func TestRetransmissionOverUnreliableTransport(t *testing.T) {
+	v := newEnv(t, true, false)
+	v.registerUser(1, "10.0.0.2", 5072)
+	worker := &fakeSender{}
+	timer := &fakeSender{}
+	v.engine.SetTimerSender(timer)
+
+	v.engine.Handle(worker, invite(0, 1), "o")
+	base := time.Now()
+	v.timers.CheckNow(base.Add(15 * time.Millisecond))
+	v.timers.CheckNow(base.Add(45 * time.Millisecond))
+	if got := len(timer.addrMsgs()); got < 1 {
+		t.Errorf("no retransmissions fired (got %d)", got)
+	}
+	// Timeout: TimerB fires 408 upstream.
+	v.timers.CheckNow(base.Add(10 * time.Second))
+	found := false
+	for _, sm := range timer.originMsgs() {
+		if sm.msg.StatusCode == sipmsg.StatusRequestTimeout {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("408 not generated on TimerB expiry")
+	}
+}
+
+func TestReliableTransportNeverRetransmits(t *testing.T) {
+	v := newEnv(t, true, true)
+	v.registerUser(1, "10.0.0.2", 5072)
+	timer := &fakeSender{}
+	v.engine.SetTimerSender(timer)
+	s := &fakeSender{}
+	v.engine.Handle(s, invite(0, 1), "o")
+	v.timers.CheckNow(time.Now().Add(time.Hour))
+	if len(timer.addrMsgs()) != 0 {
+		t.Error("TCP transaction retransmitted")
+	}
+	if v.prof.Counter(metrics.MetricRetransmits).Value() != 0 {
+		t.Error("retransmit counter nonzero")
+	}
+}
+
+func TestStatelessForwarding(t *testing.T) {
+	v := newEnv(t, false, false)
+	v.registerUser(1, "10.0.0.2", 5072)
+	s := &fakeSender{}
+	v.engine.Handle(s, invite(0, 1), "o")
+	// No Trying in stateless mode.
+	if len(s.originMsgs()) != 0 {
+		t.Errorf("stateless proxy sent %d responses", len(s.originMsgs()))
+	}
+	addrs := s.addrMsgs()
+	if len(addrs) != 1 {
+		t.Fatalf("forwarded %d", len(addrs))
+	}
+	// A response relays toward the next Via hop.
+	resp := sipmsg.NewResponse(addrs[0].msg, sipmsg.StatusOK, "g")
+	v.engine.Handle(s, resp, nil)
+	addrs = s.addrMsgs()
+	relayed := addrs[len(addrs)-1]
+	if relayed.hostport != "10.0.0.1:5071" {
+		t.Errorf("stateless response relayed to %q, want the caller Via sent-by", relayed.hostport)
+	}
+	if v.txns.Len() != 0 {
+		t.Error("stateless proxy created transactions")
+	}
+}
+
+func TestResponseWithoutTransactionDropped(t *testing.T) {
+	v := newEnv(t, true, false)
+	s := &fakeSender{}
+	resp := &sipmsg.Message{StatusCode: 200, Reason: "OK"}
+	resp.Add("Via", "SIP/2.0/UDP 127.0.0.1:5060;branch=z9hG4bKnope")
+	resp.Add("Via", "SIP/2.0/UDP 10.0.0.1:5071;branch=z9hG4bKcaller")
+	resp.Add("CSeq", "1 INVITE")
+	resp.Add("From", "<sip:a@x>;tag=1")
+	resp.Add("To", "<sip:b@y>;tag=2")
+	resp.Add("Call-ID", "x")
+	before := v.prof.Counter("proxy.drops").Value()
+	v.engine.Handle(s, resp, nil)
+	if len(s.originMsgs())+len(s.addrMsgs()) != 0 {
+		t.Error("orphan response was forwarded")
+	}
+	if v.prof.Counter("proxy.drops").Value() != before+1 {
+		t.Error("drop not counted")
+	}
+}
+
+func TestAckForwardedStatelessly(t *testing.T) {
+	v := newEnv(t, true, false)
+	v.registerUser(1, "10.0.0.2", 5072)
+	s := &fakeSender{}
+	ack := invite(0, 1)
+	ack.Method = sipmsg.ACK
+	ack.Set("CSeq", "1 ACK")
+	v.engine.Handle(s, ack, "o")
+	addrs := s.addrMsgs()
+	if len(addrs) != 1 || addrs[0].msg.Method != sipmsg.ACK {
+		t.Fatalf("ACK not forwarded: %+v", addrs)
+	}
+	if v.txns.Len() != 0 {
+		t.Error("ACK created transaction state")
+	}
+}
+
+func TestCancelWithoutTransaction481(t *testing.T) {
+	v := newEnv(t, true, false)
+	s := &fakeSender{}
+	req := invite(0, 1)
+	req.Method = sipmsg.CANCEL
+	req.Set("CSeq", "1 CANCEL")
+	v.engine.Handle(s, req, "o")
+	if got := s.originMsgs()[0].msg.StatusCode; got != sipmsg.StatusTransactionNotFound {
+		t.Errorf("status = %d, want 481", got)
+	}
+}
+
+func TestCancelTerminatesProceedingInvite(t *testing.T) {
+	v := newEnv(t, true, false)
+	v.registerUser(1, "10.0.0.2", 5072)
+	s := &fakeSender{}
+	req := invite(0, 1)
+	v.engine.Handle(s, req, "caller")
+
+	cancel := req.Clone()
+	cancel.Method = sipmsg.CANCEL
+	cancel.Set("CSeq", "1 CANCEL")
+	cancel.Body = nil
+	v.engine.Handle(s, cancel, "caller")
+
+	var got200, got487, gotDownstreamCancel bool
+	for _, sm := range s.originMsgs() {
+		if sm.msg.StatusCode == sipmsg.StatusOK {
+			if _, method, _ := sm.msg.CSeq(); method == sipmsg.CANCEL {
+				got200 = true
+			}
+		}
+		if sm.msg.StatusCode == 487 {
+			got487 = true
+		}
+	}
+	for _, sm := range s.addrMsgs() {
+		if sm.msg.Method == sipmsg.CANCEL {
+			gotDownstreamCancel = true
+		}
+	}
+	if !got200 {
+		t.Error("CANCEL not answered with 200")
+	}
+	if !got487 {
+		t.Error("INVITE not terminated with 487")
+	}
+	if !gotDownstreamCancel {
+		t.Error("CANCEL not propagated downstream")
+	}
+	// A late 200 from the callee is now a duplicate final: dropped.
+	fwd := s.addrMsgs()[0].msg
+	before := len(s.originMsgs())
+	v.engine.Handle(s, sipmsg.NewResponse(fwd, sipmsg.StatusOK, "late"), nil)
+	if len(s.originMsgs()) != before {
+		t.Error("late 200 forwarded after CANCEL")
+	}
+}
+
+func TestRedirectMode(t *testing.T) {
+	prof := metrics.NewProfile()
+	loc := location.New()
+	db := userdb.New(userdb.Config{}, prof)
+	db.ProvisionN(4, "test.dom")
+	e := NewEngine(Config{
+		Mode: ModeRedirect, Stateful: true,
+		ViaTransport: "UDP", ViaHost: "127.0.0.1", ViaPort: 5060, Domain: "test.dom",
+	}, loc, db, nil, prof)
+	loc.Register(userdb.UserName(1)+"@test.dom", location.Binding{
+		Contact: sipmsg.URI{User: userdb.UserName(1), Host: "10.9.9.9", Port: 5099},
+	}, time.Hour, time.Now())
+	s := &fakeSender{}
+
+	e.Handle(s, invite(0, 1), "o")
+	origins := s.originMsgs()
+	if len(origins) != 1 || origins[0].msg.StatusCode != 302 {
+		t.Fatalf("redirect response: %+v", origins)
+	}
+	if ct, ok := origins[0].msg.Get("Contact"); !ok || !strings.Contains(ct, "10.9.9.9:5099") {
+		t.Errorf("Contact = %q", ct)
+	}
+	if len(s.addrMsgs()) != 0 {
+		t.Error("redirect server forwarded the request")
+	}
+
+	// Unknown callee: 404.
+	e.Handle(s, invite(0, 3), "o")
+	origins = s.originMsgs()
+	if origins[len(origins)-1].msg.StatusCode != sipmsg.StatusNotFound {
+		t.Errorf("unknown user: %d", origins[len(origins)-1].msg.StatusCode)
+	}
+
+	// ACK for the 302 is absorbed silently.
+	ack := invite(0, 1)
+	ack.Method = sipmsg.ACK
+	ack.Set("CSeq", "1 ACK")
+	before := len(s.originMsgs()) + len(s.addrMsgs())
+	e.Handle(s, ack, "o")
+	if len(s.originMsgs())+len(s.addrMsgs()) != before {
+		t.Error("redirect server responded to ACK")
+	}
+}
+
+func TestDuplicateFinalResponseDropped(t *testing.T) {
+	v := newEnv(t, true, false)
+	v.registerUser(1, "10.0.0.2", 5072)
+	s := &fakeSender{}
+	v.engine.Handle(s, invite(0, 1), "o")
+	fwd := s.addrMsgs()[0].msg
+	ok200 := sipmsg.NewResponse(fwd, sipmsg.StatusOK, "g")
+	v.engine.Handle(s, ok200, nil)
+	upCount := len(s.originMsgs())
+	v.engine.Handle(s, ok200.Clone(), nil) // duplicate final
+	if len(s.originMsgs()) != upCount {
+		t.Error("duplicate final response forwarded twice")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	v := newEnv(t, true, false)
+	if v.engine.Describe() == "" {
+		t.Error("empty description")
+	}
+}

@@ -1,0 +1,73 @@
+package sipmsg
+
+import "testing"
+
+func BenchmarkParseInvite(b *testing.B) {
+	data := []byte(sampleInvite)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerializeInvite(b *testing.B) {
+	m, err := Parse([]byte(sampleInvite))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Serialize()
+	}
+}
+
+func BenchmarkStreamFraming(b *testing.B) {
+	m := buildTestRequest(7)
+	wire := m.Serialize()
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	var p StreamParser
+	for i := 0; i < b.N; i++ {
+		p.Feed(wire)
+		if _, err := p.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseURI(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseURI("sip:alice@atlanta.example.com:5070;transport=tcp"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseVia(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseVia("SIP/2.0/UDP pc33.atlanta.example.com:5066;branch=z9hG4bK776asdhds"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewBranch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NewBranch()
+	}
+}
+
+func BenchmarkTransactionKey(b *testing.B) {
+	m, _ := Parse([]byte(sampleInvite))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.TransactionKey(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

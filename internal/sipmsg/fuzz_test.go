@@ -1,0 +1,69 @@
+package sipmsg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics on arbitrary input and
+// that every accepted message survives a serialize→reparse round trip
+// with its framing-relevant fields intact. Run longer with:
+//
+//	go test -fuzz=FuzzParse ./internal/sipmsg
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sampleInvite))
+	f.Add([]byte("SIP/2.0 200 OK\r\nVia: SIP/2.0/UDP a;branch=z9hG4bK1\r\nCSeq: 1 INVITE\r\n\r\n"))
+	f.Add([]byte("REGISTER sip:d SIP/2.0\r\nContact: <sip:a@b:5060>\r\nExpires: 60\r\n\r\n"))
+	f.Add([]byte("INVITE sip:a@[::1]:5 SIP/2.0\r\nVia: SIP/2.0/TCP [::1];branch=z9hG4bK2\r\n\r\nbody"))
+	f.Add([]byte("\r\n\r\n"))
+	f.Add([]byte{0x00, 0x0d, 0x0a, 0x0d, 0x0a})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out := m.Serialize()
+		m2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("accepted message does not reparse: %v\ninput:  %q\noutput: %q", err, data, out)
+		}
+		if m2.IsRequest != m.IsRequest || m2.Method != m.Method || m2.StatusCode != m.StatusCode {
+			t.Fatalf("round trip changed identity: %+v vs %+v", m, m2)
+		}
+		if !bytes.Equal(m2.Body, m.Body) {
+			t.Fatalf("round trip changed body: %q vs %q", m.Body, m2.Body)
+		}
+		if len(m2.Headers) != len(m.Headers) {
+			t.Fatalf("round trip changed header count: %d vs %d", len(m.Headers), len(m2.Headers))
+		}
+	})
+}
+
+// FuzzStreamParser checks the TCP framer against arbitrary chunk splits of
+// arbitrary bytes: no panics, and whatever messages come out must be
+// parseable on their own.
+func FuzzStreamParser(f *testing.F) {
+	f.Add([]byte(sampleInvite), uint8(3))
+	f.Add([]byte("\r\n\r\nINVITE sip:a@b SIP/2.0\r\nContent-Length: 0\r\n\r\n"), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		step := int(chunk)%7 + 1
+		var p StreamParser
+		for len(data) > 0 {
+			n := step
+			if n > len(data) {
+				n = len(data)
+			}
+			p.Feed(data[:n])
+			data = data[n:]
+			for {
+				m, err := p.Next()
+				if err != nil {
+					break // incomplete or fatal framing error: both fine
+				}
+				if _, err := Parse(m.Serialize()); err != nil {
+					t.Fatalf("framed message does not reparse: %v", err)
+				}
+			}
+		}
+	})
+}

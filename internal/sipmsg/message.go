@@ -1,0 +1,371 @@
+// Package sipmsg implements a SIP (RFC 3261) message model: parsing,
+// serialization, header manipulation, and stream framing for
+// connection-oriented transports.
+//
+// The package is deliberately self-contained (stdlib only) and covers the
+// subset of SIP exercised by a proxy handling REGISTER, INVITE, ACK, and BYE
+// transactions, which is the workload studied by Ram et al. (ISPASS 2008).
+package sipmsg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Method is a SIP request method.
+type Method string
+
+// The SIP methods used by the proxy workloads in this repository.
+const (
+	INVITE   Method = "INVITE"
+	ACK      Method = "ACK"
+	BYE      Method = "BYE"
+	CANCEL   Method = "CANCEL"
+	REGISTER Method = "REGISTER"
+	OPTIONS  Method = "OPTIONS"
+)
+
+// IsValid reports whether m is one of the methods this stack understands.
+func (m Method) IsValid() bool {
+	switch m {
+	case INVITE, ACK, BYE, CANCEL, REGISTER, OPTIONS:
+		return true
+	}
+	return false
+}
+
+// Common SIP status codes.
+const (
+	StatusTrying              = 100
+	StatusRinging             = 180
+	StatusOK                  = 200
+	StatusBadRequest          = 400
+	StatusUnauthorized        = 401
+	StatusNotFound            = 404
+	StatusRequestTimeout      = 408
+	StatusTemporarilyUnavail  = 480
+	StatusTransactionNotFound = 481
+	StatusLoopDetected        = 482
+	StatusTooManyHops         = 483
+	StatusBusyHere            = 486
+	StatusServerError         = 500
+	StatusNotImplemented      = 501
+	StatusServiceUnavail      = 503
+)
+
+// StatusText returns the canonical reason phrase for a status code.
+func StatusText(code int) string {
+	switch code {
+	case StatusTrying:
+		return "Trying"
+	case StatusRinging:
+		return "Ringing"
+	case StatusOK:
+		return "OK"
+	case StatusBadRequest:
+		return "Bad Request"
+	case StatusUnauthorized:
+		return "Unauthorized"
+	case StatusNotFound:
+		return "Not Found"
+	case StatusRequestTimeout:
+		return "Request Timeout"
+	case StatusTemporarilyUnavail:
+		return "Temporarily Unavailable"
+	case StatusTransactionNotFound:
+		return "Call/Transaction Does Not Exist"
+	case StatusLoopDetected:
+		return "Loop Detected"
+	case StatusTooManyHops:
+		return "Too Many Hops"
+	case StatusBusyHere:
+		return "Busy Here"
+	case StatusServerError:
+		return "Server Internal Error"
+	case StatusNotImplemented:
+		return "Not Implemented"
+	case StatusServiceUnavail:
+		return "Service Unavailable"
+	}
+	return "Unknown"
+}
+
+// SIPVersion is the only protocol version this stack speaks.
+const SIPVersion = "SIP/2.0"
+
+// Header is a single SIP header field. Order of headers is significant in
+// SIP (notably for Via), so Message keeps headers as an ordered slice.
+type Header struct {
+	Name  string // canonical name, e.g. "Via"
+	Value string // raw value, unparsed
+}
+
+// Message is a parsed SIP request or response.
+//
+// A Message is a request when IsRequest is true: Method and RequestURI are
+// meaningful. Otherwise it is a response and StatusCode/Reason are
+// meaningful. Headers preserves receive order. Body holds the (possibly
+// empty) message body; Content-Length is maintained by Serialize.
+type Message struct {
+	IsRequest  bool
+	Method     Method // requests only
+	RequestURI URI    // requests only
+	StatusCode int    // responses only
+	Reason     string // responses only
+
+	Headers []Header
+	Body    []byte
+}
+
+// IsResponse reports whether m is a response.
+func (m *Message) IsResponse() bool { return !m.IsRequest }
+
+// canonicalName maps header names (including RFC 3261 compact forms) to
+// their canonical capitalization so lookups are case-insensitive.
+func canonicalName(name string) string {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "v", "via":
+		return "Via"
+	case "f", "from":
+		return "From"
+	case "t", "to":
+		return "To"
+	case "i", "call-id":
+		return "Call-ID"
+	case "m", "contact":
+		return "Contact"
+	case "l", "content-length":
+		return "Content-Length"
+	case "c", "content-type":
+		return "Content-Type"
+	case "e", "content-encoding":
+		return "Content-Encoding"
+	case "k", "supported":
+		return "Supported"
+	case "s", "subject":
+		return "Subject"
+	case "cseq":
+		return "CSeq"
+	case "max-forwards":
+		return "Max-Forwards"
+	case "expires":
+		return "Expires"
+	case "route":
+		return "Route"
+	case "record-route":
+		return "Record-Route"
+	case "user-agent":
+		return "User-Agent"
+	case "www-authenticate":
+		return "WWW-Authenticate"
+	case "authorization":
+		return "Authorization"
+	default:
+		// Title-case each hyphen-separated part.
+		parts := strings.Split(strings.TrimSpace(name), "-")
+		for i, p := range parts {
+			if p == "" {
+				continue
+			}
+			parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
+		}
+		return strings.Join(parts, "-")
+	}
+}
+
+// Get returns the value of the first header with the given name (case- and
+// compact-form-insensitive) and whether it was present.
+func (m *Message) Get(name string) (string, bool) {
+	cn := canonicalName(name)
+	for i := range m.Headers {
+		if m.Headers[i].Name == cn {
+			return m.Headers[i].Value, true
+		}
+	}
+	return "", false
+}
+
+// GetAll returns the values of every header with the given name, in order.
+func (m *Message) GetAll(name string) []string {
+	cn := canonicalName(name)
+	var out []string
+	for i := range m.Headers {
+		if m.Headers[i].Name == cn {
+			out = append(out, m.Headers[i].Value)
+		}
+	}
+	return out
+}
+
+// Set replaces the first header with the given name, or appends it if absent.
+func (m *Message) Set(name, value string) {
+	cn := canonicalName(name)
+	for i := range m.Headers {
+		if m.Headers[i].Name == cn {
+			m.Headers[i].Value = value
+			return
+		}
+	}
+	m.Headers = append(m.Headers, Header{Name: cn, Value: value})
+}
+
+// Add appends a header without replacing existing ones with the same name.
+func (m *Message) Add(name, value string) {
+	m.Headers = append(m.Headers, Header{Name: canonicalName(name), Value: value})
+}
+
+// Prepend inserts a header before all existing headers. SIP proxies use this
+// to push a Via on the top of the Via stack.
+func (m *Message) Prepend(name, value string) {
+	cn := canonicalName(name)
+	m.Headers = append([]Header{{Name: cn, Value: value}}, m.Headers...)
+}
+
+// Del removes every header with the given name and returns how many were
+// removed.
+func (m *Message) Del(name string) int {
+	cn := canonicalName(name)
+	n := 0
+	out := m.Headers[:0]
+	for _, h := range m.Headers {
+		if h.Name == cn {
+			n++
+			continue
+		}
+		out = append(out, h)
+	}
+	m.Headers = out
+	return n
+}
+
+// RemoveFirst removes the first header with the given name and reports
+// whether one was removed. Proxies use this to pop the topmost Via from a
+// response before forwarding it upstream.
+func (m *Message) RemoveFirst(name string) bool {
+	cn := canonicalName(name)
+	for i := range m.Headers {
+		if m.Headers[i].Name == cn {
+			m.Headers = append(m.Headers[:i], m.Headers[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// CallID returns the Call-ID header value.
+func (m *Message) CallID() string {
+	v, _ := m.Get("Call-ID")
+	return v
+}
+
+// CSeq returns the parsed CSeq header (sequence number and method).
+func (m *Message) CSeq() (uint32, Method, error) {
+	v, ok := m.Get("CSeq")
+	if !ok {
+		return 0, "", fmt.Errorf("sipmsg: missing CSeq")
+	}
+	return ParseCSeq(v)
+}
+
+// ParseCSeq parses a CSeq header value of the form "<seq> <METHOD>".
+func ParseCSeq(v string) (uint32, Method, error) {
+	fields := strings.Fields(v)
+	if len(fields) != 2 {
+		return 0, "", fmt.Errorf("sipmsg: malformed CSeq %q", v)
+	}
+	n, err := strconv.ParseUint(fields[0], 10, 32)
+	if err != nil {
+		return 0, "", fmt.Errorf("sipmsg: malformed CSeq number %q: %v", fields[0], err)
+	}
+	return uint32(n), Method(strings.ToUpper(fields[1])), nil
+}
+
+// MaxForwards returns the Max-Forwards value, or def when absent/garbled.
+func (m *Message) MaxForwards(def int) int {
+	v, ok := m.Get("Max-Forwards")
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || n < 0 {
+		return def
+	}
+	return n
+}
+
+// TopVia returns the first Via header parsed, or an error if absent or
+// malformed.
+func (m *Message) TopVia() (Via, error) {
+	v, ok := m.Get("Via")
+	if !ok {
+		return Via{}, fmt.Errorf("sipmsg: missing Via")
+	}
+	return ParseVia(v)
+}
+
+// FromTag and ToTag extract the tag parameter of the From/To headers;
+// empty string when absent.
+func (m *Message) FromTag() string { return tagOf(m, "From") }
+
+// ToTag returns the tag parameter of the To header, or "".
+func (m *Message) ToTag() string { return tagOf(m, "To") }
+
+func tagOf(m *Message, name string) string {
+	v, ok := m.Get(name)
+	if !ok {
+		return ""
+	}
+	na, err := ParseNameAddr(v)
+	if err != nil {
+		return ""
+	}
+	return na.Params["tag"]
+}
+
+// TransactionKey identifies the transaction a message belongs to, following
+// the RFC 3261 §17.2.3 rule for z9hG4bK branches: top Via branch + CSeq
+// method (so that an ACK for a non-2xx response and CANCEL match their
+// INVITE's transaction, they are distinguished by the caller if needed).
+func (m *Message) TransactionKey() (string, error) {
+	via, err := m.TopVia()
+	if err != nil {
+		return "", err
+	}
+	branch := via.Branch()
+	if branch == "" {
+		return "", fmt.Errorf("sipmsg: top Via has no branch")
+	}
+	_, method, err := m.CSeq()
+	if err != nil {
+		return "", err
+	}
+	if method == ACK {
+		// ACK for non-2xx matches the INVITE server transaction.
+		method = INVITE
+	}
+	if method == CANCEL {
+		method = INVITE
+	}
+	return branch + "|" + string(method), nil
+}
+
+// Clone returns a deep copy of the message.
+func (m *Message) Clone() *Message {
+	c := *m
+	c.Headers = make([]Header, len(m.Headers))
+	copy(c.Headers, m.Headers)
+	if m.Body != nil {
+		c.Body = make([]byte, len(m.Body))
+		copy(c.Body, m.Body)
+	}
+	return &c
+}
+
+// ShortString renders a one-line summary useful in logs and tests.
+func (m *Message) ShortString() string {
+	if m.IsRequest {
+		return fmt.Sprintf("%s %s", m.Method, m.RequestURI.String())
+	}
+	return fmt.Sprintf("%d %s", m.StatusCode, m.Reason)
+}

@@ -1,0 +1,213 @@
+package sipmsg
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse errors. ErrIncomplete is returned by the stream framer when more
+// bytes are needed; datagram parsing treats truncation as a hard error.
+var (
+	ErrIncomplete = errors.New("sipmsg: incomplete message")
+	ErrTooLarge   = errors.New("sipmsg: message exceeds size limit")
+)
+
+// Limits applied during parsing. SIP messages in the studied workloads are
+// a few hundred bytes; these bounds protect the proxy from hostile input.
+const (
+	MaxHeaderBytes = 32 << 10 // maximum size of the start line + headers
+	MaxBodyBytes   = 64 << 10 // maximum Content-Length accepted
+	MaxHeaderCount = 128      // maximum number of header fields
+)
+
+// Parse parses a complete SIP message from a datagram. The entire buffer
+// must contain exactly the headers and, if Content-Length is present, at
+// least that many body bytes (trailing bytes beyond Content-Length are
+// ignored, matching RFC 3261 §18.3 for UDP).
+func Parse(data []byte) (*Message, error) {
+	m, bodyStart, clen, err := parseHead(data)
+	if err != nil {
+		return nil, err
+	}
+	body := data[bodyStart:]
+	if clen >= 0 {
+		if len(body) < clen {
+			return nil, fmt.Errorf("%w: body %d < Content-Length %d", ErrIncomplete, len(body), clen)
+		}
+		body = body[:clen]
+	}
+	if len(body) > 0 {
+		m.Body = append([]byte(nil), body...)
+	}
+	return m, nil
+}
+
+// parseHead parses the start line and headers. It returns the message with
+// headers populated, the offset where the body begins, and the declared
+// Content-Length (-1 when absent).
+func parseHead(data []byte) (*Message, int, int, error) {
+	headEnd := bytes.Index(data, []byte("\r\n\r\n"))
+	if headEnd < 0 {
+		return nil, 0, 0, fmt.Errorf("%w: no header terminator", ErrIncomplete)
+	}
+	if headEnd > MaxHeaderBytes {
+		return nil, 0, 0, ErrTooLarge
+	}
+	head := data[:headEnd]
+	bodyStart := headEnd + 4
+
+	lines, err := splitHeaderLines(head)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if len(lines) == 0 {
+		return nil, 0, 0, fmt.Errorf("sipmsg: empty message")
+	}
+	m, err := parseStartLine(lines[0])
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	clen := -1
+	if len(lines)-1 > MaxHeaderCount {
+		return nil, 0, 0, fmt.Errorf("sipmsg: too many headers (%d)", len(lines)-1)
+	}
+	for _, ln := range lines[1:] {
+		colon := strings.IndexByte(ln, ':')
+		if colon <= 0 {
+			return nil, 0, 0, fmt.Errorf("sipmsg: malformed header line %q", ln)
+		}
+		if !isHeaderToken(strings.TrimRight(ln[:colon], " \t")) {
+			return nil, 0, 0, fmt.Errorf("sipmsg: invalid header name in %q", ln)
+		}
+		name := canonicalName(ln[:colon])
+		value := strings.TrimSpace(ln[colon+1:])
+		if name == "Content-Length" {
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return nil, 0, 0, fmt.Errorf("sipmsg: bad Content-Length %q", value)
+			}
+			if n > MaxBodyBytes {
+				return nil, 0, 0, ErrTooLarge
+			}
+			clen = n
+			continue // re-added canonically at serialization time
+		}
+		// Multi-value headers like "Via: a, b" are split so the proxy can
+		// push/pop individual Via entries.
+		if name == "Via" || name == "Route" || name == "Record-Route" || name == "Contact" {
+			for _, part := range splitCommaOutsideQuotes(value) {
+				m.Headers = append(m.Headers, Header{Name: name, Value: strings.TrimSpace(part)})
+			}
+			continue
+		}
+		m.Headers = append(m.Headers, Header{Name: name, Value: value})
+	}
+	return m, bodyStart, clen, nil
+}
+
+// splitHeaderLines splits the header block on CRLF and unfolds continuation
+// lines (lines starting with SP/HT are appended to the previous line per
+// RFC 3261 §7.3.1).
+func splitHeaderLines(head []byte) ([]string, error) {
+	raw := strings.Split(string(head), "\r\n")
+	var lines []string
+	for _, ln := range raw {
+		if ln == "" {
+			continue
+		}
+		if ln[0] == ' ' || ln[0] == '\t' {
+			if len(lines) == 0 {
+				return nil, fmt.Errorf("sipmsg: continuation line before first header")
+			}
+			lines[len(lines)-1] += " " + strings.TrimSpace(ln)
+			continue
+		}
+		lines = append(lines, ln)
+	}
+	return lines, nil
+}
+
+// splitCommaOutsideQuotes splits on commas that are not inside double
+// quotes or angle brackets, as required for combined header values.
+func splitCommaOutsideQuotes(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case '<':
+			if !inQuote {
+				depth++
+			}
+		case '>':
+			if !inQuote && depth > 0 {
+				depth--
+			}
+		case ',':
+			if !inQuote && depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// isHeaderToken reports whether s is a legal RFC 3261 header field name
+// (a token: no whitespace or separators).
+func isHeaderToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '.' || c == '_' || c == '!' || c == '%' ||
+			c == '*' || c == '+' || c == '`' || c == '\'' || c == '~':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseStartLine(line string) (*Message, error) {
+	if strings.HasPrefix(line, SIPVersion+" ") {
+		// Status line: SIP/2.0 200 OK
+		rest := line[len(SIPVersion)+1:]
+		sp := strings.IndexByte(rest, ' ')
+		codeStr, reason := rest, ""
+		if sp >= 0 {
+			codeStr, reason = rest[:sp], rest[sp+1:]
+		}
+		code, err := strconv.Atoi(codeStr)
+		if err != nil || code < 100 || code > 699 {
+			return nil, fmt.Errorf("sipmsg: bad status line %q", line)
+		}
+		return &Message{StatusCode: code, Reason: reason}, nil
+	}
+	// Request line: INVITE sip:bob@example.com SIP/2.0
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return nil, fmt.Errorf("sipmsg: bad request line %q", line)
+	}
+	if fields[2] != SIPVersion {
+		return nil, fmt.Errorf("sipmsg: unsupported version %q", fields[2])
+	}
+	method := Method(strings.ToUpper(fields[0]))
+	if !method.IsValid() {
+		return nil, fmt.Errorf("sipmsg: unsupported method %q", fields[0])
+	}
+	uri, err := ParseURI(fields[1])
+	if err != nil {
+		return nil, err
+	}
+	return &Message{IsRequest: true, Method: method, RequestURI: uri}, nil
+}

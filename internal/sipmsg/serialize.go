@@ -1,0 +1,57 @@
+package sipmsg
+
+import (
+	"bytes"
+	"strconv"
+)
+
+// Serialize renders the message in wire format. Content-Length is always
+// emitted (computed from Body), so callers never need to maintain it.
+func (m *Message) Serialize() []byte {
+	var b bytes.Buffer
+	m.WriteTo(&b)
+	return b.Bytes()
+}
+
+// WriteTo renders the message into buf in wire format.
+func (m *Message) WriteTo(buf *bytes.Buffer) {
+	buf.Grow(estimateSize(m))
+	if m.IsRequest {
+		buf.WriteString(string(m.Method))
+		buf.WriteByte(' ')
+		buf.WriteString(m.RequestURI.String())
+		buf.WriteByte(' ')
+		buf.WriteString(SIPVersion)
+	} else {
+		buf.WriteString(SIPVersion)
+		buf.WriteByte(' ')
+		buf.WriteString(strconv.Itoa(m.StatusCode))
+		buf.WriteByte(' ')
+		buf.WriteString(m.Reason)
+	}
+	buf.WriteString("\r\n")
+	for _, h := range m.Headers {
+		if h.Name == "Content-Length" {
+			continue // recomputed below
+		}
+		buf.WriteString(h.Name)
+		buf.WriteString(": ")
+		buf.WriteString(h.Value)
+		buf.WriteString("\r\n")
+	}
+	buf.WriteString("Content-Length: ")
+	buf.WriteString(strconv.Itoa(len(m.Body)))
+	buf.WriteString("\r\n\r\n")
+	buf.Write(m.Body)
+}
+
+func estimateSize(m *Message) int {
+	n := 64 + len(m.Body)
+	for _, h := range m.Headers {
+		n += len(h.Name) + len(h.Value) + 4
+	}
+	return n
+}
+
+// String renders the full wire form; useful in tests and examples.
+func (m *Message) String() string { return string(m.Serialize()) }

@@ -1,0 +1,124 @@
+package sipmsg
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// StreamParser frames SIP messages out of a TCP byte stream. SIP over
+// stream transports is delimited by the blank line ending the headers plus
+// a mandatory Content-Length (RFC 3261 §18.3 requires Content-Length on
+// stream transports; we default a missing one to zero, which all messages
+// in this workload satisfy).
+//
+// A StreamParser is not safe for concurrent use; in the proxy each
+// connection has exactly one reader, mirroring OpenSER's invariant that a
+// single worker process receives from a given TCP connection.
+type StreamParser struct {
+	buf bytes.Buffer
+}
+
+// Feed appends raw bytes received from the stream.
+func (p *StreamParser) Feed(data []byte) {
+	p.buf.Write(data)
+}
+
+// Next extracts the next complete message, or returns ErrIncomplete when
+// more bytes are needed. Malformed framing returns a non-recoverable error:
+// on a stream transport the connection must be dropped because message
+// boundaries are lost.
+func (p *StreamParser) Next() (*Message, error) {
+	data := p.buf.Bytes()
+	// Tolerate CRLF keep-alives between messages (RFC 5626 style).
+	skip := 0
+	for skip+1 < len(data) && data[skip] == '\r' && data[skip+1] == '\n' {
+		skip += 2
+	}
+	if skip > 0 {
+		p.buf.Next(skip)
+		data = p.buf.Bytes()
+	}
+	if len(data) == 0 {
+		return nil, ErrIncomplete
+	}
+	headEnd := bytes.Index(data, []byte("\r\n\r\n"))
+	if headEnd < 0 {
+		if len(data) > MaxHeaderBytes {
+			return nil, ErrTooLarge
+		}
+		return nil, ErrIncomplete
+	}
+	m, bodyStart, clen, err := parseHead(data)
+	if err != nil {
+		return nil, err
+	}
+	if clen < 0 {
+		clen = 0
+	}
+	total := bodyStart + clen
+	if len(data) < total {
+		return nil, ErrIncomplete
+	}
+	if clen > 0 {
+		m.Body = append([]byte(nil), data[bodyStart:total]...)
+	}
+	p.buf.Next(total)
+	return m, nil
+}
+
+// Buffered returns how many unconsumed bytes the parser is holding.
+func (p *StreamParser) Buffered() int { return p.buf.Len() }
+
+// Reader reads framed SIP messages from an io.Reader, combining buffered
+// reads with a StreamParser. It is the read half of a TCP SIP connection.
+type Reader struct {
+	r  *bufio.Reader
+	sp StreamParser
+}
+
+// NewReader wraps r for SIP message framing.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 8<<10)}
+}
+
+// ReadMessage blocks until a complete SIP message arrives or the underlying
+// reader fails.
+func (r *Reader) ReadMessage() (*Message, error) {
+	for {
+		m, err := r.sp.Next()
+		if err == nil {
+			return m, nil
+		}
+		if err != ErrIncomplete && !isIncomplete(err) {
+			return nil, err
+		}
+		chunk := make([]byte, 4096)
+		n, rerr := r.r.Read(chunk)
+		if n > 0 {
+			r.sp.Feed(chunk[:n])
+			continue
+		}
+		if rerr != nil {
+			if rerr == io.EOF && r.sp.Buffered() > 0 {
+				return nil, fmt.Errorf("sipmsg: connection closed mid-message (%d bytes buffered)", r.sp.Buffered())
+			}
+			return nil, rerr
+		}
+	}
+}
+
+func isIncomplete(err error) bool {
+	for err != nil {
+		if err == ErrIncomplete {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+// Package timerlist implements the global retransmission timer list that
+// OpenSER's dedicated timer process manages (Ram et al. §3.2): when a
+// stateful proxy sends a message over an unreliable transport it arms a
+// timer; the timer process periodically walks the list and fires expired
+// timers, which retransmit unacknowledged SIP messages. The list is shared
+// with the worker processes, so access is synchronized.
+//
+// The implementation is a hierarchical-free, single-level list with a
+// monotonic heap — deliberately simple, as in SER — plus cancellation.
+package timerlist
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Timer is one scheduled callback. It may fire at most once per Schedule;
+// Cancel prevents a pending fire.
+type Timer struct {
+	id       uint64
+	at       time.Time
+	fn       func()
+	canceled atomic.Bool
+}
+
+// Cancel prevents the timer from firing if it has not fired yet.
+func (t *Timer) Cancel() { t.canceled.Store(true) }
+
+// List is the shared timer list plus the "timer process" goroutine that
+// periodically checks it.
+type List struct {
+	mu     sync.Mutex
+	h      timerHeap
+	nextID uint64
+
+	interval time.Duration
+	stop     chan struct{}
+	stopped  sync.WaitGroup
+
+	scheduled atomic.Int64
+	fired     atomic.Int64
+}
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int           { return len(h) }
+func (h timerHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h timerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)        { *h = append(*h, x.(*Timer)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+
+// New creates a timer list whose checking goroutine wakes every interval —
+// the periodic check the paper describes. Call Close to stop it.
+func New(interval time.Duration) *List {
+	l := &List{
+		interval: interval,
+		stop:     make(chan struct{}),
+	}
+	l.stopped.Add(1)
+	go l.run()
+	return l
+}
+
+// NewManual creates a list with no background goroutine; the caller drives
+// it with CheckNow. Used by tests and by the transaction layer's unit
+// tests for determinism.
+func NewManual() *List {
+	return &List{stop: make(chan struct{})}
+}
+
+func (l *List) run() {
+	defer l.stopped.Done()
+	ticker := time.NewTicker(l.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			l.CheckNow(time.Now())
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// Schedule arms fn to run at (roughly) time at. The callback runs on the
+// timer goroutine; it must not block for long.
+func (l *List) Schedule(at time.Time, fn func()) *Timer {
+	l.mu.Lock()
+	l.nextID++
+	t := &Timer{id: l.nextID, at: at, fn: fn}
+	heap.Push(&l.h, t)
+	l.mu.Unlock()
+	l.scheduled.Add(1)
+	return t
+}
+
+// After arms fn to run after d.
+func (l *List) After(d time.Duration, fn func()) *Timer {
+	return l.Schedule(time.Now().Add(d), fn)
+}
+
+// CheckNow fires every expired, uncancelled timer as of now and returns
+// how many fired. Callbacks run outside the list lock.
+func (l *List) CheckNow(now time.Time) int {
+	var due []*Timer
+	l.mu.Lock()
+	for len(l.h) > 0 && !l.h[0].at.After(now) {
+		due = append(due, heap.Pop(&l.h).(*Timer))
+	}
+	l.mu.Unlock()
+	n := 0
+	for _, t := range due {
+		if t.canceled.Load() {
+			continue
+		}
+		t.fn()
+		l.fired.Add(1)
+		n++
+	}
+	return n
+}
+
+// Len returns how many timers are pending (including cancelled ones not
+// yet reaped).
+func (l *List) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.h)
+}
+
+// Stats returns cumulative scheduled and fired counts. fired ≤ scheduled
+// always holds (the package's core invariant).
+func (l *List) Stats() (scheduled, fired int64) {
+	return l.scheduled.Load(), l.fired.Load()
+}
+
+// Close stops the checking goroutine. Pending timers never fire after
+// Close returns.
+func (l *List) Close() {
+	select {
+	case <-l.stop:
+		return
+	default:
+		close(l.stop)
+	}
+	l.stopped.Wait()
+}

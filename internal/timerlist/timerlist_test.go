@@ -1,0 +1,144 @@
+package timerlist
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestManualFireOrder(t *testing.T) {
+	l := NewManual()
+	defer l.Close()
+	base := time.Now()
+	var order []int
+	var mu sync.Mutex
+	add := func(i int, d time.Duration) {
+		l.Schedule(base.Add(d), func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	add(3, 30*time.Millisecond)
+	add(1, 10*time.Millisecond)
+	add(2, 20*time.Millisecond)
+
+	if n := l.CheckNow(base.Add(5 * time.Millisecond)); n != 0 {
+		t.Errorf("fired %d early", n)
+	}
+	if n := l.CheckNow(base.Add(25 * time.Millisecond)); n != 2 {
+		t.Errorf("fired %d, want 2", n)
+	}
+	if n := l.CheckNow(base.Add(time.Second)); n != 1 {
+		t.Errorf("fired %d, want 1", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestCancelPreventsFire(t *testing.T) {
+	l := NewManual()
+	defer l.Close()
+	fired := false
+	tm := l.After(-time.Millisecond, func() { fired = true })
+	tm.Cancel()
+	l.CheckNow(time.Now())
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	s, f := l.Stats()
+	if s != 1 || f != 0 {
+		t.Errorf("stats = %d scheduled, %d fired", s, f)
+	}
+}
+
+func TestBackgroundFires(t *testing.T) {
+	l := New(5 * time.Millisecond)
+	defer l.Close()
+	done := make(chan struct{})
+	l.After(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("background timer never fired")
+	}
+}
+
+func TestCloseStopsFiring(t *testing.T) {
+	l := New(time.Millisecond)
+	var fired atomic.Bool
+	l.After(50*time.Millisecond, func() { fired.Store(true) })
+	l.Close()
+	time.Sleep(80 * time.Millisecond)
+	if fired.Load() {
+		t.Error("timer fired after Close")
+	}
+	l.Close() // idempotent
+}
+
+func TestFiredNeverExceedsScheduledProperty(t *testing.T) {
+	// Property: whatever mix of schedule/cancel/check happens,
+	// fired ≤ scheduled, and a cancelled timer never fires.
+	f := func(ops []uint8) bool {
+		l := NewManual()
+		defer l.Close()
+		base := time.Now()
+		var timers []*Timer
+		var cancelled []*atomic.Bool
+		for i, op := range ops {
+			switch op % 3 {
+			case 0:
+				flag := &atomic.Bool{}
+				cancelled = append(cancelled, flag)
+				fl := flag
+				tm := l.Schedule(base.Add(time.Duration(op)*time.Millisecond), func() {
+					if fl.Load() {
+						t.Error("cancelled timer fired")
+					}
+				})
+				timers = append(timers, tm)
+			case 1:
+				if len(timers) > 0 {
+					j := i % len(timers)
+					cancelled[j].Store(true)
+					timers[j].Cancel()
+				}
+			case 2:
+				l.CheckNow(base.Add(time.Duration(op) * time.Millisecond))
+			}
+		}
+		l.CheckNow(base.Add(time.Hour))
+		s, fd := l.Stats()
+		return fd <= s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentScheduleAndCheck(t *testing.T) {
+	l := New(time.Millisecond)
+	defer l.Close()
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.After(time.Duration(i%5)*time.Millisecond, func() { fired.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load() < 400 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if fired.Load() != 400 {
+		t.Errorf("fired %d, want 400", fired.Load())
+	}
+}

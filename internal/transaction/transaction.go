@@ -1,0 +1,329 @@
+// Package transaction implements the stateful proxy transaction layer of
+// RFC 3261 §17 as used by OpenSER in the paper's experiments: the proxy
+// stores every ongoing transaction in shared state, absorbs retransmitted
+// requests by replaying the last response, matches responses to the
+// forwarded branch, and — over unreliable transports — retransmits
+// unacknowledged forwards with exponential backoff (Timer A/B). Completed
+// transactions linger briefly (Timer D/K) to absorb stragglers.
+//
+// The transaction table is the "shared transaction state" both the UDP and
+// TCP architectures synchronize on (Figures 1 and 2); it is sharded to
+// keep lock contention realistic rather than pathological.
+package transaction
+
+import (
+	"sync"
+	"time"
+
+	"gosip/internal/metrics"
+	"gosip/internal/sipmsg"
+	"gosip/internal/timerlist"
+)
+
+// State is a transaction's lifecycle state.
+type State int32
+
+// Proxy transaction states (collapsed from the RFC 17.2 machines to the
+// three the proxy path distinguishes).
+const (
+	StateProceeding State = iota // forwarded, awaiting final response
+	StateCompleted               // final response forwarded upstream
+	StateTerminated              // removed from the table
+)
+
+func (s State) String() string {
+	switch s {
+	case StateProceeding:
+		return "proceeding"
+	case StateCompleted:
+		return "completed"
+	case StateTerminated:
+		return "terminated"
+	}
+	return "unknown"
+}
+
+// Config tunes the timer behaviour.
+type Config struct {
+	// T1 is the RFC 3261 round-trip estimate; retransmissions start at T1
+	// and double. Default 500ms.
+	T1 time.Duration
+	// TimerB caps the retransmission phase; the transaction fails upstream
+	// with 408 when it fires. Default 64*T1.
+	TimerB time.Duration
+	// Linger is how long a completed transaction stays matchable to absorb
+	// retransmitted requests (Timer D/K). Default 2s.
+	Linger time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.T1 <= 0 {
+		c.T1 = 500 * time.Millisecond
+	}
+	if c.TimerB <= 0 {
+		c.TimerB = 64 * c.T1
+	}
+	if c.Linger <= 0 {
+		c.Linger = 2 * time.Second
+	}
+	return c
+}
+
+// Transaction is one proxied request in flight.
+type Transaction struct {
+	mu sync.Mutex
+
+	upKey   string // key of the incoming request (upstream side)
+	downKey string // key of the forwarded request (downstream side)
+
+	req *sipmsg.Message // original incoming request
+	fwd *sipmsg.Message // forwarded request (with the proxy's Via)
+
+	lastResp *sipmsg.Message // last response sent upstream
+
+	// Origin identifies where the request came from, so responses return
+	// by the same path: a *net.UDPAddr for UDP, a connection ID for TCP.
+	// Opaque to this package.
+	Origin any
+
+	state   State
+	created time.Time
+
+	retransTimer *timerlist.Timer
+	lingerTimer  *timerlist.Timer
+	attempts     int
+}
+
+// State returns the transaction's current state.
+func (t *Transaction) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Request returns the original incoming request.
+func (t *Transaction) Request() *sipmsg.Message { return t.req }
+
+// Forwarded returns the forwarded request, or nil before SetForwarded.
+func (t *Transaction) Forwarded() *sipmsg.Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fwd
+}
+
+// LastResponse returns the most recent response sent upstream, or nil.
+func (t *Transaction) LastResponse() *sipmsg.Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastResp
+}
+
+// RecordUpstreamResponse remembers a response replayed to retransmitted
+// requests (e.g. the 100 Trying or the forwarded final).
+func (t *Transaction) RecordUpstreamResponse(resp *sipmsg.Message) {
+	t.mu.Lock()
+	t.lastResp = resp
+	t.mu.Unlock()
+}
+
+// Table is the shared transaction store.
+type Table struct {
+	cfg    Config
+	timers *timerlist.List
+	shards [16]txShard
+
+	created     *metrics.Counter
+	retransmits *metrics.Counter
+}
+
+type txShard struct {
+	mu sync.Mutex
+	m  map[string]*Transaction
+}
+
+// NewTable creates a transaction table driven by the given timer list (the
+// "timer process"); pass a manual list in tests for determinism.
+func NewTable(cfg Config, timers *timerlist.List, profile *metrics.Profile) *Table {
+	tbl := &Table{
+		cfg:         cfg.withDefaults(),
+		timers:      timers,
+		created:     profile.Counter(metrics.MetricTxnCreated),
+		retransmits: profile.Counter(metrics.MetricRetransmits),
+	}
+	for i := range tbl.shards {
+		tbl.shards[i].m = make(map[string]*Transaction)
+	}
+	return tbl
+}
+
+func (tb *Table) shardFor(key string) *txShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &tb.shards[h%uint32(len(tb.shards))]
+}
+
+// Config returns the effective configuration.
+func (tb *Table) Config() Config { return tb.cfg }
+
+// Create registers a new transaction for an incoming request keyed by
+// upKey. If a transaction already exists the call reports a retransmission
+// and returns the existing one.
+func (tb *Table) Create(upKey string, req *sipmsg.Message, origin any) (tx *Transaction, isRetransmit bool) {
+	sh := tb.shardFor(upKey)
+	sh.mu.Lock()
+	if existing, ok := sh.m[upKey]; ok {
+		sh.mu.Unlock()
+		return existing, true
+	}
+	tx = &Transaction{
+		upKey:   upKey,
+		req:     req,
+		Origin:  origin,
+		created: time.Now(),
+		state:   StateProceeding,
+	}
+	sh.m[upKey] = tx
+	sh.mu.Unlock()
+	tb.created.Inc()
+	return tx, false
+}
+
+// SetForwarded indexes the transaction under the forwarded request's key so
+// downstream responses can be matched, and stores the forwarded message
+// for retransmission.
+func (tb *Table) SetForwarded(tx *Transaction, downKey string, fwd *sipmsg.Message) {
+	tx.mu.Lock()
+	tx.downKey = downKey
+	tx.fwd = fwd
+	tx.mu.Unlock()
+	sh := tb.shardFor(downKey)
+	sh.mu.Lock()
+	sh.m[downKey] = tx
+	sh.mu.Unlock()
+}
+
+// MatchResponse finds the transaction whose forwarded branch produced this
+// response key, or nil.
+func (tb *Table) MatchResponse(downKey string) *Transaction {
+	sh := tb.shardFor(downKey)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m[downKey]
+}
+
+// Match returns any transaction indexed under key, or nil.
+func (tb *Table) Match(key string) *Transaction { return tb.MatchResponse(key) }
+
+// ArmRetransmit starts the Timer A/B cycle for an unreliable transport:
+// send is invoked with the forwarded request at T1, 2·T1, 4·T1, …; when the
+// cumulative wait reaches TimerB, expire is invoked once instead. Reliable
+// transports never call this — "the timer process is superfluous for TCP".
+func (tb *Table) ArmRetransmit(tx *Transaction, send func(*sipmsg.Message), expire func()) {
+	tb.armRetransmit(tx, tb.cfg.T1, tb.cfg.T1, send, expire)
+}
+
+func (tb *Table) armRetransmit(tx *Transaction, next, elapsed time.Duration, send func(*sipmsg.Message), expire func()) {
+	tx.mu.Lock()
+	if tx.state != StateProceeding {
+		tx.mu.Unlock()
+		return
+	}
+	tx.retransTimer = tb.timers.After(next, func() {
+		tx.mu.Lock()
+		if tx.state != StateProceeding {
+			tx.mu.Unlock()
+			return
+		}
+		if elapsed >= tb.cfg.TimerB {
+			tx.mu.Unlock()
+			expire()
+			return
+		}
+		fwd := tx.fwd
+		tx.attempts++
+		tx.mu.Unlock()
+		if fwd != nil {
+			tb.retransmits.Inc()
+			send(fwd)
+		}
+		tb.armRetransmit(tx, next*2, elapsed+next*2, send, expire)
+	})
+	tx.mu.Unlock()
+}
+
+// Attempts returns how many retransmissions have been sent.
+func (tx *Transaction) Attempts() int {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.attempts
+}
+
+// Complete transitions the transaction to Completed: the final response
+// has been forwarded upstream. Retransmission stops and the transaction is
+// scheduled for removal after the linger period. Returns false if it was
+// already completed (a duplicate final response).
+func (tb *Table) Complete(tx *Transaction, finalResp *sipmsg.Message) bool {
+	tx.mu.Lock()
+	if tx.state != StateProceeding {
+		tx.mu.Unlock()
+		return false
+	}
+	tx.state = StateCompleted
+	tx.lastResp = finalResp
+	if tx.retransTimer != nil {
+		tx.retransTimer.Cancel()
+		tx.retransTimer = nil
+	}
+	tx.lingerTimer = tb.timers.After(tb.cfg.Linger, func() { tb.Terminate(tx) })
+	tx.mu.Unlock()
+	return true
+}
+
+// Terminate removes the transaction from the table immediately.
+func (tb *Table) Terminate(tx *Transaction) {
+	tx.mu.Lock()
+	if tx.state == StateTerminated {
+		tx.mu.Unlock()
+		return
+	}
+	tx.state = StateTerminated
+	if tx.retransTimer != nil {
+		tx.retransTimer.Cancel()
+		tx.retransTimer = nil
+	}
+	if tx.lingerTimer != nil {
+		tx.lingerTimer.Cancel()
+		tx.lingerTimer = nil
+	}
+	up, down := tx.upKey, tx.downKey
+	tx.mu.Unlock()
+
+	tb.remove(up, tx)
+	if down != "" {
+		tb.remove(down, tx)
+	}
+}
+
+func (tb *Table) remove(key string, tx *Transaction) {
+	sh := tb.shardFor(key)
+	sh.mu.Lock()
+	if sh.m[key] == tx {
+		delete(sh.m, key)
+	}
+	sh.mu.Unlock()
+}
+
+// Len returns the number of index entries (a transaction with a forwarded
+// leg counts twice).
+func (tb *Table) Len() int {
+	n := 0
+	for i := range tb.shards {
+		tb.shards[i].mu.Lock()
+		n += len(tb.shards[i].m)
+		tb.shards[i].mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,269 @@
+package transaction
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gosip/internal/metrics"
+	"gosip/internal/sipmsg"
+	"gosip/internal/timerlist"
+)
+
+func newTestTable(cfg Config) (*Table, *timerlist.List) {
+	timers := timerlist.NewManual()
+	return NewTable(cfg, timers, metrics.NewProfile()), timers
+}
+
+func inviteReq(callID string) *sipmsg.Message {
+	return sipmsg.NewRequest(sipmsg.RequestSpec{
+		Method:     sipmsg.INVITE,
+		RequestURI: sipmsg.URI{User: "b", Host: "y.com"},
+		From:       sipmsg.NameAddr{URI: sipmsg.URI{User: "a", Host: "x.com"}, Params: map[string]string{"tag": "t"}},
+		To:         sipmsg.NameAddr{URI: sipmsg.URI{User: "b", Host: "y.com"}},
+		CallID:     callID,
+		CSeq:       1,
+		Via:        sipmsg.Via{Transport: "UDP", Host: "x.com", Port: 5071},
+	})
+}
+
+func key(t *testing.T, m *sipmsg.Message) string {
+	t.Helper()
+	k, err := m.TransactionKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestCreateAndRetransmitDetection(t *testing.T) {
+	tb, _ := newTestTable(Config{})
+	req := inviteReq("c1")
+	k := key(t, req)
+	tx, retr := tb.Create(k, req, "origin1")
+	if retr {
+		t.Fatal("first Create reported retransmission")
+	}
+	if tx.Origin != "origin1" {
+		t.Errorf("Origin = %v", tx.Origin)
+	}
+	tx2, retr2 := tb.Create(k, req, "origin2")
+	if !retr2 || tx2 != tx {
+		t.Error("second Create should return the existing transaction")
+	}
+	if tx.State() != StateProceeding {
+		t.Errorf("state = %v", tx.State())
+	}
+}
+
+func TestTransactionCompletesExactlyOnce(t *testing.T) {
+	tb, _ := newTestTable(Config{})
+	req := inviteReq("c2")
+	tx, _ := tb.Create(key(t, req), req, nil)
+	final := sipmsg.NewResponse(req, sipmsg.StatusOK, "tag")
+	if !tb.Complete(tx, final) {
+		t.Fatal("first Complete failed")
+	}
+	if tb.Complete(tx, final) {
+		t.Fatal("second Complete succeeded; must be exactly once")
+	}
+	if tx.State() != StateCompleted {
+		t.Errorf("state = %v", tx.State())
+	}
+	if tx.LastResponse() != final {
+		t.Error("LastResponse not recorded")
+	}
+}
+
+func TestMatchResponseViaForwardedKey(t *testing.T) {
+	tb, _ := newTestTable(Config{})
+	req := inviteReq("c3")
+	tx, _ := tb.Create(key(t, req), req, nil)
+
+	fwd := req.Clone()
+	fwd.Prepend("Via", sipmsg.Via{Transport: "UDP", Host: "proxy", Port: 5060,
+		Params: map[string]string{"branch": sipmsg.NewBranch()}}.String())
+	tb.SetForwarded(tx, key(t, fwd), fwd)
+
+	if got := tb.MatchResponse(key(t, fwd)); got != tx {
+		t.Error("response did not match via forwarded key")
+	}
+	if tx.Forwarded() != fwd {
+		t.Error("Forwarded not stored")
+	}
+}
+
+func TestTerminateRemovesBothKeys(t *testing.T) {
+	tb, _ := newTestTable(Config{})
+	req := inviteReq("c4")
+	upKey := key(t, req)
+	tx, _ := tb.Create(upKey, req, nil)
+	fwd := req.Clone()
+	fwd.Prepend("Via", sipmsg.Via{Transport: "UDP", Host: "p", Params: map[string]string{"branch": sipmsg.NewBranch()}}.String())
+	downKey := key(t, fwd)
+	tb.SetForwarded(tx, downKey, fwd)
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+	tb.Terminate(tx)
+	if tb.Len() != 0 {
+		t.Errorf("Len = %d after Terminate", tb.Len())
+	}
+	if tb.Match(upKey) != nil || tb.Match(downKey) != nil {
+		t.Error("terminated transaction still matchable")
+	}
+	tb.Terminate(tx) // idempotent
+}
+
+func TestLingerThenRemoval(t *testing.T) {
+	tb, timers := newTestTable(Config{Linger: 50 * time.Millisecond})
+	req := inviteReq("c5")
+	tx, _ := tb.Create(key(t, req), req, nil)
+	tb.Complete(tx, sipmsg.NewResponse(req, sipmsg.StatusOK, "g"))
+
+	// Still matchable during the linger window (absorbs retransmits).
+	if tb.Match(key(t, req)) != tx {
+		t.Error("completed transaction should linger")
+	}
+	timers.CheckNow(time.Now().Add(time.Second))
+	if tb.Match(key(t, req)) != nil {
+		t.Error("transaction not removed after linger")
+	}
+	if tx.State() != StateTerminated {
+		t.Errorf("state = %v", tx.State())
+	}
+}
+
+func TestRetransmitScheduleDoubles(t *testing.T) {
+	tb, timers := newTestTable(Config{T1: 10 * time.Millisecond, TimerB: 70 * time.Millisecond})
+	req := inviteReq("c6")
+	tx, _ := tb.Create(key(t, req), req, nil)
+	fwd := req.Clone()
+	tb.SetForwarded(tx, "downkey|INVITE", fwd)
+
+	var mu sync.Mutex
+	var sends []time.Duration
+	expired := false
+	base := time.Now()
+	tb.ArmRetransmit(tx,
+		func(m *sipmsg.Message) {
+			mu.Lock()
+			sends = append(sends, 0)
+			mu.Unlock()
+		},
+		func() { expired = true },
+	)
+	// Walk virtual time: fires at 10, 30, 70 (cumulative) then TimerB.
+	for _, at := range []time.Duration{5, 10, 20, 30, 50, 70, 100, 200} {
+		timers.CheckNow(base.Add(at * time.Millisecond))
+	}
+	mu.Lock()
+	n := len(sends)
+	mu.Unlock()
+	if n < 2 {
+		t.Errorf("retransmissions = %d, want >= 2", n)
+	}
+	if !expired {
+		t.Error("TimerB never fired")
+	}
+	if tx.Attempts() != n {
+		t.Errorf("Attempts = %d, sends = %d", tx.Attempts(), n)
+	}
+}
+
+func TestCompleteStopsRetransmission(t *testing.T) {
+	tb, timers := newTestTable(Config{T1: 10 * time.Millisecond})
+	req := inviteReq("c7")
+	tx, _ := tb.Create(key(t, req), req, nil)
+	tb.SetForwarded(tx, "dk|INVITE", req.Clone())
+
+	sent := 0
+	tb.ArmRetransmit(tx, func(*sipmsg.Message) { sent++ }, func() {})
+	tb.Complete(tx, sipmsg.NewResponse(req, sipmsg.StatusOK, "g"))
+	timers.CheckNow(time.Now().Add(time.Minute))
+	if sent != 0 {
+		t.Errorf("retransmitted %d times after completion", sent)
+	}
+}
+
+func TestRetransmittedRequestNeverCreatesSecondTransaction(t *testing.T) {
+	// Property: any interleaving of Create calls with the same key yields
+	// exactly one created transaction.
+	f := func(n uint8) bool {
+		tb, _ := newTestTable(Config{})
+		req := inviteReq("p1")
+		k := key(t, req)
+		createdCount := 0
+		var first *Transaction
+		for i := 0; i < int(n%20)+2; i++ {
+			tx, retr := tb.Create(k, req, nil)
+			if !retr {
+				createdCount++
+				first = tx
+			} else if tx != first {
+				return false
+			}
+		}
+		return createdCount == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentCreateSameKey(t *testing.T) {
+	tb, _ := newTestTable(Config{})
+	req := inviteReq("c8")
+	k := key(t, req)
+	var createdCount int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, retr := tb.Create(k, req, nil)
+			if !retr {
+				mu.Lock()
+				createdCount++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if createdCount != 1 {
+		t.Errorf("created %d transactions for one key", createdCount)
+	}
+}
+
+func TestRecordUpstreamResponse(t *testing.T) {
+	tb, _ := newTestTable(Config{})
+	req := inviteReq("c9")
+	tx, _ := tb.Create(key(t, req), req, nil)
+	trying := sipmsg.NewResponse(req, sipmsg.StatusTrying, "")
+	tx.RecordUpstreamResponse(trying)
+	if tx.LastResponse() != trying {
+		t.Error("upstream response not recorded")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.T1 != 500*time.Millisecond {
+		t.Errorf("T1 = %v", cfg.T1)
+	}
+	if cfg.TimerB != 32*time.Second {
+		t.Errorf("TimerB = %v", cfg.TimerB)
+	}
+	if cfg.Linger != 2*time.Second {
+		t.Errorf("Linger = %v", cfg.Linger)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateProceeding.String() != "proceeding" || StateCompleted.String() != "completed" ||
+		StateTerminated.String() != "terminated" || State(9).String() != "unknown" {
+		t.Error("State.String broken")
+	}
+}

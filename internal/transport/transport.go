@@ -1,0 +1,167 @@
+// Package transport provides the thin network layer under the SIP proxy:
+// a UDP socket that multiple symmetric workers can receive from
+// concurrently (OpenSER's UDP architecture relies on the kernel
+// distributing datagrams among processes blocked in recvfrom), and a
+// framed, write-locked wrapper for TCP stream connections.
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gosip/internal/sipmsg"
+)
+
+// Kind names a transport protocol.
+type Kind string
+
+// Supported transports.
+const (
+	UDP Kind = "UDP"
+	TCP Kind = "TCP"
+)
+
+// MaxDatagram is the largest UDP datagram the proxy accepts. SIP messages
+// in this workload are well under the conventional 1500-byte MTU, but the
+// limit accommodates path-MTU-free loopback experiments.
+const MaxDatagram = 64 << 10
+
+// Packet is one datagram received on a UDP socket.
+type Packet struct {
+	Data []byte
+	Src  *net.UDPAddr
+}
+
+// UDPSocket wraps a net.UDPConn for SIP use. ReadPacket may be called from
+// many goroutines at once: the kernel hands each datagram to exactly one
+// blocked reader, which is precisely how OpenSER's symmetric UDP worker
+// processes share a socket.
+type UDPSocket struct {
+	conn *net.UDPConn
+
+	bufPool sync.Pool
+}
+
+// ListenUDP opens a UDP SIP socket on addr (e.g. "127.0.0.1:0").
+func ListenUDP(addr string) (*UDPSocket, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	c, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen udp %q: %w", addr, err)
+	}
+	s := &UDPSocket{conn: c}
+	s.bufPool.New = func() any { return make([]byte, MaxDatagram) }
+	return s, nil
+}
+
+// LocalAddr returns the bound address.
+func (s *UDPSocket) LocalAddr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// ReadPacket blocks for the next datagram. The returned Packet owns its
+// buffer; call Release when done to recycle it.
+func (s *UDPSocket) ReadPacket() (Packet, error) {
+	buf := s.bufPool.Get().([]byte)
+	n, src, err := s.conn.ReadFromUDP(buf)
+	if err != nil {
+		s.bufPool.Put(buf) //nolint:staticcheck // fixed-size buffer
+		return Packet{}, err
+	}
+	return Packet{Data: buf[:n], Src: src}, nil
+}
+
+// Release returns a packet's buffer to the pool.
+func (s *UDPSocket) Release(p Packet) {
+	if cap(p.Data) == MaxDatagram {
+		s.bufPool.Put(p.Data[:MaxDatagram]) //nolint:staticcheck
+	}
+}
+
+// WriteTo sends a datagram. UDP sends are atomic at the message level, so
+// no locking is needed — the property the paper credits for UDP's
+// synchronization-free send path.
+func (s *UDPSocket) WriteTo(data []byte, dst *net.UDPAddr) error {
+	_, err := s.conn.WriteToUDP(data, dst)
+	return err
+}
+
+// SetReadDeadline bounds blocking ReadPacket calls; the zero time removes
+// the bound. Synchronous clients (the phone simulator) use this for
+// retransmission timeouts.
+func (s *UDPSocket) SetReadDeadline(t time.Time) error { return s.conn.SetReadDeadline(t) }
+
+// Close closes the socket, unblocking all readers.
+func (s *UDPSocket) Close() error { return s.conn.Close() }
+
+// StreamConn wraps a TCP connection with SIP message framing on the read
+// side and a mutex on the write side. The read side must only be used by
+// one goroutine (the owning worker); the write side may be shared, which
+// models OpenSER's "a connection may be written to by different sending
+// processes" with user-level locking for atomic sends.
+type StreamConn struct {
+	conn net.Conn
+	rd   *sipmsg.Reader
+
+	wmu sync.Mutex
+}
+
+// NewStreamConn wraps an established TCP connection.
+func NewStreamConn(c net.Conn) *StreamConn {
+	return &StreamConn{conn: c, rd: sipmsg.NewReader(c)}
+}
+
+// ReadMessage blocks until a complete SIP message arrives.
+func (c *StreamConn) ReadMessage() (*sipmsg.Message, error) {
+	return c.rd.ReadMessage()
+}
+
+// WriteMessage serializes and sends m atomically with respect to other
+// writers of this StreamConn.
+func (c *StreamConn) WriteMessage(m *sipmsg.Message) error {
+	data := m.Serialize()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err := c.conn.Write(data)
+	return err
+}
+
+// WriteRaw sends pre-serialized bytes atomically.
+func (c *StreamConn) WriteRaw(data []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err := c.conn.Write(data)
+	return err
+}
+
+// SetReadDeadline forwards to the underlying connection.
+func (c *StreamConn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// RemoteAddr returns the peer address.
+func (c *StreamConn) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
+
+// LocalAddr returns the local address.
+func (c *StreamConn) LocalAddr() net.Addr { return c.conn.LocalAddr() }
+
+// NetConn exposes the wrapped net.Conn (needed for fd extraction when
+// passing sockets between "processes" over SCM_RIGHTS).
+func (c *StreamConn) NetConn() net.Conn { return c.conn }
+
+// Close closes the connection.
+func (c *StreamConn) Close() error { return c.conn.Close() }
+
+// DialTCP connects to a SIP server over TCP.
+func DialTCP(addr string) (*StreamConn, error) {
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial tcp %q: %w", addr, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// SIP messages are small and latency-sensitive.
+		_ = tc.SetNoDelay(true)
+	}
+	return NewStreamConn(c), nil
+}

@@ -1,0 +1,137 @@
+// Package userdb is the persistent-storage substrate standing in for the
+// MySQL instance the paper's testbed used. It is an in-memory user store
+// with a configurable per-lookup latency and a bounded connection pool, so
+// the proxy exercises the same "possibly involving a database lookup" path
+// (Ram et al. §3) without an external dependency. The paper's experiments
+// exclude registration traffic from measurement and do not stress the
+// database, so a latency-modelled store preserves the relevant behaviour.
+package userdb
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"gosip/internal/metrics"
+)
+
+// User is a provisioned subscriber.
+type User struct {
+	Username string
+	Domain   string
+	// Password would back digest authentication; the paper's workloads run
+	// without authentication, so it is stored but unused by the proxy.
+	Password string
+}
+
+// ErrNotFound is returned for unknown users.
+var ErrNotFound = errors.New("userdb: user not found")
+
+// Config models the characteristics of the backing database.
+type Config struct {
+	// LookupLatency is the simulated round-trip per query (0 = in-memory).
+	LookupLatency time.Duration
+	// PoolSize bounds concurrent queries, like a SQL connection pool
+	// (0 = unbounded).
+	PoolSize int
+}
+
+// DB is the user store.
+type DB struct {
+	mu    sync.RWMutex
+	users map[string]User // key: username@domain
+
+	cfg  Config
+	pool chan struct{}
+
+	lookupTime *metrics.Timer
+}
+
+// New creates an empty store.
+func New(cfg Config, profile *metrics.Profile) *DB {
+	db := &DB{
+		users:      make(map[string]User),
+		cfg:        cfg,
+		lookupTime: profile.Timer(metrics.MetricDBLookupTime),
+	}
+	if cfg.PoolSize > 0 {
+		db.pool = make(chan struct{}, cfg.PoolSize)
+	}
+	return db
+}
+
+// Provision inserts or updates a user.
+func (db *DB) Provision(u User) {
+	db.mu.Lock()
+	db.users[u.Username+"@"+u.Domain] = u
+	db.mu.Unlock()
+}
+
+// ProvisionN bulk-creates n users "user<i>@domain", as the benchmark
+// manager does before an experiment.
+func (db *DB) ProvisionN(n int, domain string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for i := 0; i < n; i++ {
+		name := userName(i)
+		db.users[name+"@"+domain] = User{Username: name, Domain: domain, Password: PasswordFor(name)}
+	}
+}
+
+// userName formats the canonical benchmark username for index i.
+func userName(i int) string {
+	const digits = "0123456789"
+	if i == 0 {
+		return "user0"
+	}
+	var buf [24]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = digits[i%10]
+		i /= 10
+	}
+	return "user" + string(buf[pos:])
+}
+
+// UserName exposes the canonical benchmark username for index i.
+func UserName(i int) string { return userName(i) }
+
+// PasswordFor is the deterministic password assigned to a provisioned
+// benchmark user, shared knowledge between the server and the simulated
+// phones (as a real deployment's SIM credentials would be).
+func PasswordFor(username string) string { return "secret-" + username }
+
+// Lookup fetches a user, paying the configured latency and pool slot.
+func (db *DB) Lookup(username, domain string) (User, error) {
+	start := time.Now()
+	defer func() { db.lookupTime.AddDuration(time.Since(start)) }()
+
+	if db.pool != nil {
+		db.pool <- struct{}{}
+		defer func() { <-db.pool }()
+	}
+	if db.cfg.LookupLatency > 0 {
+		time.Sleep(db.cfg.LookupLatency)
+	}
+	db.mu.RLock()
+	u, ok := db.users[username+"@"+domain]
+	db.mu.RUnlock()
+	if !ok {
+		return User{}, ErrNotFound
+	}
+	return u, nil
+}
+
+// Exists reports whether the user is provisioned (same cost as Lookup).
+func (db *DB) Exists(username, domain string) bool {
+	_, err := db.Lookup(username, domain)
+	return err == nil
+}
+
+// Len returns the number of provisioned users.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.users)
+}

@@ -1,0 +1,95 @@
+package userdb
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gosip/internal/metrics"
+)
+
+func TestProvisionAndLookup(t *testing.T) {
+	db := New(Config{}, metrics.NewProfile())
+	db.Provision(User{Username: "alice", Domain: "example.com"})
+	u, err := db.Lookup("alice", "example.com")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if u.Username != "alice" {
+		t.Errorf("user = %+v", u)
+	}
+	if _, err := db.Lookup("bob", "example.com"); err != ErrNotFound {
+		t.Errorf("missing user: err = %v", err)
+	}
+	if !db.Exists("alice", "example.com") || db.Exists("bob", "example.com") {
+		t.Error("Exists wrong")
+	}
+}
+
+func TestProvisionN(t *testing.T) {
+	db := New(Config{}, metrics.NewProfile())
+	db.ProvisionN(250, "bench.local")
+	if db.Len() != 250 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	for _, i := range []int{0, 1, 42, 249} {
+		if !db.Exists(UserName(i), "bench.local") {
+			t.Errorf("user %d missing", i)
+		}
+	}
+	if UserName(0) != "user0" || UserName(123) != "user123" {
+		t.Errorf("UserName formatting: %q %q", UserName(0), UserName(123))
+	}
+}
+
+func TestLookupLatencyApplied(t *testing.T) {
+	prof := metrics.NewProfile()
+	db := New(Config{LookupLatency: 10 * time.Millisecond}, prof)
+	db.Provision(User{Username: "a", Domain: "d"})
+	start := time.Now()
+	db.Lookup("a", "d")
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("lookup took %v, want >= 10ms", elapsed)
+	}
+	if prof.Timer(metrics.MetricDBLookupTime).Count() != 1 {
+		t.Error("lookup time not recorded")
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	db := New(Config{LookupLatency: 5 * time.Millisecond, PoolSize: 2}, metrics.NewProfile())
+	db.Provision(User{Username: "a", Domain: "d"})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			db.Lookup("a", "d")
+		}()
+	}
+	wg.Wait()
+	// 6 lookups / pool of 2 at 5 ms each => at least 3 serialized waves.
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("pool not enforced: 6 lookups in %v", elapsed)
+	}
+}
+
+func TestConcurrentProvisionLookup(t *testing.T) {
+	db := New(Config{}, metrics.NewProfile())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				db.Provision(User{Username: UserName(g*200 + i), Domain: "d"})
+				db.Lookup(UserName(i), "d")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if db.Len() != 800 {
+		t.Errorf("Len = %d, want 800", db.Len())
+	}
+}
