@@ -337,11 +337,14 @@ func (w *tcpWorker) handleEvent(ev workerEvent) {
 		return
 	}
 	if c.State() != conn.StateActive {
+		ev.m.Release()
 		return // message raced with our idle return; drop as OpenSER would
 	}
 	c.Touch(time.Now(), w.srv.sub.cfg.IdleTimeout)
 	w.localMgr.Touch(c)
 	w.srv.engine.Handle(w.sender, ev.m, c)
+	// The engine retained the message if it needed it; the worker is done.
+	ev.m.Release()
 }
 
 func (w *tcpWorker) forget(c *conn.TCPConn) {

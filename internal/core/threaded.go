@@ -176,11 +176,14 @@ func (w *threadedWorker) handleEvent(ev workerEvent) {
 		return
 	}
 	if c.State() != conn.StateActive {
+		ev.m.Release()
 		return
 	}
 	c.Touch(time.Now(), w.srv.sub.cfg.IdleTimeout)
 	w.localMgr.Touch(c)
 	w.srv.engine.Handle(w.sender, ev.m, c)
+	// The engine retained the message if it needed it; the worker is done.
+	ev.m.Release()
 }
 
 // retire destroys a connection in one step: shared address space means no

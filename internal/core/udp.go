@@ -1,9 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"net"
-	"strings"
 	"sync"
 
 	"gosip/internal/location"
@@ -43,6 +43,11 @@ func newUDPSender(sock *transport.UDPSocket, faults *faultGate) *udpSender {
 	return &udpSender{sock: sock, faults: faults, addrs: make(map[string]*net.UDPAddr)}
 }
 
+// maxResolveCache bounds the resolve cache: legitimate workloads touch a
+// handful of peer addresses, so the bound only matters under hostile
+// traffic that varies the destination per message.
+const maxResolveCache = 4096
+
 func (s *udpSender) resolve(hostport string) (*net.UDPAddr, error) {
 	s.mu.RLock()
 	a, ok := s.addrs[hostport]
@@ -55,6 +60,14 @@ func (s *udpSender) resolve(hostport string) (*net.UDPAddr, error) {
 		return nil, err
 	}
 	s.mu.Lock()
+	if len(s.addrs) >= maxResolveCache {
+		// Evict one arbitrary entry; random replacement keeps the hot
+		// working set resident with high probability.
+		for k := range s.addrs {
+			delete(s.addrs, k)
+			break
+		}
+	}
 	s.addrs[hostport] = a
 	s.mu.Unlock()
 	return a, nil
@@ -146,11 +159,14 @@ func (s *udpServer) worker() {
 			continue
 		}
 		s.engine.Handle(s.sender, m, src)
+		// The engine retained the message if it needed it (transaction
+		// store); the worker's reference is done.
+		m.Release()
 	}
 }
 
 func isClosedErr(err error) bool {
-	return err != nil && strings.Contains(err.Error(), "use of closed")
+	return errors.Is(err, net.ErrClosed)
 }
 
 func (s *udpServer) Addr() string                { return s.sock.LocalAddr().String() }

@@ -157,12 +157,15 @@ func (e *tcpEndpoint) awaitFinal(sc *transport.StreamConn, callID string, seq ui
 			return nil, err
 		}
 		if !matchesTxn(m, callID, seq, method) {
+			m.Release()
 			continue
 		}
 		if m.StatusCode >= 200 {
+			// Final responses escape to the caller; leave them to the GC.
 			_ = sc.SetReadDeadline(time.Time{})
 			return m, nil
 		}
+		m.Release()
 		deadline = time.Now().Add(e.cfg.ResponseTimeout)
 	}
 }
@@ -255,13 +258,16 @@ func (e *tcpEndpoint) serveConn(sc *transport.StreamConn) {
 			return
 		}
 		if !m.IsRequest {
+			m.Release()
 			continue
 		}
 		for _, resp := range answer(m, e.cfg.User, contact) {
 			if err := sc.WriteMessage(resp); err != nil {
+				m.Release()
 				return
 			}
 		}
+		m.Release()
 	}
 }
 

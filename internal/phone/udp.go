@@ -80,6 +80,8 @@ func (e *udpEndpoint) requestTo(req *sipmsg.Message, method sipmsg.Method, stats
 	if err != nil {
 		return nil, err
 	}
+	// Serialize once: every retransmission reuses the same wire bytes (the
+	// message-level cache makes this free even if req was sent before).
 	wire := req.Serialize()
 	var lastErr error
 	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
@@ -97,12 +99,16 @@ func (e *udpEndpoint) requestTo(req *sipmsg.Message, method sipmsg.Method, stats
 				break // timeout → retransmit
 			}
 			if !matchesTxn(resp, callID, seq, method) {
+				resp.Release()
 				continue // stale response from a previous transaction
 			}
 			if resp.StatusCode >= 200 {
+				// The final response escapes to the caller, which may hold it
+				// across the whole call: leave it to the GC.
 				return resp, nil
 			}
 			// Provisional: the proxy/callee is working on it; keep waiting.
+			resp.Release()
 			deadline = time.Now().Add(e.cfg.ResponseTimeout)
 		}
 	}
@@ -155,14 +161,20 @@ func (e *udpEndpoint) startAnswering() {
 			m, perr := sipmsg.Parse(pkt.Data)
 			src := pkt.Src
 			e.sock.Release(pkt)
-			if perr != nil || !m.IsRequest {
+			if perr != nil {
+				continue
+			}
+			if !m.IsRequest {
+				m.Release()
 				continue
 			}
 			for _, resp := range answer(m, e.cfg.User, sipmsg.URI{User: e.cfg.User, Host: "127.0.0.1", Port: e.sock.LocalAddr().Port}) {
 				if err := e.sock.WriteTo(resp.Serialize(), src); err != nil {
+					m.Release()
 					return
 				}
 			}
+			m.Release()
 		}
 	}()
 }

@@ -13,6 +13,22 @@ func BenchmarkParseInvite(b *testing.B) {
 	}
 }
 
+// BenchmarkParseInvitePooled is the receive-loop steady state: the worker
+// releases each message after handling, so the parser recycles the Message,
+// its Headers array, and the body buffer, paying only for the head copy.
+func BenchmarkParseInvitePooled(b *testing.B) {
+	data := []byte(sampleInvite)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := Parse(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Release()
+	}
+}
+
 func BenchmarkSerializeInvite(b *testing.B) {
 	m, err := Parse([]byte(sampleInvite))
 	if err != nil {
@@ -20,6 +36,21 @@ func BenchmarkSerializeInvite(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		_ = m.Serialize()
+	}
+}
+
+// BenchmarkSerializeInviteUncached measures a full wire build: Invalidate
+// models a mutation between sends, so each iteration re-renders the message
+// into a fresh buffer.
+func BenchmarkSerializeInviteUncached(b *testing.B) {
+	m, err := Parse([]byte(sampleInvite))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Invalidate()
 		_ = m.Serialize()
 	}
 }

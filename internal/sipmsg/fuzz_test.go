@@ -6,8 +6,10 @@ import (
 )
 
 // FuzzParse checks that the parser never panics on arbitrary input and
-// that every accepted message survives a serialize→reparse round trip
-// with its framing-relevant fields intact. Run longer with:
+// that every accepted message survives a serialize→reparse round trip:
+// identity, body, and every header must come back intact, and a second
+// serialization must be byte-identical to the first (serialization is a
+// fixed point of parse∘serialize). Run longer with:
 //
 //	go test -fuzz=FuzzParse ./internal/sipmsg
 func FuzzParse(f *testing.F) {
@@ -17,6 +19,12 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte("INVITE sip:a@[::1]:5 SIP/2.0\r\nVia: SIP/2.0/TCP [::1];branch=z9hG4bK2\r\n\r\nbody"))
 	f.Add([]byte("\r\n\r\n"))
 	f.Add([]byte{0x00, 0x0d, 0x0a, 0x0d, 0x0a})
+	for _, tc := range tortureAccepted {
+		f.Add([]byte(tc.raw))
+	}
+	for _, tc := range tortureRejected {
+		f.Add([]byte(tc.raw))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Parse(data)
 		if err != nil {
@@ -30,12 +38,25 @@ func FuzzParse(f *testing.F) {
 		if m2.IsRequest != m.IsRequest || m2.Method != m.Method || m2.StatusCode != m.StatusCode {
 			t.Fatalf("round trip changed identity: %+v vs %+v", m, m2)
 		}
+		if m.IsRequest && m2.RequestURI.String() != m.RequestURI.String() {
+			t.Fatalf("round trip changed request URI: %q vs %q", m.RequestURI.String(), m2.RequestURI.String())
+		}
 		if !bytes.Equal(m2.Body, m.Body) {
 			t.Fatalf("round trip changed body: %q vs %q", m.Body, m2.Body)
 		}
 		if len(m2.Headers) != len(m.Headers) {
 			t.Fatalf("round trip changed header count: %d vs %d", len(m.Headers), len(m2.Headers))
 		}
+		for i := range m.Headers {
+			if m2.Headers[i] != m.Headers[i] {
+				t.Fatalf("round trip changed header %d: %+v vs %+v", i, m.Headers[i], m2.Headers[i])
+			}
+		}
+		if out2 := m2.Serialize(); !bytes.Equal(out2, out) {
+			t.Fatalf("serialization is not a fixed point:\nfirst:  %q\nsecond: %q", out, out2)
+		}
+		m2.Release()
+		m.Release()
 	})
 }
 
@@ -45,6 +66,9 @@ func FuzzParse(f *testing.F) {
 func FuzzStreamParser(f *testing.F) {
 	f.Add([]byte(sampleInvite), uint8(3))
 	f.Add([]byte("\r\n\r\nINVITE sip:a@b SIP/2.0\r\nContent-Length: 0\r\n\r\n"), uint8(1))
+	for _, tc := range tortureAccepted {
+		f.Add([]byte(tc.raw), uint8(5))
+	}
 	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
 		step := int(chunk)%7 + 1
 		var p StreamParser
@@ -60,9 +84,12 @@ func FuzzStreamParser(f *testing.F) {
 				if err != nil {
 					break // incomplete or fatal framing error: both fine
 				}
-				if _, err := Parse(m.Serialize()); err != nil {
+				m2, err := Parse(m.Serialize())
+				if err != nil {
 					t.Fatalf("framed message does not reparse: %v", err)
 				}
+				m2.Release()
+				m.Release()
 			}
 		}
 	})

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Method is a SIP request method.
@@ -107,6 +109,18 @@ type Header struct {
 // meaningful. Otherwise it is a response and StatusCode/Reason are
 // meaningful. Headers preserves receive order. Body holds the (possibly
 // empty) message body; Content-Length is maintained by Serialize.
+//
+// Parsed messages keep a single retained copy of the wire head (raw);
+// header names, values, and URI components are substrings of it, so the
+// parser performs one copy per message instead of one per field. raw is an
+// immutable Go string: substrings that escape the message (transaction
+// keys, location bindings, response headers copied from a request) stay
+// valid even after the Message itself is released back to the pool.
+//
+// Mutating a header through Set/Add/Prepend/Del/RemoveFirst invalidates
+// the cached serialized form. Code that writes exported fields directly
+// (Method, Body, ...) after the message has been serialized must call
+// Invalidate.
 type Message struct {
 	IsRequest  bool
 	Method     Method // requests only
@@ -116,62 +130,200 @@ type Message struct {
 
 	Headers []Header
 	Body    []byte
+
+	// raw is the retained copy of the received start line + headers that
+	// Headers/RequestURI views point into. Empty for built messages.
+	raw string
+
+	// bodyBuf is the message-owned buffer Body is parsed into; it is kept
+	// across pool cycles so reparsing reuses its capacity.
+	bodyBuf []byte
+
+	// Cached serialized wire form, shared by every send site (forwarding,
+	// retransmission, IPC) until a mutation invalidates it. serMu makes
+	// concurrent Serialize calls safe: two workers may replay the same
+	// stored response at once.
+	serMu  sync.Mutex
+	wire   []byte
+	wireOK bool
+
+	// Pool lifecycle. pooled marks messages obtained from Get (directly or
+	// via Parse/StreamParser); refs counts owners. Release on a non-pooled
+	// message is a no-op, so built messages need no lifecycle discipline.
+	pooled bool
+	refs   atomic.Int32
+}
+
+// Buffers larger than these are dropped at Release instead of being
+// retained by the pool, so one oversized message cannot pin memory.
+const (
+	maxPooledHeaders = 256
+	maxPooledBuffer  = 16 << 10
+)
+
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// Get returns an empty Message from the pool with one reference held by
+// the caller. Pair it with Release; Parse and StreamParser.Next use it
+// internally, so every received message participates in the pool.
+func Get() *Message {
+	m := msgPool.Get().(*Message)
+	m.pooled = true
+	m.refs.Store(1)
+	return m
+}
+
+// Retain adds a reference so the message survives the receive loop's
+// Release (the transaction table retains stored requests). No-op for
+// built (non-pooled) messages. Returns m for chaining.
+func (m *Message) Retain() *Message {
+	if m != nil && m.pooled {
+		m.refs.Add(1)
+	}
+	return m
+}
+
+// Release drops one reference; when the last reference is gone the message
+// is reset and returned to the pool. Release on a nil or non-pooled
+// message is a no-op, so callers can release unconditionally. After the
+// final Release the caller must not touch the Message again — though
+// strings previously obtained from it remain valid (they alias the
+// immutable raw copy, which the pool never reuses).
+func (m *Message) Release() {
+	if m == nil || !m.pooled {
+		return
+	}
+	n := m.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("sipmsg: Release of already released Message")
+	}
+	m.reset()
+	msgPool.Put(m)
+}
+
+// reset clears the message for pool reuse, keeping modestly sized buffers.
+func (m *Message) reset() {
+	m.IsRequest = false
+	m.Method = ""
+	m.RequestURI = URI{}
+	m.StatusCode = 0
+	m.Reason = ""
+	if cap(m.Headers) > maxPooledHeaders {
+		m.Headers = nil
+	} else {
+		m.Headers = m.Headers[:0]
+	}
+	m.Body = nil
+	if cap(m.bodyBuf) > maxPooledBuffer {
+		m.bodyBuf = nil
+	}
+	m.raw = ""
+	// With no references left, no caller can still hold the cached wire
+	// slice, so its capacity is safe to reuse.
+	if cap(m.wire) > maxPooledBuffer {
+		m.wire = nil
+	} else {
+		m.wire = m.wire[:0]
+	}
+	m.wireOK = false
+}
+
+// Invalidate drops the cached serialized form. Header mutators call it
+// automatically; it is required only after writing exported fields
+// (Method, Body, RequestURI, ...) directly on a message that may already
+// have been serialized.
+func (m *Message) Invalidate() {
+	m.serMu.Lock()
+	if m.wireOK {
+		// Do not reuse the old buffer: a previously returned Serialize
+		// slice may still be on its way to a socket.
+		m.wire = nil
+		m.wireOK = false
+	}
+	m.serMu.Unlock()
 }
 
 // IsResponse reports whether m is a response.
 func (m *Message) IsResponse() bool { return !m.IsRequest }
 
-// canonicalName maps header names (including RFC 3261 compact forms) to
-// their canonical capitalization so lookups are case-insensitive.
-func canonicalName(name string) string {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "v", "via":
-		return "Via"
-	case "f", "from":
-		return "From"
-	case "t", "to":
-		return "To"
-	case "i", "call-id":
-		return "Call-ID"
-	case "m", "contact":
-		return "Contact"
-	case "l", "content-length":
-		return "Content-Length"
-	case "c", "content-type":
-		return "Content-Type"
-	case "e", "content-encoding":
-		return "Content-Encoding"
-	case "k", "supported":
-		return "Supported"
-	case "s", "subject":
-		return "Subject"
-	case "cseq":
-		return "CSeq"
-	case "max-forwards":
-		return "Max-Forwards"
-	case "expires":
-		return "Expires"
-	case "route":
-		return "Route"
-	case "record-route":
-		return "Record-Route"
-	case "user-agent":
-		return "User-Agent"
-	case "www-authenticate":
-		return "WWW-Authenticate"
-	case "authorization":
-		return "Authorization"
-	default:
-		// Title-case each hyphen-separated part.
-		parts := strings.Split(strings.TrimSpace(name), "-")
-		for i, p := range parts {
-			if p == "" {
-				continue
-			}
-			parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
-		}
-		return strings.Join(parts, "-")
+// canonicalNames lists the canonical spellings the parser recognizes
+// without allocating; lookup is case-insensitive via EqualFold.
+var canonicalNames = [...]string{
+	"Via", "From", "To", "Call-ID", "Contact", "Content-Length",
+	"Content-Type", "Content-Encoding", "Supported", "Subject", "CSeq",
+	"Max-Forwards", "Expires", "Route", "Record-Route", "User-Agent",
+	"WWW-Authenticate", "Authorization", "Proxy-Authenticate",
+	"Proxy-Authorization",
+}
+
+// lookupCanonical resolves a trimmed header name (including RFC 3261
+// compact forms) to its canonical constant without allocating.
+func lookupCanonical(name string) (string, bool) {
+	// Exact-case match first: our own serializer and most real stacks emit
+	// canonical capitalization, and the compiler turns this switch into a
+	// length-bucketed comparison far cheaper than the EqualFold scan below.
+	switch name {
+	case "Via", "From", "To", "Call-ID", "Contact", "Content-Length",
+		"Content-Type", "Content-Encoding", "Supported", "Subject", "CSeq",
+		"Max-Forwards", "Expires", "Route", "Record-Route", "User-Agent",
+		"WWW-Authenticate", "Authorization", "Proxy-Authenticate",
+		"Proxy-Authorization":
+		return name, true
 	}
+	if len(name) == 1 {
+		switch name[0] | 0x20 { // ASCII lowercase
+		case 'v':
+			return "Via", true
+		case 'f':
+			return "From", true
+		case 't':
+			return "To", true
+		case 'i':
+			return "Call-ID", true
+		case 'm':
+			return "Contact", true
+		case 'l':
+			return "Content-Length", true
+		case 'c':
+			return "Content-Type", true
+		case 'e':
+			return "Content-Encoding", true
+		case 'k':
+			return "Supported", true
+		case 's':
+			return "Subject", true
+		}
+		return "", false
+	}
+	for _, c := range &canonicalNames {
+		if len(c) == len(name) && strings.EqualFold(c, name) {
+			return c, true
+		}
+	}
+	return "", false
+}
+
+// canonicalName maps header names (including RFC 3261 compact forms) to
+// their canonical capitalization so lookups are case-insensitive. Known
+// names resolve to shared constants without allocating; unknown names are
+// title-cased per hyphenated part.
+func canonicalName(name string) string {
+	name = strings.TrimSpace(name)
+	if c, ok := lookupCanonical(name); ok {
+		return c
+	}
+	// Title-case each hyphen-separated part.
+	parts := strings.Split(name, "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
+	}
+	return strings.Join(parts, "-")
 }
 
 // Get returns the value of the first header with the given name (case- and
@@ -200,6 +352,7 @@ func (m *Message) GetAll(name string) []string {
 
 // Set replaces the first header with the given name, or appends it if absent.
 func (m *Message) Set(name, value string) {
+	m.Invalidate()
 	cn := canonicalName(name)
 	for i := range m.Headers {
 		if m.Headers[i].Name == cn {
@@ -212,19 +365,24 @@ func (m *Message) Set(name, value string) {
 
 // Add appends a header without replacing existing ones with the same name.
 func (m *Message) Add(name, value string) {
+	m.Invalidate()
 	m.Headers = append(m.Headers, Header{Name: canonicalName(name), Value: value})
 }
 
 // Prepend inserts a header before all existing headers. SIP proxies use this
 // to push a Via on the top of the Via stack.
 func (m *Message) Prepend(name, value string) {
+	m.Invalidate()
 	cn := canonicalName(name)
-	m.Headers = append([]Header{{Name: cn, Value: value}}, m.Headers...)
+	m.Headers = append(m.Headers, Header{})
+	copy(m.Headers[1:], m.Headers)
+	m.Headers[0] = Header{Name: cn, Value: value}
 }
 
 // Del removes every header with the given name and returns how many were
 // removed.
 func (m *Message) Del(name string) int {
+	m.Invalidate()
 	cn := canonicalName(name)
 	n := 0
 	out := m.Headers[:0]
@@ -243,6 +401,7 @@ func (m *Message) Del(name string) int {
 // whether one was removed. Proxies use this to pop the topmost Via from a
 // response before forwarding it upstream.
 func (m *Message) RemoveFirst(name string) bool {
+	m.Invalidate()
 	cn := canonicalName(name)
 	for i := range m.Headers {
 		if m.Headers[i].Name == cn {
@@ -350,16 +509,24 @@ func (m *Message) TransactionKey() (string, error) {
 	return branch + "|" + string(method), nil
 }
 
-// Clone returns a deep copy of the message.
+// Clone returns a deep copy of the message. Clones are always built
+// (non-pooled) messages with no cached wire form, independent of the
+// original's lifecycle.
 func (m *Message) Clone() *Message {
-	c := *m
+	c := &Message{
+		IsRequest:  m.IsRequest,
+		Method:     m.Method,
+		RequestURI: m.RequestURI,
+		StatusCode: m.StatusCode,
+		Reason:     m.Reason,
+	}
 	c.Headers = make([]Header, len(m.Headers))
 	copy(c.Headers, m.Headers)
 	if m.Body != nil {
 		c.Body = make([]byte, len(m.Body))
 		copy(c.Body, m.Body)
 	}
-	return &c
+	return c
 }
 
 // ShortString renders a one-line summary useful in logs and tests.

@@ -5,50 +5,75 @@ import (
 	"strconv"
 )
 
-// Serialize renders the message in wire format. Content-Length is always
-// emitted (computed from Body), so callers never need to maintain it.
+// AppendTo appends the wire form of the message to buf and returns the
+// extended slice. Content-Length is always recomputed from Body, so callers
+// never need to maintain it. AppendTo allocates only when buf lacks
+// capacity; it does not consult or populate the serialized-form cache.
+func (m *Message) AppendTo(buf []byte) []byte {
+	if m.IsRequest {
+		buf = append(buf, string(m.Method)...)
+		buf = append(buf, ' ')
+		buf = m.RequestURI.appendTo(buf)
+		buf = append(buf, ' ')
+		buf = append(buf, SIPVersion...)
+	} else {
+		buf = append(buf, SIPVersion...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(m.StatusCode), 10)
+		buf = append(buf, ' ')
+		buf = append(buf, m.Reason...)
+	}
+	buf = append(buf, '\r', '\n')
+	for i := range m.Headers {
+		h := &m.Headers[i]
+		if h.Name == "Content-Length" {
+			continue // recomputed below
+		}
+		buf = append(buf, h.Name...)
+		buf = append(buf, ':', ' ')
+		buf = append(buf, h.Value...)
+		buf = append(buf, '\r', '\n')
+	}
+	buf = append(buf, "Content-Length: "...)
+	buf = strconv.AppendInt(buf, int64(len(m.Body)), 10)
+	buf = append(buf, "\r\n\r\n"...)
+	buf = append(buf, m.Body...)
+	return buf
+}
+
+// Serialize renders the message in wire format. The result is cached on the
+// message until a mutation invalidates it, so forwarding, retransmission,
+// and IPC reuse the same bytes instead of rebuilding them. The returned
+// slice is shared: callers may write it to sockets but must not modify or
+// append to it.
 func (m *Message) Serialize() []byte {
-	var b bytes.Buffer
-	m.WriteTo(&b)
-	return b.Bytes()
+	m.serMu.Lock()
+	defer m.serMu.Unlock()
+	if m.wireOK {
+		return m.wire
+	}
+	if cap(m.wire) == 0 {
+		m.wire = make([]byte, 0, estimateSize(m))
+	}
+	m.wire = m.AppendTo(m.wire[:0])
+	m.wireOK = true
+	return m.wire
 }
 
 // WriteTo renders the message into buf in wire format.
 func (m *Message) WriteTo(buf *bytes.Buffer) {
-	buf.Grow(estimateSize(m))
-	if m.IsRequest {
-		buf.WriteString(string(m.Method))
-		buf.WriteByte(' ')
-		buf.WriteString(m.RequestURI.String())
-		buf.WriteByte(' ')
-		buf.WriteString(SIPVersion)
-	} else {
-		buf.WriteString(SIPVersion)
-		buf.WriteByte(' ')
-		buf.WriteString(strconv.Itoa(m.StatusCode))
-		buf.WriteByte(' ')
-		buf.WriteString(m.Reason)
-	}
-	buf.WriteString("\r\n")
-	for _, h := range m.Headers {
-		if h.Name == "Content-Length" {
-			continue // recomputed below
-		}
-		buf.WriteString(h.Name)
-		buf.WriteString(": ")
-		buf.WriteString(h.Value)
-		buf.WriteString("\r\n")
-	}
-	buf.WriteString("Content-Length: ")
-	buf.WriteString(strconv.Itoa(len(m.Body)))
-	buf.WriteString("\r\n\r\n")
-	buf.Write(m.Body)
+	buf.Write(m.Serialize())
 }
 
 func estimateSize(m *Message) int {
 	n := 64 + len(m.Body)
-	for _, h := range m.Headers {
-		n += len(h.Name) + len(h.Value) + 4
+	if m.raw != "" {
+		// Parsed message: the retained head is a tight upper bound for the
+		// re-rendered head.
+		return n + len(m.raw) + 16
+	}
+	for i := range m.Headers {
+		n += len(m.Headers[i].Name) + len(m.Headers[i].Value) + 4
 	}
 	return n
 }

@@ -43,26 +43,34 @@ func (p *StreamParser) Next() (*Message, error) {
 	if len(data) == 0 {
 		return nil, ErrIncomplete
 	}
-	headEnd := bytes.Index(data, []byte("\r\n\r\n"))
+	headEnd := bytes.Index(data, crlfcrlf)
 	if headEnd < 0 {
 		if len(data) > MaxHeaderBytes {
 			return nil, ErrTooLarge
 		}
 		return nil, ErrIncomplete
 	}
-	m, bodyStart, clen, err := parseHead(data)
+	if headEnd > MaxHeaderBytes {
+		return nil, ErrTooLarge
+	}
+	m := Get()
+	clen, err := parseHeadStr(m, string(data[:headEnd]))
 	if err != nil {
+		m.Release()
 		return nil, err
 	}
 	if clen < 0 {
 		clen = 0
 	}
+	bodyStart := headEnd + 4
 	total := bodyStart + clen
 	if len(data) < total {
+		m.Release()
 		return nil, ErrIncomplete
 	}
 	if clen > 0 {
-		m.Body = append([]byte(nil), data[bodyStart:total]...)
+		m.bodyBuf = append(m.bodyBuf[:0], data[bodyStart:total]...)
+		m.Body = m.bodyBuf
 	}
 	p.buf.Next(total)
 	return m, nil
@@ -74,8 +82,9 @@ func (p *StreamParser) Buffered() int { return p.buf.Len() }
 // Reader reads framed SIP messages from an io.Reader, combining buffered
 // reads with a StreamParser. It is the read half of a TCP SIP connection.
 type Reader struct {
-	r  *bufio.Reader
-	sp StreamParser
+	r     *bufio.Reader
+	sp    StreamParser
+	chunk []byte // reusable read buffer
 }
 
 // NewReader wraps r for SIP message framing.
@@ -94,10 +103,12 @@ func (r *Reader) ReadMessage() (*Message, error) {
 		if err != ErrIncomplete && !isIncomplete(err) {
 			return nil, err
 		}
-		chunk := make([]byte, 4096)
-		n, rerr := r.r.Read(chunk)
+		if r.chunk == nil {
+			r.chunk = make([]byte, 4096)
+		}
+		n, rerr := r.r.Read(r.chunk)
 		if n > 0 {
-			r.sp.Feed(chunk[:n])
+			r.sp.Feed(r.chunk[:n])
 			continue
 		}
 		if rerr != nil {

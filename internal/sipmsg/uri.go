@@ -131,6 +131,56 @@ func formatParams(params map[string]string) string {
 	return b.String()
 }
 
+// appendTo appends the canonical URI form to buf. It matches String()
+// byte-for-byte but avoids the strings.Builder allocations on the
+// serialization fast path.
+func (u URI) appendTo(buf []byte) []byte {
+	buf = append(buf, "sip:"...)
+	if u.User != "" {
+		buf = append(buf, u.User...)
+		buf = append(buf, '@')
+	}
+	buf = append(buf, u.Host...)
+	if u.Port != 0 {
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(u.Port), 10)
+	}
+	return appendParams(buf, u.Params)
+}
+
+// appendParams renders params deterministically (sorted), allocating the
+// key slice only when there are two or more parameters.
+func appendParams(buf []byte, params map[string]string) []byte {
+	switch len(params) {
+	case 0:
+		return buf
+	case 1:
+		for k, v := range params {
+			buf = append(buf, ';')
+			buf = append(buf, k...)
+			if v != "" {
+				buf = append(buf, '=')
+				buf = append(buf, v...)
+			}
+		}
+		return buf
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf = append(buf, ';')
+		buf = append(buf, k...)
+		if v := params[k]; v != "" {
+			buf = append(buf, '=')
+			buf = append(buf, v...)
+		}
+	}
+	return buf
+}
+
 // String renders the URI in canonical form.
 func (u URI) String() string {
 	var b strings.Builder

@@ -178,9 +178,15 @@ func (tb *Table) Create(upKey string, req *sipmsg.Message, origin any) (tx *Tran
 		sh.mu.Unlock()
 		return existing, true
 	}
+	// The table owns a reference to the stored request so the receive loop
+	// can release its own after Handle returns. The reference is deliberately
+	// never released at Terminate: late retransmit closures and Match-then-use
+	// callers may still hold the transaction, so reclaiming the request here
+	// would race; terminated transactions simply leave their request to the
+	// GC, which is cheap at transaction (not message) rates.
 	tx = &Transaction{
 		upKey:   upKey,
-		req:     req,
+		req:     req.Retain(),
 		Origin:  origin,
 		created: time.Now(),
 		state:   StateProceeding,
