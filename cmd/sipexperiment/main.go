@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which experiment: 3, 4, 5, profile, priority, arch, or all")
+		fig     = flag.String("fig", "all", "which experiment: 3, 4, 5, profile, priority, arch, stages, or all")
 		clients = flag.String("clients", "", "comma-separated client counts (default scale: 10,50,100)")
 		calls   = flag.Int("calls", 0, "calls per caller (default 100)")
 		workers = flag.Int("workers", 0, "server worker count (default 8)")
@@ -70,7 +70,7 @@ func main() {
 
 	which := strings.Split(*fig, ",")
 	if *fig == "all" {
-		which = []string{"3", "4", "5", "profile", "priority", "arch", "scenarios", "loss"}
+		which = []string{"3", "4", "5", "profile", "priority", "arch", "scenarios", "loss", "stages"}
 	}
 	start := time.Now()
 	for _, f := range which {
@@ -124,6 +124,25 @@ func main() {
 				fmt.Printf("  %4.0f%% loss: %8.0f ops/s  (%d rtx, %d failed)\n",
 					100*r, res.Throughput, res.Retransmits, res.CallsFailed)
 			}
+		case "stages":
+			mid := sc.Clients[len(sc.Clients)/2]
+			cells, err := experiment.RunStages(sc, mid, progress)
+			if err != nil {
+				fatalf("stages: %v", err)
+			}
+			fmt.Println()
+			fmt.Printf("Per-stage latency percentiles (%d clients; Figures 4/5 as distributions):\n", mid)
+			fmt.Print(experiment.StageTable(cells))
+			if len(cells) > 0 {
+				last := cells[len(cells)-1]
+				fmt.Println()
+				fmt.Printf("Run timeline, %s (per-interval ops/s and stage P99):\n", last.Name)
+				fmt.Print(last.Series.Table("proxy.messages", last.Series.ActiveStages(experiment.SeriesStages())))
+			}
+			if *md {
+				fmt.Println()
+				fmt.Print(experiment.StageMarkdown(cells))
+			}
 		case "arch":
 			mid := sc.Clients[len(sc.Clients)/2]
 			out, err := experiment.RunArchitectures(sc, mid,
@@ -154,6 +173,16 @@ func runFigure(f func(experiment.Scale, func(string)) (*experiment.Figure, error
 	fmt.Print(fig.Table())
 	lo, hi := fig.TCPOfUDPRange()
 	fmt.Printf("TCP as %% of UDP across the matrix: %.0f%%–%.0f%%\n", lo, hi)
+	maxClients := sc.Clients[len(sc.Clients)-1]
+	for _, name := range []string{"TCP persistent", "UDP"} {
+		c := fig.CellFor(name, maxClients)
+		if c == nil || len(c.Series.Samples) == 0 {
+			continue
+		}
+		fmt.Println()
+		fmt.Printf("Run timeline, %s @ %d clients (per-interval ops/s and stage P99):\n", name, maxClients)
+		fmt.Print(c.SeriesTable())
+	}
 	if md {
 		fmt.Println()
 		fmt.Print(fig.Markdown())

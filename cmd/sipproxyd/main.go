@@ -7,6 +7,11 @@
 //	sipproxyd -arch tcp -ipc unix -idle-timeout 10s
 //	sipproxyd -arch threaded
 //
+// With -metrics-addr set the daemon also serves live introspection over
+// HTTP: Prometheus text at /metrics, the human profile report at /profile,
+// and the Go profiler under /debug/pprof/ — so a running proxy can be
+// profiled under load the way the paper profiled OpenSER with OProfile.
+//
 // The daemon provisions -users synthetic subscribers (user0…userN-1) at
 // startup and prints a profile report on SIGINT/SIGTERM.
 package main
@@ -14,6 +19,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -23,7 +30,20 @@ import (
 	"gosip/internal/connmgr"
 	"gosip/internal/core"
 	"gosip/internal/ipc"
+	"gosip/internal/metrics"
 )
+
+// startMetrics binds addr and serves the introspection mux on it. The
+// bound address is returned so callers (and tests) can use ":0".
+func startMetrics(addr string, prof *metrics.Profile) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	hs := &http.Server{Handler: metrics.NewServeMux(prof)}
+	go hs.Serve(ln)
+	return hs, ln.Addr(), nil
+}
 
 func main() {
 	var (
@@ -48,6 +68,7 @@ func main() {
 		routesFlag  = flag.String("routes", "", "static next hops: domain=host:port[,domain=host:port...]")
 		dropRx      = flag.Float64("drop-rx", 0, "UDP inbound datagram loss probability (fault injection)")
 		dropTx      = flag.Float64("drop-tx", 0, "UDP outbound datagram loss probability (fault injection)")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP address for /metrics, /profile, and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -93,6 +114,16 @@ func main() {
 	srv.DB().ProvisionN(*users, *domain)
 	fmt.Printf("sipproxyd: %s listening on %s (%s), %d users provisioned\n",
 		*arch, srv.Addr(), srv.Engine().Describe(), *users)
+
+	if *metricsAddr != "" {
+		hs, bound, err := startMetrics(*metricsAddr, srv.Profile())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sipproxyd: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		defer hs.Close()
+		fmt.Printf("sipproxyd: metrics on http://%s/metrics (also /profile, /debug/pprof/)\n", bound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gosip/internal/core"
+	"gosip/internal/loadgen"
+	"gosip/internal/transport"
+)
+
+// TestMetricsEndpointSmoke boots a proxy with a metrics listener, drives a
+// little real traffic through it, and validates the exposed surfaces: that
+// /metrics parses as Prometheus text exposition format and includes the
+// per-stage histograms, and that /profile and /debug/pprof/ respond.
+func TestMetricsEndpointSmoke(t *testing.T) {
+	srv, err := core.New(core.Config{
+		Arch:     core.ArchUDP,
+		Addr:     "127.0.0.1:0",
+		Workers:  2,
+		Stateful: true,
+		Domain:   "metrics.gosip",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.DB().ProvisionN(8, "metrics.gosip")
+
+	hs, bound, err := startMetrics("127.0.0.1:0", srv.Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+	base := "http://" + bound.String()
+
+	if _, err := loadgen.Run(loadgen.Config{
+		Transport:       transport.UDP,
+		ProxyAddr:       srv.Addr(),
+		Domain:          "metrics.gosip",
+		Pairs:           2,
+		CallsPerCaller:  3,
+		ResponseTimeout: 5 * time.Second,
+	}); err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+
+	body := mustGet(t, base+"/metrics")
+	validatePrometheusText(t, body)
+	for _, want := range []string{
+		"gosip_stage_parse_seconds_bucket{le=\"+Inf\"}",
+		"gosip_stage_process_seconds_count",
+		"gosip_stage_send_seconds_sum",
+		"gosip_proxy_messages_total",
+		// Registered but never fired under UDP: must still be exposed.
+		"gosip_stage_fd_ipc_seconds_count 0",
+		"gosip_fdcache_hits_total 0",
+		"gosip_udp_resolve_hits_total",
+		"gosip_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Traffic ran, so the per-stage histograms must be non-empty.
+	if m := regexp.MustCompile(`(?m)^gosip_stage_parse_seconds_count (\d+)$`).FindStringSubmatch(body); m == nil || m[1] == "0" {
+		t.Errorf("stage.parse histogram empty after traffic: %v", m)
+	}
+
+	profile := mustGet(t, base+"/profile")
+	for _, want := range []string{"profile (busy=", "stage latency percentiles:", "stage.parse"} {
+		if !strings.Contains(profile, want) {
+			t.Errorf("/profile missing %q", want)
+		}
+	}
+
+	pprofIdx := mustGet(t, base+"/debug/pprof/")
+	if !strings.Contains(pprofIdx, "goroutine") {
+		t.Errorf("/debug/pprof/ index looks wrong: %.80s", pprofIdx)
+	}
+}
+
+func mustGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(b)
+}
+
+var (
+	promMetricRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[+-]?Inf|[+-]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?)$`)
+)
+
+// validatePrometheusText checks the body against the text exposition
+// format: every line is a HELP/TYPE comment or a sample; TYPE precedes the
+// family's samples; histogram families carry le-labelled buckets, _sum and
+// _count; cumulative bucket counts are monotone with le.
+func validatePrometheusText(t *testing.T, body string) {
+	t.Helper()
+	types := map[string]string{}
+	sampleSeen := map[string]bool{}
+	histBuckets := map[string][]float64{} // family -> cumulative counts in order
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) {
+			t.Fatalf("line %d %q: %s", ln+1, line, fmt.Sprintf(format, args...))
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.Fields(line)
+			if len(parts) < 4 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				fail("malformed comment")
+			}
+			if !promMetricRe.MatchString(parts[2]) {
+				fail("bad metric name %q", parts[2])
+			}
+			if parts[1] == "TYPE" {
+				if sampleSeen[parts[2]] {
+					fail("TYPE after samples for %s", parts[2])
+				}
+				switch parts[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail("bad type %q", parts[3])
+				}
+				types[parts[2]] = parts[3]
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			fail("not a valid sample line")
+		}
+		name := m[1]
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				family = base
+			}
+		}
+		if _, ok := types[family]; !ok {
+			fail("sample without TYPE declaration (family %s)", family)
+		}
+		sampleSeen[family] = true
+		if types[family] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			if !strings.Contains(m[2], "le=") {
+				fail("histogram bucket without le label")
+			}
+			v, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				fail("bad bucket count: %v", err)
+			}
+			prev := histBuckets[family]
+			if len(prev) > 0 && v < prev[len(prev)-1] {
+				fail("bucket counts not cumulative")
+			}
+			histBuckets[family] = append(prev, v)
+		}
+	}
+	if len(types) == 0 {
+		t.Fatal("no metric families found")
+	}
+	for fam, typ := range types {
+		if typ == "histogram" && len(histBuckets[fam]) == 0 {
+			t.Errorf("histogram family %s has no buckets", fam)
+		}
+	}
+}

@@ -70,6 +70,7 @@ type Scanner struct {
 
 	scanTime *metrics.Timer
 	visits   *metrics.Counter
+	scanHist *metrics.Histogram
 }
 
 // NewScanner creates an empty baseline manager.
@@ -78,6 +79,7 @@ func NewScanner(profile *metrics.Profile) *Scanner {
 		conns:    make(map[conn.ID]*conn.TCPConn),
 		scanTime: profile.Timer(metrics.MetricIdleScanTime),
 		visits:   profile.Counter(metrics.MetricIdleScanVisits),
+		scanHist: profile.Histogram(metrics.StageIdleScan),
 	}
 }
 
@@ -118,7 +120,9 @@ func (s *Scanner) Expired(now time.Time, eligible Eligible) []*conn.TCPConn {
 	}
 	s.mu.Unlock()
 	s.visits.Add(visited)
-	s.scanTime.AddDuration(time.Since(start))
+	d := time.Since(start)
+	s.scanTime.AddDuration(d)
+	s.scanHist.Record(d)
 	return out
 }
 
@@ -145,6 +149,7 @@ type PQueue struct {
 
 	scanTime *metrics.Timer
 	visits   *metrics.Counter
+	scanHist *metrics.Histogram
 }
 
 // NewPQueue creates an empty priority-queue manager.
@@ -154,6 +159,7 @@ func NewPQueue(profile *metrics.Profile) *PQueue {
 		ReinsertDelay: 100 * time.Millisecond,
 		scanTime:      profile.Timer(metrics.MetricIdleScanTime),
 		visits:        profile.Counter(metrics.MetricIdleScanVisits),
+		scanHist:      profile.Histogram(metrics.StageIdleScan),
 	}
 }
 
@@ -239,7 +245,9 @@ func (p *PQueue) Expired(now time.Time, eligible Eligible) []*conn.TCPConn {
 	}
 	p.mu.Unlock()
 	p.visits.Add(visited)
-	p.scanTime.AddDuration(time.Since(start))
+	d := time.Since(start)
+	p.scanTime.AddDuration(d)
+	p.scanHist.Record(d)
 	return out
 }
 
@@ -260,6 +268,7 @@ type TableScanner struct {
 
 	scanTime *metrics.Timer
 	visits   *metrics.Counter
+	scanHist *metrics.Histogram
 }
 
 // NewTableScanner creates the shared-table baseline manager. Membership is
@@ -269,6 +278,7 @@ func NewTableScanner(table *conn.Table, profile *metrics.Profile) *TableScanner 
 		table:    table,
 		scanTime: profile.Timer(metrics.MetricIdleScanTime),
 		visits:   profile.Counter(metrics.MetricIdleScanVisits),
+		scanHist: profile.Histogram(metrics.StageIdleScan),
 	}
 }
 
@@ -296,7 +306,9 @@ func (s *TableScanner) Expired(now time.Time, eligible Eligible) []*conn.TCPConn
 		}
 	})
 	s.visits.Add(visited)
-	s.scanTime.AddDuration(time.Since(start))
+	d := time.Since(start)
+	s.scanTime.AddDuration(d)
+	s.scanHist.Record(d)
 	return out
 }
 

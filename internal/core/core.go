@@ -201,19 +201,30 @@ type substrate struct {
 	db     *userdb.DB
 	timers *timerlist.List
 	txns   *transaction.Table
+
+	parseHist    *metrics.Histogram
+	parseErrs    *metrics.Counter
+	observeParse func(time.Duration) // bound once; avoids a closure per message
 }
 
 func newSubstrate(cfg Config) *substrate {
 	timers := timerlist.New(cfg.TimerInterval)
 	prof := cfg.Profile
-	return &substrate{
-		cfg:    cfg,
-		prof:   prof,
-		loc:    location.New(),
-		db:     userdb.New(cfg.DB, prof),
-		timers: timers,
-		txns:   transaction.NewTable(cfg.Txn, timers, prof),
+	// Pre-create the full standard name set so every metric a server can
+	// emit is present in /metrics and reports from the start.
+	prof.RegisterStandard()
+	s := &substrate{
+		cfg:       cfg,
+		prof:      prof,
+		loc:       location.New(),
+		db:        userdb.New(cfg.DB, prof),
+		timers:    timers,
+		txns:      transaction.NewTable(cfg.Txn, timers, prof),
+		parseHist: prof.Histogram(metrics.StageParse),
+		parseErrs: prof.Counter(metrics.MetricParseErrors),
 	}
+	s.observeParse = s.parseHist.Record
+	return s
 }
 
 func (s *substrate) close() {
@@ -240,11 +251,14 @@ func (s *substrate) engineConfig(kind transport.Kind, host string, port int) pro
 	}
 }
 
-// parse wraps sipmsg.Parse with drop accounting shared by all receivers.
-func parseOrCount(prof *metrics.Profile, data []byte) (*sipmsg.Message, bool) {
+// parseOrCount wraps sipmsg.Parse with stage timing and drop accounting
+// shared by all datagram receivers.
+func (s *substrate) parseOrCount(data []byte) (*sipmsg.Message, bool) {
+	t0 := time.Now()
 	m, err := sipmsg.Parse(data)
+	s.parseHist.Record(time.Since(t0))
 	if err != nil {
-		prof.Counter("proxy.parse_errors").Inc()
+		s.parseErrs.Inc()
 		return nil, false
 	}
 	return m, true

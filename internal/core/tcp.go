@@ -116,6 +116,7 @@ func newTCPServer(cfg Config) (Server, error) {
 	if pq, ok := srv.supMgr.(*connmgr.PQueue); ok {
 		pq.ReinsertDelay = cfg.SupervisorGrace
 	}
+	sub.prof.SetGauge(metrics.GaugeOpenConns, func() float64 { return float64(table.Len()) })
 	for i := 0; i < cfg.Workers; i++ {
 		w := &tcpWorker{
 			id:       i,
@@ -155,7 +156,9 @@ func (s *tcpServer) acceptor() {
 		if tc, ok := nc.(*net.TCPConn); ok {
 			_ = tc.SetNoDelay(true)
 		}
-		c := s.table.Insert(transport.NewStreamConn(nc), s.sub.cfg.IdleTimeout)
+		sc := transport.NewStreamConn(nc)
+		sc.SetParseObserver(s.sub.observeParse)
+		c := s.table.Insert(sc, s.sub.cfg.IdleTimeout)
 		select {
 		case s.accepts <- c:
 		case <-s.closed:
@@ -406,6 +409,7 @@ func (ts *tcpSender) ToAddr(_ string, hostport string, m *sipmsg.Message) error 
 	if err != nil {
 		return err
 	}
+	sc.SetParseObserver(ts.w.srv.sub.observeParse)
 	c := ts.w.srv.table.Insert(sc, ts.w.srv.sub.cfg.IdleTimeout)
 	ts.w.adopt(c)
 	select {

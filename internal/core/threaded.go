@@ -65,6 +65,7 @@ func newThreadedServer(cfg Config) (Server, error) {
 		table:  conn.NewTable(sub.prof),
 		closed: make(chan struct{}),
 	}
+	sub.prof.SetGauge(metrics.GaugeOpenConns, func() float64 { return float64(srv.table.Len()) })
 	for i := 0; i < cfg.Workers; i++ {
 		w := &threadedWorker{
 			id:       i,
@@ -95,7 +96,9 @@ func (s *threadedServer) acceptor() {
 		if tc, ok := nc.(*net.TCPConn); ok {
 			_ = tc.SetNoDelay(true)
 		}
-		c := s.table.Insert(transport.NewStreamConn(nc), s.sub.cfg.IdleTimeout)
+		sc := transport.NewStreamConn(nc)
+		sc.SetParseObserver(s.sub.observeParse)
+		c := s.table.Insert(sc, s.sub.cfg.IdleTimeout)
 		if !s.dispatch(c) {
 			s.table.Remove(c)
 			return
@@ -234,6 +237,7 @@ func (ts *threadedSender) ToAddr(_ string, hostport string, m *sipmsg.Message) e
 	if err != nil {
 		return err
 	}
+	sc.SetParseObserver(ts.w.srv.sub.observeParse)
 	c := ts.w.srv.table.Insert(sc, ts.w.srv.sub.cfg.IdleTimeout)
 	ts.w.adopt(c)
 	return ts.send(c, m)

@@ -37,10 +37,19 @@ type udpSender struct {
 
 	mu    sync.RWMutex
 	addrs map[string]*net.UDPAddr // resolve cache
+
+	resolveHits   *metrics.Counter
+	resolveMisses *metrics.Counter
 }
 
-func newUDPSender(sock *transport.UDPSocket, faults *faultGate) *udpSender {
-	return &udpSender{sock: sock, faults: faults, addrs: make(map[string]*net.UDPAddr)}
+func newUDPSender(sock *transport.UDPSocket, faults *faultGate, prof *metrics.Profile) *udpSender {
+	return &udpSender{
+		sock:          sock,
+		faults:        faults,
+		addrs:         make(map[string]*net.UDPAddr),
+		resolveHits:   prof.Counter(metrics.MetricResolveHit),
+		resolveMisses: prof.Counter(metrics.MetricResolveMiss),
+	}
 }
 
 // maxResolveCache bounds the resolve cache: legitimate workloads touch a
@@ -53,8 +62,10 @@ func (s *udpSender) resolve(hostport string) (*net.UDPAddr, error) {
 	a, ok := s.addrs[hostport]
 	s.mu.RUnlock()
 	if ok {
+		s.resolveHits.Inc()
 		return a, nil
 	}
+	s.resolveMisses.Inc()
 	a, err := net.ResolveUDPAddr("udp", hostport)
 	if err != nil {
 		return nil, err
@@ -114,7 +125,7 @@ func newUDPServer(cfg Config) (Server, error) {
 	local := sock.LocalAddr()
 	engine := proxy.NewEngine(sub.engineConfig(transport.UDP, local.IP.String(), local.Port), sub.loc, sub.db, sub.txns, sub.prof)
 	faults := newFaultGate(cfg.Faults)
-	sender := newUDPSender(sock, faults)
+	sender := newUDPSender(sock, faults, sub.prof)
 	engine.SetTimerSender(sender)
 
 	srv := &udpServer{
@@ -152,7 +163,7 @@ func (s *udpServer) worker() {
 			s.sock.Release(pkt)
 			continue
 		}
-		m, ok := parseOrCount(s.sub.prof, pkt.Data)
+		m, ok := s.sub.parseOrCount(pkt.Data)
 		src := pkt.Src
 		s.sock.Release(pkt)
 		if !ok {

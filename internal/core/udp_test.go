@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gosip/internal/location"
+	"gosip/internal/metrics"
 	"gosip/internal/sipmsg"
 	"gosip/internal/transport"
 )
@@ -18,7 +19,7 @@ func newTestSender(t *testing.T) (*udpSender, *transport.UDPSocket) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { sock.Close() })
-	return newUDPSender(sock, nil), sock
+	return newUDPSender(sock, nil, metrics.NewProfile()), sock
 }
 
 func udpTestMsg() *sipmsg.Message {

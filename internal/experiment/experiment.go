@@ -112,7 +112,37 @@ type Cell struct {
 	Clients  int
 	Result   loadgen.Result
 	Snapshot metrics.Snapshot
+	// Series is the run's sampled time series (throughput, per-stage
+	// percentiles, runtime health over the measured window).
+	Series metrics.Series
 }
+
+// samplerInterval is the in-run sampling period. Cells at default scale run
+// for seconds, so this yields tens of samples without measurable overhead.
+const samplerInterval = 200 * time.Millisecond
+
+// seriesStages are the pipeline stages shown in run-timeline tables; the
+// renderer drops the ones an architecture never exercises.
+var seriesStages = []string{
+	metrics.StageParse, metrics.StageProcess, metrics.StageSend,
+	metrics.StageFDIPC, metrics.StageIdleScan,
+}
+
+// SeriesTable renders the cell's run timeline (ops/s and per-stage P99 per
+// sampling interval) as text; empty when the run was too short to sample.
+func (c *Cell) SeriesTable() string {
+	stages := c.Series.ActiveStages(seriesStages)
+	return c.Series.Table(metrics.MetricMsgsProcessed, stages)
+}
+
+// SeriesMarkdown is SeriesTable as a GitHub table for EXPERIMENTS.md.
+func (c *Cell) SeriesMarkdown() string {
+	stages := c.Series.ActiveStages(seriesStages)
+	return c.Series.Markdown(metrics.MetricMsgsProcessed, stages)
+}
+
+// SeriesStages returns the stage set timeline tables consider.
+func SeriesStages() []string { return append([]string(nil), seriesStages...) }
 
 // Figure is a completed experiment matrix.
 type Figure struct {
@@ -121,6 +151,9 @@ type Figure struct {
 	Scale Scale
 	Cells []Cell
 }
+
+// CellFor returns the measurement for (workload name, clients), or nil.
+func (f *Figure) CellFor(name string, clients int) *Cell { return f.cell(name, clients) }
 
 // cell returns the measurement for (workload name, clients), or nil.
 func (f *Figure) cell(name string, clients int) *Cell {
@@ -168,6 +201,7 @@ func runCell(w Workload, clients int, sc Scale, variant Variant) (*Cell, error) 
 	defer srv.Close()
 	srv.DB().ProvisionN(2*clients, cfg.Domain)
 
+	sampler := metrics.StartSampler(srv.Profile(), samplerInterval)
 	res, err := loadgen.Run(loadgen.Config{
 		Transport:       w.Transport,
 		ProxyAddr:       srv.Addr(),
@@ -177,10 +211,11 @@ func runCell(w Workload, clients int, sc Scale, variant Variant) (*Cell, error) 
 		OpsPerConn:      w.OpsPerConn,
 		ResponseTimeout: sc.ResponseTimeout,
 	})
+	series := sampler.Stop()
 	if err != nil {
 		return nil, err
 	}
-	return &Cell{Workload: w, Clients: clients, Result: res, Snapshot: srv.Profile().Snapshot()}, nil
+	return &Cell{Workload: w, Clients: clients, Result: res, Snapshot: srv.Profile().Snapshot(), Series: series}, nil
 }
 
 // baseConfig assembles the parts of the server config every figure shares.

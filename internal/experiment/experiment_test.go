@@ -143,7 +143,11 @@ func TestFigureVariantsProduceExpectedConfigs(t *testing.T) {
 
 func TestRunProfileSmoke(t *testing.T) {
 	sc := tinyScale()
-	rep, err := RunProfile(sc, 3, nil)
+	// Worker assignment is intentionally randomized (see tcpServer.rng), so
+	// a pair can land both halves on one worker and pay no IPC for it. Six
+	// pairs make an all-pairs-co-located run — which would read as zero
+	// baseline IPC — vanishingly unlikely.
+	rep, err := RunProfile(sc, 6, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,5 +245,79 @@ func TestChartRendering(t *testing.T) {
 	}
 	if BarLine("zero", 0, 100, "x") == "" {
 		t.Error("zero BarLine empty")
+	}
+}
+
+// TestCellSeriesCollected: every cell carries a sampled time series, and
+// the timeline renderers produce non-trivial output from it.
+func TestCellSeriesCollected(t *testing.T) {
+	sc := tinyScale()
+	sc.Clients = []int{2}
+	fig, err := RunMatrix("t", "series", sc, baselineVariant,
+		[]Workload{{Name: "UDP", Transport: transport.UDP}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fig.Cells[0]
+	if len(c.Series.Samples) == 0 {
+		t.Fatal("cell has no time-series samples")
+	}
+	last := c.Series.Samples[len(c.Series.Samples)-1]
+	if last.Snap.Counters["proxy.messages"] == 0 {
+		t.Error("final sample saw no traffic")
+	}
+	table := c.SeriesTable()
+	if !strings.Contains(table, "rate/s") {
+		t.Errorf("series table malformed:\n%s", table)
+	}
+	if md := c.SeriesMarkdown(); !strings.Contains(md, "| t | rate/s |") {
+		t.Errorf("series markdown malformed:\n%s", md)
+	}
+}
+
+// TestRunStagesSmoke: the per-stage comparison runs all four variants and
+// the table carries stage rows for both TCP and UDP sides.
+func TestRunStagesSmoke(t *testing.T) {
+	sc := tinyScale()
+	cells, err := RunStages(sc, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("variants = %d, want 4", len(cells))
+	}
+	for _, c := range cells {
+		if c.Throughput <= 0 {
+			t.Errorf("%s: zero throughput", c.Name)
+		}
+		if c.Snapshot.Histograms["stage.process"].Count == 0 {
+			t.Errorf("%s: process stage histogram empty", c.Name)
+		}
+	}
+	// Wiring invariants that hold regardless of worker scheduling: every
+	// counted event must also have landed in its stage histogram. (Whether
+	// the baseline pays fd IPC at all at this tiny scale depends on which
+	// worker owns each connection, so the counts themselves are not
+	// asserted — the ipc package and the /metrics smoke test cover that.)
+	for _, c := range cells {
+		if got, want := c.Snapshot.Histograms["stage.fd_ipc"].Count, c.Snapshot.Counters["ipc.fd_requests"]; got != want {
+			t.Errorf("%s: fd_ipc histogram %d != fd_requests counter %d", c.Name, got, want)
+		}
+		if got, want := c.Snapshot.Histograms["stage.fd_cache_hit"].Count, c.Snapshot.Counters["fdcache.hits"]; got != want {
+			t.Errorf("%s: fd_cache_hit histogram %d != fdcache.hits counter %d", c.Name, got, want)
+		}
+		if got, want := c.Snapshot.Histograms["stage.process"].Count, c.Snapshot.Counters["proxy.messages"]; got != want {
+			t.Errorf("%s: process histogram %d != messages counter %d", c.Name, got, want)
+		}
+	}
+	table := StageTable(cells)
+	for _, want := range []string{"parse", "process", "throughput", "TCP baseline", "UDP"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("stage table missing %q:\n%s", want, table)
+		}
+	}
+	md := StageMarkdown(cells)
+	if !strings.Contains(md, "| stage (p50/p99) |") {
+		t.Errorf("stage markdown malformed:\n%s", md)
 	}
 }

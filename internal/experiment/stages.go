@@ -1,0 +1,170 @@
+// Stage-latency experiment: the paper's Figures 4/5 story — fd cache and
+// pqueue progressively removing the TCP architecture's overheads — told as
+// per-stage latency distributions instead of aggregate throughput.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gosip/internal/connmgr"
+	"gosip/internal/core"
+	"gosip/internal/metrics"
+	"gosip/internal/transport"
+)
+
+// StageCell is one server variant's run: end-of-run snapshot (per-stage
+// histograms), throughput, and the sampled timeline.
+type StageCell struct {
+	Name       string
+	Throughput float64
+	Snapshot   metrics.Snapshot
+	Series     metrics.Series
+}
+
+// stageVariants are the four configurations the stage table compares:
+// the TCP baseline, the Figure 4 fd cache, Figure 5's pqueue on top, and
+// the UDP reference.
+func stageVariants() []struct {
+	name     string
+	workload Workload
+	variant  Variant
+} {
+	tcpPersistent := Workload{Name: "TCP persistent", Transport: transport.TCP, OpsPerConn: 0}
+	udp := Workload{Name: "UDP", Transport: transport.UDP}
+	return []struct {
+		name     string
+		workload Workload
+		variant  Variant
+	}{
+		{"TCP baseline", tcpPersistent, func(w Workload, sc Scale) core.Config {
+			cfg := baseConfig(w, sc)
+			cfg.FDCache = false
+			cfg.ConnMgr = connmgr.KindScan
+			return cfg
+		}},
+		{"TCP fd-cache", tcpPersistent, func(w Workload, sc Scale) core.Config {
+			cfg := baseConfig(w, sc)
+			cfg.FDCache = true
+			cfg.ConnMgr = connmgr.KindScan
+			return cfg
+		}},
+		{"TCP fd-cache+pqueue", tcpPersistent, func(w Workload, sc Scale) core.Config {
+			cfg := baseConfig(w, sc)
+			cfg.FDCache = true
+			cfg.ConnMgr = connmgr.KindPQueue
+			return cfg
+		}},
+		{"UDP", udp, func(w Workload, sc Scale) core.Config {
+			cfg := baseConfig(w, sc)
+			return cfg
+		}},
+	}
+}
+
+// RunStages measures per-stage latency distributions across the four
+// variants at a single client count.
+func RunStages(sc Scale, clients int, progress func(string)) ([]StageCell, error) {
+	var out []StageCell
+	for _, v := range stageVariants() {
+		cell, err := runCell(v.workload, clients, sc, v.variant)
+		if err != nil {
+			return nil, fmt.Errorf("stages (%s): %w", v.name, err)
+		}
+		out = append(out, StageCell{
+			Name:       v.name,
+			Throughput: cell.Result.Throughput,
+			Snapshot:   cell.Snapshot,
+			Series:     cell.Series,
+		})
+		if progress != nil {
+			progress(fmt.Sprintf("[stages] %-20s %4d clients: %s", v.name, clients, cell.Result))
+		}
+	}
+	return out, nil
+}
+
+// stageTableRows are the stages shown in the comparison, pipeline order.
+var stageTableRows = []string{
+	metrics.StageParse, metrics.StageTxnMatch, metrics.StageDBLookup,
+	metrics.StageFDCacheHit, metrics.StageFDIPC, metrics.StageSend,
+	metrics.StageSupervisor, metrics.StageProcess, metrics.StageIdleScan,
+}
+
+func stageCellText(h metrics.HistogramSnapshot) string {
+	if h.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%v/%v",
+		h.P50().Round(time.Microsecond), h.P99().Round(time.Microsecond))
+}
+
+// StageTable renders the cross-variant per-stage P50/P99 comparison as
+// text: rows are stages, columns the server variants.
+func StageTable(cells []StageCell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s", "stage p50/p99")
+	for _, c := range cells {
+		fmt.Fprintf(&b, " %22s", c.Name)
+	}
+	b.WriteByte('\n')
+	for _, st := range stageTableRows {
+		any := false
+		for _, c := range cells {
+			if c.Snapshot.Histograms[st].Count > 0 {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s", strings.TrimPrefix(st, "stage."))
+		for _, c := range cells {
+			fmt.Fprintf(&b, " %22s", stageCellText(c.Snapshot.Histograms[st]))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-16s", "throughput")
+	for _, c := range cells {
+		fmt.Fprintf(&b, " %22s", fmt.Sprintf("%.0f ops/s", c.Throughput))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// StageMarkdown renders the same comparison as a GitHub table.
+func StageMarkdown(cells []StageCell) string {
+	var b strings.Builder
+	b.WriteString("| stage (p50/p99) |")
+	for _, c := range cells {
+		fmt.Fprintf(&b, " %s |", c.Name)
+	}
+	b.WriteString("\n|---|")
+	for range cells {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, st := range stageTableRows {
+		any := false
+		for _, c := range cells {
+			if c.Snapshot.Histograms[st].Count > 0 {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		fmt.Fprintf(&b, "| %s |", strings.TrimPrefix(st, "stage."))
+		for _, c := range cells {
+			fmt.Fprintf(&b, " %s |", stageCellText(c.Snapshot.Histograms[st]))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("| **throughput** |")
+	for _, c := range cells {
+		fmt.Fprintf(&b, " %.0f ops/s |", c.Throughput)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

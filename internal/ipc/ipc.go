@@ -115,6 +115,8 @@ type Fabric struct {
 	ipcTime  *metrics.Timer
 	ipcCount *metrics.Counter
 	svTime   *metrics.Timer
+	ipcHist  *metrics.Histogram
+	svHist   *metrics.Histogram
 }
 
 // workerPort is one worker's endpoint. Only unix mode populates the socket
@@ -138,6 +140,8 @@ func NewFabric(mode Mode, nWorkers int, profile *metrics.Profile) (*Fabric, erro
 		ipcTime:  profile.Timer(metrics.MetricIPCTime),
 		ipcCount: profile.Counter(metrics.MetricIPCCount),
 		svTime:   profile.Timer(metrics.MetricSupervisorWork),
+		ipcHist:  profile.Histogram(metrics.StageFDIPC),
+		svHist:   profile.Histogram(metrics.StageSupervisor),
 	}
 	for i := range f.workers {
 		f.workers[i] = &workerPort{}
@@ -167,7 +171,11 @@ func (f *Fabric) Requests() <-chan Request { return f.requests }
 // in the baseline.
 func (f *Fabric) RequestFD(workerID int, c *conn.TCPConn) (*Handle, error) {
 	start := time.Now()
-	defer func() { f.ipcTime.AddDuration(time.Since(start)) }()
+	defer func() {
+		d := time.Since(start)
+		f.ipcTime.AddDuration(d)
+		f.ipcHist.Record(d)
+	}()
 	f.ipcCount.Inc()
 
 	req := Request{ConnID: c.ID(), Worker: workerID}
@@ -203,7 +211,11 @@ func (f *Fabric) RequestFD(workerID int, c *conn.TCPConn) (*Handle, error) {
 // accounted as supervisor work.
 func (f *Fabric) Respond(req Request, c *conn.TCPConn, err error) {
 	start := time.Now()
-	defer func() { f.svTime.AddDuration(time.Since(start)) }()
+	defer func() {
+		d := time.Since(start)
+		f.svTime.AddDuration(d)
+		f.svHist.Record(d)
+	}()
 
 	if f.mode == ModeChan {
 		if err != nil {

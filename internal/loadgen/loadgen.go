@@ -9,11 +9,11 @@ package loadgen
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gosip/internal/metrics"
 	"gosip/internal/phone"
 	"gosip/internal/transport"
 	"gosip/internal/userdb"
@@ -99,6 +99,11 @@ type Result struct {
 	P50CallLatency  time.Duration
 	P95CallLatency  time.Duration
 	P99CallLatency  time.Duration
+	// LatencyDist is the merged completed-call latency distribution the
+	// percentiles above are read from: per-phone log₂ histograms merged
+	// at collection time, so memory stays constant regardless of call
+	// count (a million-call run retains no per-call samples).
+	LatencyDist metrics.HistogramSnapshot
 }
 
 // atomicCounter is a tiny wrapper to keep the measured-phase goroutines
@@ -109,6 +114,8 @@ func (c *atomicCounter) add(d int64) { atomic.AddInt64(&c.n, d) }
 func (c *atomicCounter) load() int64 { return atomic.LoadInt64(&c.n) }
 
 // percentile returns the q-th percentile (0 < q <= 100) of sorted samples.
+// It is the exact order statistic, kept as the reference implementation the
+// histogram's bucketed quantiles are verified against in tests.
 func percentile(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
@@ -260,7 +267,6 @@ func Run(cfg Config) (Result, error) {
 
 	res := Result{Duration: duration}
 	var totalCallTime time.Duration
-	var samples []time.Duration
 	for i := 0; i < cfg.Pairs; i++ {
 		st := callers[i].Stats()
 		res.Ops += st.Ops
@@ -272,7 +278,7 @@ func Run(cfg Config) (Result, error) {
 		if st.MaxCallTime > res.MaxCallLatency {
 			res.MaxCallLatency = st.MaxCallTime
 		}
-		samples = append(samples, st.Latencies...)
+		res.LatencyDist.Merge(st.Latency)
 	}
 	if cfg.Scenario == ScenarioRegistrations {
 		res.Ops = int(regOps.load())
@@ -281,10 +287,9 @@ func Run(cfg Config) (Result, error) {
 	if res.CallsCompleted > 0 {
 		res.MeanCallLatency = totalCallTime / time.Duration(res.CallsCompleted)
 	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	res.P50CallLatency = percentile(samples, 50)
-	res.P95CallLatency = percentile(samples, 95)
-	res.P99CallLatency = percentile(samples, 99)
+	res.P50CallLatency = res.LatencyDist.Quantile(0.50)
+	res.P95CallLatency = res.LatencyDist.Quantile(0.95)
+	res.P99CallLatency = res.LatencyDist.Quantile(0.99)
 	if duration > 0 {
 		res.Throughput = float64(res.Ops) / duration.Seconds()
 	}

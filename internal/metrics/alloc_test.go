@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+}
+
+// TestHistogramRecordAllocs pins the hot path at zero allocations: Record
+// sits on the per-message pipeline, so any allocation here would regress
+// the zero-alloc fast path.
+func TestHistogramRecordAllocs(t *testing.T) {
+	skipIfRace(t)
+	var h Histogram
+	d := 37 * time.Microsecond
+	got := testing.AllocsPerRun(1000, func() {
+		h.Record(d)
+	})
+	if got != 0 {
+		t.Errorf("Record allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestHistogramSnapshotAllocs bounds Snapshot: the value-type snapshot
+// itself must not escape per call.
+func TestHistogramSnapshotAllocs(t *testing.T) {
+	skipIfRace(t)
+	var h Histogram
+	h.Record(time.Millisecond)
+	got := testing.AllocsPerRun(1000, func() {
+		s := h.Snapshot()
+		_ = s.Count
+	})
+	if got != 0 {
+		t.Errorf("Snapshot allocates %.1f/op, want 0", got)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	d := 37 * time.Microsecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(d)
+	}
+}
+
+func BenchmarkHistogramRecordParallel(b *testing.B) {
+	var h Histogram
+	d := 37 * time.Microsecond
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Record(d)
+		}
+	})
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Quantile(0.99)
+	}
+}

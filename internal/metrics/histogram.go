@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of a Histogram. Bucket i holds
+// durations whose nanosecond count has bit length i: bucket 0 is exactly
+// zero, bucket i (i ≥ 1) covers [2^(i-1), 2^i-1] ns. Bucket NumBuckets-1
+// is the overflow bucket (everything ≥ 2^(NumBuckets-2) ns ≈ 4.6 min) —
+// far beyond any per-message stage latency this server produces.
+const NumBuckets = 40
+
+// Histogram is a lock-free latency histogram with fixed log₂ buckets. All
+// fields are atomic counters, so Record is wait-free, allocation-free, and
+// safe from any number of goroutines — the properties the per-message fast
+// path needs so observability does not regress the zero-allocation
+// pipeline. A nil *Histogram is a valid disabled histogram: every method
+// is a no-op (or returns zeros), so call sites need no nil checks.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets [NumBuckets]atomic.Int64
+}
+
+// bucketIndex maps a nanosecond count to its bucket.
+func bucketIndex(ns int64) int {
+	b := bits.Len64(uint64(ns))
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i. The overflow
+// bucket has no finite bound; it reports the largest finite one.
+func BucketUpper(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	return time.Duration(int64(1)<<uint(i) - 1)
+}
+
+// Record adds one observation. It is the hot-path entry point: wait-free,
+// zero allocations, nil-safe (a nil histogram drops the sample).
+func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Merge adds other's observations into h, so per-worker histograms can be
+// combined into one distribution. Both sides may be recorded into
+// concurrently; the merge is then a momentary, internally consistent-enough
+// view (each bucket is read once).
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	for i := range other.buckets {
+		if n := other.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	om := other.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Snapshot captures the histogram's current state. Buckets are loaded
+// individually, so under concurrent recording the snapshot may be off by
+// in-flight samples — fine for reporting.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	s.Max = time.Duration(h.max.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable view of a Histogram. It is a plain
+// value: copy, store, and diff freely.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Max     time.Duration
+	Buckets [NumBuckets]int64
+}
+
+// Merge accumulates other into s (for combining per-phone or per-worker
+// snapshots).
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// Sub returns the distribution of observations recorded after prev was
+// taken — the per-interval view a time-series sampler needs from
+// cumulative snapshots. prev must be an earlier snapshot of the same
+// histogram. Max cannot be diffed and is carried over from s.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum, Max: s.Max}
+	for i := range s.Buckets {
+		out.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	return out
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns an upper bound for the q-th quantile (0 < q ≤ 1): the
+// upper edge of the bucket containing it, clamped to the observed maximum.
+// The log₂ buckets guarantee the answer is within 2× of the exact order
+// statistic. Returns 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q*float64(s.Count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	cum := int64(0)
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= target {
+			if i == NumBuckets-1 {
+				return s.Max // overflow bucket: the max is the best bound
+			}
+			u := BucketUpper(i)
+			if u > s.Max {
+				u = s.Max
+			}
+			return u
+		}
+	}
+	return s.Max
+}
+
+// P50, P95 and P99 are the report percentiles.
+func (s HistogramSnapshot) P50() time.Duration { return s.Quantile(0.50) }
+
+// P95 returns the 95th percentile upper bound.
+func (s HistogramSnapshot) P95() time.Duration { return s.Quantile(0.95) }
+
+// P99 returns the 99th percentile upper bound.
+func (s HistogramSnapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+// String renders the summary line used by reports.
+func (s HistogramSnapshot) String() string {
+	return fmt.Sprintf("n=%d p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.P50().Round(time.Microsecond), s.P95().Round(time.Microsecond),
+		s.P99().Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
+// Sparkline renders the bucket counts of the non-empty range as a compact
+// bar string — a quick shape check in text reports.
+func (s HistogramSnapshot) Sparkline() string {
+	lo, hi := -1, -1
+	maxN := int64(0)
+	for i, n := range s.Buckets {
+		if n > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if n > maxN {
+				maxN = n
+			}
+		}
+	}
+	if lo < 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		if s.Buckets[i] == 0 {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := int(float64(s.Buckets[i]) / float64(maxN) * float64(len(levels)-1))
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

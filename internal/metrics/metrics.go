@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +71,8 @@ type Profile struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	timers   map[string]*Timer
+	hists    map[string]*Histogram
+	gauges   map[string]func() float64
 	started  time.Time
 }
 
@@ -78,6 +81,8 @@ func NewProfile() *Profile {
 	return &Profile{
 		counters: make(map[string]*Counter),
 		timers:   make(map[string]*Timer),
+		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]func() float64),
 		started:  time.Now(),
 	}
 }
@@ -106,11 +111,36 @@ func (p *Profile) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named latency histogram, creating it on first use.
+// Call sites should look histograms up once at construction time and keep
+// the pointer: Record is then lock-free and allocation-free.
+func (p *Profile) Histogram(name string) *Histogram {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.hists[name]
+	if !ok {
+		h = &Histogram{}
+		p.hists[name] = h
+	}
+	return h
+}
+
+// SetGauge registers a callback sampled at snapshot time, for values that
+// are owned elsewhere (open-connection table size, queue depth). Re-setting
+// a name replaces the previous callback.
+func (p *Profile) SetGauge(name string, fn func() float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gauges[name] = fn
+}
+
 // Snapshot is an immutable view of a profile at one instant.
 type Snapshot struct {
-	Wall     time.Duration
-	Counters map[string]int64
-	Timers   map[string]TimerStat
+	Wall       time.Duration
+	Counters   map[string]int64
+	Timers     map[string]TimerStat
+	Histograms map[string]HistogramSnapshot
+	Gauges     map[string]float64
 }
 
 // TimerStat is the snapshot of one timer.
@@ -119,20 +149,29 @@ type TimerStat struct {
 	Count int64
 }
 
-// Snapshot captures all current values.
+// Snapshot captures all current values. Gauge callbacks are invoked while
+// the profile lock is held; they must not call back into the profile.
 func (p *Profile) Snapshot() Snapshot {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	s := Snapshot{
-		Wall:     time.Since(p.started),
-		Counters: make(map[string]int64, len(p.counters)),
-		Timers:   make(map[string]TimerStat, len(p.timers)),
+		Wall:       time.Since(p.started),
+		Counters:   make(map[string]int64, len(p.counters)),
+		Timers:     make(map[string]TimerStat, len(p.timers)),
+		Histograms: make(map[string]HistogramSnapshot, len(p.hists)),
+		Gauges:     make(map[string]float64, len(p.gauges)),
 	}
 	for name, c := range p.counters {
 		s.Counters[name] = c.Value()
 	}
 	for name, t := range p.timers {
 		s.Timers[name] = TimerStat{Total: t.Total(), Count: t.Count()}
+	}
+	for name, h := range p.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	for name, fn := range p.gauges {
+		s.Gauges[name] = fn()
 	}
 	return s
 }
@@ -160,11 +199,24 @@ func (s Snapshot) Report(busy time.Duration) string {
 	sort.Slice(names, func(i, j int) bool {
 		return s.Timers[names[i]].Total > s.Timers[names[j]].Total
 	})
-	out := fmt.Sprintf("profile (busy=%v):\n", busy.Round(time.Millisecond))
+	var out strings.Builder
+	fmt.Fprintf(&out, "profile (busy=%v):\n", busy.Round(time.Millisecond))
 	for _, n := range names {
 		t := s.Timers[n]
-		out += fmt.Sprintf("  %-28s %7.2f%%  total=%-12v calls=%d\n",
+		fmt.Fprintf(&out, "  %-28s %7.2f%%  total=%-12v calls=%d\n",
 			n, s.PercentOf(n, busy), t.Total.Round(time.Microsecond), t.Count)
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := s.Histograms[n]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&out, "  %-28s %s\n", n, h.String())
 	}
 	cnames := make([]string, 0, len(s.Counters))
 	for n := range s.Counters {
@@ -172,9 +224,17 @@ func (s Snapshot) Report(busy time.Duration) string {
 	}
 	sort.Strings(cnames)
 	for _, n := range cnames {
-		out += fmt.Sprintf("  %-28s %d\n", n, s.Counters[n])
+		fmt.Fprintf(&out, "  %-28s %d\n", n, s.Counters[n])
 	}
-	return out
+	gnames := make([]string, 0, len(s.Gauges))
+	for n := range s.Gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		fmt.Fprintf(&out, "  %-28s %g\n", n, s.Gauges[n])
+	}
+	return out.String()
 }
 
 // Standard metric names used across the server so experiment code can
@@ -196,4 +256,63 @@ const (
 	MetricProcessTime    = "worker.process"    // time workers spend processing SIP messages
 	MetricSendTime       = "worker.send"       // time workers spend sending (incl. fd acquisition)
 	MetricDBLookupTime   = "userdb.lookup"
+	MetricParseErrors    = "proxy.parse_errors"
+	MetricResolveHit     = "udp.resolve_hits"   // UDP destination-address resolve cache hits
+	MetricResolveMiss    = "udp.resolve_misses" // UDP destination-address resolve cache misses
 )
+
+// GaugeOpenConns is the snapshot-time size of the shared connection table
+// (TCP architectures only; registered via SetGauge).
+const GaugeOpenConns = "conn.open"
+
+// Per-stage latency histogram names: the paper's "where does the time go"
+// question (§5, Figures 4/5) answered as live distributions rather than
+// offline OProfile totals.
+const (
+	StageParse      = "stage.parse"        // wire bytes → parsed message
+	StageTxnMatch   = "stage.txn_match"    // transaction create/match
+	StageDBLookup   = "stage.db_lookup"    // user-database query
+	StageFDIPC      = "stage.fd_ipc"       // blocked fd request to the supervisor
+	StageFDCacheHit = "stage.fd_cache_hit" // fd acquisition served from the local cache
+	StageSend       = "stage.send"         // forward/send incl. fd acquisition
+	StageSupervisor = "stage.supervisor"   // supervisor handling one fd request
+	StageProcess    = "stage.process"      // full per-message worker processing
+	StageIdleScan   = "stage.idle_scan"    // one idle-connection scan (lock held)
+)
+
+// StageNames lists every per-stage histogram in pipeline order, for
+// reports that want a stable, complete stage table.
+var StageNames = []string{
+	StageParse, StageTxnMatch, StageDBLookup, StageFDCacheHit,
+	StageFDIPC, StageSend, StageSupervisor, StageProcess, StageIdleScan,
+}
+
+// standardCounters and standardTimers are every Metric* name, so
+// RegisterStandard can pre-create them all.
+var standardCounters = []string{
+	MetricIPCCount, MetricFDCacheHit, MetricFDCacheMiss, MetricIdleScanVisits,
+	MetricConnsAccepted, MetricConnsClosed, MetricMsgsProcessed,
+	MetricTxnCreated, MetricRetransmits, MetricParseErrors,
+	MetricResolveHit, MetricResolveMiss,
+}
+
+var standardTimers = []string{
+	MetricIPCTime, MetricIdleScanTime, MetricLockWaitTime,
+	MetricSupervisorWork, MetricProcessTime, MetricSendTime, MetricDBLookupTime,
+}
+
+// RegisterStandard pre-creates every standard counter, timer, and stage
+// histogram so exported output (Report, /metrics) always carries the full
+// name set — a registered name that never fires shows up as an explicit
+// zero instead of being silently absent.
+func (p *Profile) RegisterStandard() {
+	for _, n := range standardCounters {
+		p.Counter(n)
+	}
+	for _, n := range standardTimers {
+		p.Timer(n)
+	}
+	for _, n := range StageNames {
+		p.Histogram(n)
+	}
+}

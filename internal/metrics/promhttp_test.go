@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	p := NewProfile()
+	p.RegisterStandard()
+	p.Counter(MetricMsgsProcessed).Add(7)
+	p.Timer(MetricIPCTime).AddDuration(3 * time.Millisecond)
+	p.Histogram(StageParse).Record(100 * time.Microsecond)
+	p.Histogram(StageParse).Record(2 * time.Millisecond)
+	p.SetGauge(GaugeOpenConns, func() float64 { return 5 })
+
+	var b strings.Builder
+	WritePrometheus(&b, p.Snapshot())
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE gosip_proxy_messages_total counter",
+		"gosip_proxy_messages_total 7",
+		"gosip_ipc_fd_request_seconds_total 0.003",
+		"gosip_ipc_fd_request_calls_total 1",
+		"# TYPE gosip_stage_parse_seconds histogram",
+		`gosip_stage_parse_seconds_bucket{le="+Inf"} 2`,
+		"gosip_stage_parse_seconds_count 2",
+		"# TYPE gosip_conn_open gauge",
+		"gosip_conn_open 5",
+		// Never-fired standard names must still be present at zero.
+		"gosip_fdcache_hits_total 0",
+		"gosip_stage_fd_ipc_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestPromHistogramCumulative(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 64; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	var b strings.Builder
+	writePromHistogram(&b, "stage.test", h.Snapshot())
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	prev := -1.0
+	buckets := 0
+	for _, ln := range lines {
+		if !strings.Contains(ln, "_bucket{") {
+			continue
+		}
+		buckets++
+		v, err := strconv.ParseFloat(ln[strings.LastIndexByte(ln, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", ln, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative: %q after %v", ln, prev)
+		}
+		prev = v
+	}
+	if buckets < 2 {
+		t.Fatalf("expected multiple buckets, got %d", buckets)
+	}
+}
+
+func TestMetricsMux(t *testing.T) {
+	p := NewProfile()
+	p.RegisterStandard()
+	p.Histogram(StageProcess).Record(time.Millisecond)
+	mux := NewServeMux(p)
+
+	for path, want := range map[string]string{
+		"/metrics":      "gosip_stage_process_seconds_count 1",
+		"/profile":      "stage latency percentiles:",
+		"/debug/pprof/": "profiles",
+	} {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Errorf("%s: status %d", path, rec.Code)
+			continue
+		}
+		body, _ := io.ReadAll(rec.Result().Body)
+		if !strings.Contains(string(body), want) {
+			t.Errorf("%s missing %q", path, want)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package metrics
+
+// raceEnabled reports whether the race detector is compiled in. The alloc
+// regression tests skip themselves under -race because AllocsPerRun counts
+// the detector's own bookkeeping.
+const raceEnabled = true

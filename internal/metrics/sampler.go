@@ -1,0 +1,249 @@
+package metrics
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sample is one point of a run's time series: the cumulative profile
+// snapshot plus runtime health (goroutines, heap, GC) at that instant.
+type Sample struct {
+	At         time.Duration // offset from sampler start
+	Goroutines int
+	HeapAlloc  uint64
+	NumGC      uint32
+	GCPause    time.Duration // cumulative stop-the-world pause
+	Snap       Snapshot
+}
+
+// Series is the ordered samples of one run. Snapshots are cumulative;
+// consumers diff adjacent samples (Counter deltas, HistogramSnapshot.Sub)
+// for per-interval behavior.
+type Series struct {
+	Interval time.Duration
+	Samples  []Sample
+}
+
+// maxSamples bounds sampler memory on long runs: when the buffer fills,
+// the series is compacted to every other sample and the interval doubles.
+const maxSamples = 2048
+
+// Sampler periodically snapshots a Profile into an in-memory Series so a
+// run can be examined over time — the overload literature's point that
+// servers collapse via rising queueing delay long before cumulative means
+// move.
+type Sampler struct {
+	p     *Profile
+	start time.Time
+	stop  chan struct{}
+	done  chan struct{}
+
+	mu     sync.Mutex
+	series Series
+}
+
+// StartSampler begins sampling p every interval until Stop. Intervals
+// below 10ms are clamped to keep ReadMemStats overhead negligible.
+func StartSampler(p *Profile, interval time.Duration) *Sampler {
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	s := &Sampler{
+		p:     p,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	s.series.Interval = interval
+	go s.run(interval)
+	return s
+}
+
+func (s *Sampler) run(interval time.Duration) {
+	defer close(s.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.take()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// take appends one sample, compacting when the buffer is full.
+func (s *Sampler) take() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	sm := Sample{
+		At:         time.Since(s.start),
+		Goroutines: runtime.NumGoroutine(),
+		HeapAlloc:  ms.HeapAlloc,
+		NumGC:      ms.NumGC,
+		GCPause:    time.Duration(ms.PauseTotalNs),
+		Snap:       s.p.Snapshot(),
+	}
+	s.mu.Lock()
+	if len(s.series.Samples) >= maxSamples {
+		kept := s.series.Samples[:0]
+		for i := 1; i < len(s.series.Samples); i += 2 {
+			kept = append(kept, s.series.Samples[i])
+		}
+		s.series.Samples = kept
+		s.series.Interval *= 2
+	}
+	s.series.Samples = append(s.series.Samples, sm)
+	s.mu.Unlock()
+}
+
+// Stop halts sampling, takes one final sample (so even runs shorter than
+// the interval yield a series), and returns the collected Series. Stop is
+// idempotent; later calls return the same series.
+func (s *Sampler) Stop() Series {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+		<-s.done
+		s.take()
+	}
+	return s.Series()
+}
+
+// Series returns a copy of the samples collected so far.
+func (s *Sampler) Series() Series {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Series{Interval: s.series.Interval}
+	out.Samples = append([]Sample(nil), s.series.Samples...)
+	return out
+}
+
+// shortStage trims the "stage." prefix for column headers.
+func shortStage(name string) string {
+	return strings.TrimPrefix(name, "stage.")
+}
+
+// Table renders the series as a text table: one row per sample with the
+// per-interval rate of counterName (events/s), the per-interval P99 of
+// each listed stage histogram, and runtime health columns.
+func (s Series) Table(counterName string, stages []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %10s", "t", "rate/s")
+	for _, st := range stages {
+		fmt.Fprintf(&b, " %12s", "p99("+shortStage(st)+")")
+	}
+	fmt.Fprintf(&b, " %6s %9s\n", "gor", "heap")
+	prev := Sample{}
+	for _, sm := range s.Samples {
+		dt := (sm.At - prev.At).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		rate := float64(sm.Snap.Counters[counterName]-prev.Snap.Counters[counterName]) / dt
+		fmt.Fprintf(&b, "%8s %10.0f", sm.At.Round(time.Millisecond), rate)
+		for _, st := range stages {
+			d := sm.Snap.Histograms[st].Sub(prev.Snap.Histograms[st])
+			fmt.Fprintf(&b, " %12s", fmtStageP99(d))
+		}
+		fmt.Fprintf(&b, " %6d %9s\n", sm.Goroutines, fmtBytes(sm.HeapAlloc))
+		prev = sm
+	}
+	return b.String()
+}
+
+// Markdown renders the same per-interval view as a GitHub table for
+// EXPERIMENTS.md.
+func (s Series) Markdown(counterName string, stages []string) string {
+	var b strings.Builder
+	b.WriteString("| t | rate/s |")
+	for _, st := range stages {
+		fmt.Fprintf(&b, " p99 %s |", shortStage(st))
+	}
+	b.WriteString(" goroutines | heap |\n|---|---|")
+	for range stages {
+		b.WriteString("---|")
+	}
+	b.WriteString("---|---|\n")
+	prev := Sample{}
+	for _, sm := range s.Samples {
+		dt := (sm.At - prev.At).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		rate := float64(sm.Snap.Counters[counterName]-prev.Snap.Counters[counterName]) / dt
+		fmt.Fprintf(&b, "| %s | %.0f |", sm.At.Round(time.Millisecond), rate)
+		for _, st := range stages {
+			d := sm.Snap.Histograms[st].Sub(prev.Snap.Histograms[st])
+			fmt.Fprintf(&b, " %s |", fmtStageP99(d))
+		}
+		fmt.Fprintf(&b, " %d | %s |\n", sm.Goroutines, fmtBytes(sm.HeapAlloc))
+		prev = sm
+	}
+	return b.String()
+}
+
+// ActiveStages returns the listed candidates that recorded at least one
+// observation by the final sample, preserving order — so tables omit
+// stages an architecture never exercises (e.g. fd IPC under UDP).
+func (s Series) ActiveStages(candidates []string) []string {
+	if len(s.Samples) == 0 {
+		return nil
+	}
+	last := s.Samples[len(s.Samples)-1].Snap
+	var out []string
+	for _, st := range candidates {
+		if last.Histograms[st].Count > 0 {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+func fmtStageP99(d HistogramSnapshot) string {
+	if d.Count == 0 {
+		return "-"
+	}
+	return d.P99().Round(time.Microsecond).String()
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// StageSummary renders the end-of-run per-stage percentile block from a
+// snapshot: one line per active stage, in pipeline order.
+func StageSummary(snap Snapshot) string {
+	var b strings.Builder
+	for _, st := range StageNames {
+		h := snap.Histograms[st]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-20s %s\n", shortStage(st), h.String())
+	}
+	// Any non-standard histograms too, sorted, so nothing hides.
+	var extra []string
+	for name := range snap.Histograms {
+		if !strings.HasPrefix(name, "stage.") && snap.Histograms[name].Count > 0 {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(&b, "  %-20s %s\n", name, snap.Histograms[name].String())
+	}
+	return b.String()
+}

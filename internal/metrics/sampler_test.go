@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSamplerCollects(t *testing.T) {
+	p := NewProfile()
+	p.RegisterStandard()
+	msgs := p.Counter(MetricMsgsProcessed)
+	h := p.Histogram(StageProcess)
+
+	s := StartSampler(p, 10*time.Millisecond)
+	deadline := time.Now().Add(60 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		msgs.Inc()
+		h.Record(50 * time.Microsecond)
+		time.Sleep(time.Millisecond)
+	}
+	series := s.Stop()
+	if len(series.Samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	// Stop is idempotent and returns the same series.
+	again := s.Stop()
+	if len(again.Samples) != len(series.Samples) {
+		t.Fatalf("second Stop returned %d samples, first %d", len(again.Samples), len(series.Samples))
+	}
+	last := series.Samples[len(series.Samples)-1]
+	if last.Snap.Counters[MetricMsgsProcessed] == 0 {
+		t.Fatal("final sample did not capture the counter")
+	}
+	if last.Goroutines <= 0 || last.HeapAlloc == 0 {
+		t.Fatalf("runtime health not captured: %+v", last)
+	}
+	// Samples must be time-ordered.
+	for i := 1; i < len(series.Samples); i++ {
+		if series.Samples[i].At < series.Samples[i-1].At {
+			t.Fatal("samples out of order")
+		}
+	}
+
+	table := series.Table(MetricMsgsProcessed, []string{StageProcess})
+	if !strings.Contains(table, "rate/s") || !strings.Contains(table, "p99(process)") {
+		t.Errorf("table missing headers:\n%s", table)
+	}
+	mdown := series.Markdown(MetricMsgsProcessed, []string{StageProcess})
+	if !strings.Contains(mdown, "| t | rate/s |") {
+		t.Errorf("markdown missing header:\n%s", mdown)
+	}
+}
+
+// TestSamplerStopShortRun: a run shorter than the interval still yields
+// the final forced sample.
+func TestSamplerStopShortRun(t *testing.T) {
+	p := NewProfile()
+	s := StartSampler(p, time.Hour)
+	series := s.Stop()
+	if len(series.Samples) != 1 {
+		t.Fatalf("want exactly the final forced sample, got %d", len(series.Samples))
+	}
+}
+
+func TestSeriesActiveStages(t *testing.T) {
+	p := NewProfile()
+	p.RegisterStandard()
+	p.Histogram(StageParse).Record(time.Microsecond)
+	s := StartSampler(p, time.Hour)
+	series := s.Stop()
+	got := series.ActiveStages([]string{StageParse, StageFDIPC})
+	if len(got) != 1 || got[0] != StageParse {
+		t.Fatalf("ActiveStages = %v, want [%s]", got, StageParse)
+	}
+}

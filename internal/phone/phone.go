@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"gosip/internal/metrics"
 	"gosip/internal/proxy"
 	"gosip/internal/sipmsg"
 	"gosip/internal/transport"
@@ -85,10 +86,10 @@ type Stats struct {
 	// latency columns of its report.
 	TotalCallTime time.Duration
 	MaxCallTime   time.Duration
-	// Latencies holds every completed call's wall time, for percentile
-	// aggregation. Closed-loop callers place at most a few hundred calls,
-	// so the samples stay small.
-	Latencies []time.Duration
+	// Latency is the distribution of completed-call wall times. A
+	// fixed-bucket histogram keeps a phone's footprint constant however
+	// many calls it places, so million-call runs use bounded memory.
+	Latency metrics.HistogramSnapshot
 }
 
 // Errors.
@@ -107,6 +108,7 @@ type Phone struct {
 
 	cseq  uint32
 	stats Stats
+	lat   metrics.Histogram
 }
 
 // New creates a phone and binds its local socket(s). Callee phones start
@@ -135,7 +137,9 @@ func (p *Phone) Stats() Stats {
 	if p.tcp != nil {
 		p.stats.Reconnects = p.tcp.reconnects
 	}
-	return p.stats
+	st := p.stats
+	st.Latency = p.lat.Snapshot()
+	return st
 }
 
 // AOR returns the phone's address-of-record URI.
@@ -291,7 +295,7 @@ func (p *Phone) recordLatency(elapsed time.Duration) {
 	if elapsed > p.stats.MaxCallTime {
 		p.stats.MaxCallTime = elapsed
 	}
-	p.stats.Latencies = append(p.stats.Latencies, elapsed)
+	p.lat.Record(elapsed)
 }
 
 // request performs one transaction as a client: send, await the final

@@ -107,6 +107,9 @@ type Engine struct {
 	dialogRouted   *metrics.Counter
 	procTime       *metrics.Timer
 	sendTime       *metrics.Timer
+	procHist       *metrics.Histogram
+	sendHist       *metrics.Histogram
+	txnHist        *metrics.Histogram
 }
 
 // NewEngine assembles an engine. txns may be nil for a stateless proxy.
@@ -122,6 +125,9 @@ func NewEngine(cfg Config, loc *location.Service, db *userdb.DB, txns *transacti
 		dialogRouted:   profile.Counter("proxy.dialog_routed"),
 		procTime:       profile.Timer(metrics.MetricProcessTime),
 		sendTime:       profile.Timer(metrics.MetricSendTime),
+		procHist:       profile.Histogram(metrics.StageProcess),
+		sendHist:       profile.Histogram(metrics.StageSend),
+		txnHist:        profile.Histogram(metrics.StageTxnMatch),
 	}
 }
 
@@ -147,7 +153,11 @@ func (e *Engine) ownVia() (sipmsg.Via, string) {
 // the time spent is accounted as worker processing time.
 func (e *Engine) Handle(s Sender, m *sipmsg.Message, origin any) {
 	start := time.Now()
-	defer func() { e.procTime.AddDuration(time.Since(start)) }()
+	defer func() {
+		d := time.Since(start)
+		e.procTime.AddDuration(d)
+		e.procHist.Record(d)
+	}()
 	e.msgs.Inc()
 
 	if m.IsRequest {
@@ -331,7 +341,9 @@ func (e *Engine) forwardStateful(s Sender, m *sipmsg.Message, origin any) {
 		e.reply(s, m, origin, sipmsg.StatusBadRequest)
 		return
 	}
+	t0 := time.Now()
 	tx, isRetransmit := e.txns.Create(key, m, origin)
+	e.txnHist.Record(time.Since(t0))
 	if isRetransmit {
 		// Absorb: replay the last response if we have one (the state
 		// maintenance that "decreases the amount of retransmitted messages
@@ -471,7 +483,9 @@ func (e *Engine) handleResponse(s Sender, m *sipmsg.Message) {
 		return
 	}
 
+	t0 := time.Now()
 	tx := e.txns.MatchResponse(downKey)
+	e.txnHist.Record(time.Since(t0))
 	if tx == nil {
 		// Late or duplicate final response after linger: drop.
 		e.drops.Inc()
@@ -501,7 +515,9 @@ func (e *Engine) reply(s Sender, req *sipmsg.Message, origin any, code int) {
 func (e *Engine) sendToOrigin(s Sender, origin any, m *sipmsg.Message) {
 	start := time.Now()
 	err := s.ToOrigin(origin, m)
-	e.sendTime.AddDuration(time.Since(start))
+	d := time.Since(start)
+	e.sendTime.AddDuration(d)
+	e.sendHist.Record(d)
 	if err != nil {
 		e.drops.Inc()
 	}
@@ -510,14 +526,18 @@ func (e *Engine) sendToOrigin(s Sender, origin any, m *sipmsg.Message) {
 func (e *Engine) sendToBinding(s Sender, b location.Binding, m *sipmsg.Message) error {
 	start := time.Now()
 	err := s.ToBinding(b, m)
-	e.sendTime.AddDuration(time.Since(start))
+	d := time.Since(start)
+	e.sendTime.AddDuration(d)
+	e.sendHist.Record(d)
 	return err
 }
 
 func (e *Engine) sendToAddr(s Sender, transport, hostport string, m *sipmsg.Message) error {
 	start := time.Now()
 	err := s.ToAddr(transport, hostport, m)
-	e.sendTime.AddDuration(time.Since(start))
+	d := time.Since(start)
+	e.sendTime.AddDuration(d)
+	e.sendHist.Record(d)
 	return err
 }
 

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"time"
 )
 
 // StreamParser frames SIP messages out of a TCP byte stream. SIP over
@@ -85,6 +86,7 @@ type Reader struct {
 	r     *bufio.Reader
 	sp    StreamParser
 	chunk []byte // reusable read buffer
+	obs   func(time.Duration)
 }
 
 // NewReader wraps r for SIP message framing.
@@ -92,12 +94,29 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 8<<10)}
 }
 
+// SetParseObserver registers fn to receive the CPU-side framing/parsing
+// time of each delivered message — the time inside StreamParser.Next,
+// excluding blocked socket reads. nil disables. Not safe to call
+// concurrently with ReadMessage.
+func (r *Reader) SetParseObserver(fn func(time.Duration)) { r.obs = fn }
+
 // ReadMessage blocks until a complete SIP message arrives or the underlying
 // reader fails.
 func (r *Reader) ReadMessage() (*Message, error) {
+	var spent time.Duration
 	for {
+		var t0 time.Time
+		if r.obs != nil {
+			t0 = time.Now()
+		}
 		m, err := r.sp.Next()
+		if r.obs != nil {
+			spent += time.Since(t0)
+		}
 		if err == nil {
+			if r.obs != nil {
+				r.obs(spent)
+			}
 			return m, nil
 		}
 		if err != ErrIncomplete && !isIncomplete(err) {

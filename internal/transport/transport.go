@@ -114,6 +114,13 @@ func NewStreamConn(c net.Conn) *StreamConn {
 	return &StreamConn{conn: c, rd: sipmsg.NewReader(c)}
 }
 
+// SetParseObserver forwards fn to the framing reader: it receives the
+// parse-only time of each delivered message (blocked socket reads
+// excluded). Set it before the connection's reader goroutine starts.
+func (c *StreamConn) SetParseObserver(fn func(time.Duration)) {
+	c.rd.SetParseObserver(fn)
+}
+
 // ReadMessage blocks until a complete SIP message arrives.
 func (c *StreamConn) ReadMessage() (*sipmsg.Message, error) {
 	return c.rd.ReadMessage()

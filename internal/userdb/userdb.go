@@ -45,6 +45,7 @@ type DB struct {
 	pool chan struct{}
 
 	lookupTime *metrics.Timer
+	lookupHist *metrics.Histogram
 }
 
 // New creates an empty store.
@@ -53,6 +54,7 @@ func New(cfg Config, profile *metrics.Profile) *DB {
 		users:      make(map[string]User),
 		cfg:        cfg,
 		lookupTime: profile.Timer(metrics.MetricDBLookupTime),
+		lookupHist: profile.Histogram(metrics.StageDBLookup),
 	}
 	if cfg.PoolSize > 0 {
 		db.pool = make(chan struct{}, cfg.PoolSize)
@@ -105,7 +107,11 @@ func PasswordFor(username string) string { return "secret-" + username }
 // Lookup fetches a user, paying the configured latency and pool slot.
 func (db *DB) Lookup(username, domain string) (User, error) {
 	start := time.Now()
-	defer func() { db.lookupTime.AddDuration(time.Since(start)) }()
+	defer func() {
+		d := time.Since(start)
+		db.lookupTime.AddDuration(d)
+		db.lookupHist.Record(d)
+	}()
 
 	if db.pool != nil {
 		db.pool <- struct{}{}
