@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which experiment: 3, 4, 5, profile, priority, arch, stages, or all")
+		fig     = flag.String("fig", "all", "which experiment: 3, 4, 5, profile, priority, arch, stages, overload, or all")
 		clients = flag.String("clients", "", "comma-separated client counts (default scale: 10,50,100)")
 		calls   = flag.Int("calls", 0, "calls per caller (default 100)")
 		workers = flag.Int("workers", 0, "server worker count (default 8)")
@@ -70,7 +70,7 @@ func main() {
 
 	which := strings.Split(*fig, ",")
 	if *fig == "all" {
-		which = []string{"3", "4", "5", "profile", "priority", "arch", "scenarios", "loss", "stages"}
+		which = []string{"3", "4", "5", "profile", "priority", "arch", "scenarios", "loss", "stages", "overload"}
 	}
 	start := time.Now()
 	for _, f := range which {
@@ -154,6 +154,26 @@ func main() {
 			fmt.Println("Architecture comparison (§6 discussion, TCP persistent workload):")
 			for _, name := range []string{"TCP fixed (fdcache+pq)", "Threaded (§6)", "SCTP-sim (§6)", "UDP"} {
 				fmt.Printf("  %-24s %8.0f ops/s\n", name, out[name])
+			}
+		case "overload":
+			osc := experiment.DefaultOverloadScale()
+			if *clients != "" {
+				osc.Pairs = sc.Clients
+			}
+			if *calls > 0 {
+				osc.CallsPerCaller = *calls
+			}
+			if *workers > 0 {
+				osc.Workers = *workers
+			}
+			rep, err := experiment.RunOverload(osc, progress)
+			if err != nil {
+				fatalf("overload: %v", err)
+			}
+			fmt.Println()
+			fmt.Print(rep.Table())
+			if *md {
+				fmt.Print(rep.Markdown())
 			}
 		default:
 			fatalf("unknown experiment %q", f)

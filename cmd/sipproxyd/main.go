@@ -6,6 +6,7 @@
 //	sipproxyd -arch tcp -fdcache -connmgr pqueue
 //	sipproxyd -arch tcp -ipc unix -idle-timeout 10s
 //	sipproxyd -arch threaded
+//	sipproxyd -arch udp -overload threshold -overload-max-pending 64 -retry-after 2s
 //
 // With -metrics-addr set the daemon also serves live introspection over
 // HTTP: Prometheus text at /metrics, the human profile report at /profile,
@@ -31,6 +32,7 @@ import (
 	"gosip/internal/core"
 	"gosip/internal/ipc"
 	"gosip/internal/metrics"
+	"gosip/internal/overload"
 )
 
 // startMetrics binds addr and serves the introspection mux on it. The
@@ -64,6 +66,13 @@ func main() {
 		grace       = flag.Duration("grace", 5*time.Second, "supervisor grace before destroying returned connections")
 		checkEvery  = flag.Duration("idle-check", 500*time.Millisecond, "idle check floor interval")
 		penalty     = flag.Duration("supervisor-penalty", 0, "per-request supervisor delay (models §4.3 starvation)")
+		ipcTimeout  = flag.Duration("ipc-timeout", 0, "worker fd-request deadline against a stalled supervisor (0 = 2s, negative = none)")
+		olPolicy    = flag.String("overload", "none", "overload admission policy: none, threshold, occupancy")
+		olPending   = flag.Int("overload-max-pending", 0, "threshold policy: in-flight transaction budget (0 = 4x workers)")
+		olQueue     = flag.Int("overload-max-queue", 0, "per-worker queued-event budget (0 = 64)")
+		olTarget    = flag.Float64("overload-target", 0, "occupancy policy: target worker busy fraction (0 = 0.85)")
+		retryAfter  = flag.Duration("retry-after", 0, "base Retry-After advertised on 503 rejections (0 = 1s)")
+		olPause     = flag.Bool("overload-pause-reads", false, "pause TCP connection reads at the queue budget (kernel backpressure)")
 		dbLatency   = flag.Duration("db-latency", 0, "simulated user-database lookup latency")
 		routesFlag  = flag.String("routes", "", "static next hops: domain=host:port[,domain=host:port...]")
 		dropRx      = flag.Float64("drop-rx", 0, "UDP inbound datagram loss probability (fault injection)")
@@ -71,6 +80,13 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "HTTP address for /metrics, /profile, and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
+
+	switch overload.Policy(*olPolicy) {
+	case overload.PolicyNone, overload.PolicyThreshold, overload.PolicyOccupancy:
+	default:
+		fmt.Fprintf(os.Stderr, "sipproxyd: unknown -overload policy %q\n", *olPolicy)
+		os.Exit(1)
+	}
 
 	routes := map[string]string{}
 	if *routesFlag != "" {
@@ -101,6 +117,15 @@ func main() {
 		SupervisorGrace:   *grace,
 		IdleCheckInterval: *checkEvery,
 		SupervisorPenalty: *penalty,
+		IPCTimeout:        *ipcTimeout,
+		Overload: overload.Config{
+			Policy:          overload.Policy(*olPolicy),
+			MaxPending:      *olPending,
+			MaxQueue:        *olQueue,
+			TargetOccupancy: *olTarget,
+			RetryAfter:      *retryAfter,
+			PauseReads:      *olPause,
+		},
 	}
 	cfg.DB.LookupLatency = *dbLatency
 	cfg.Routes = routes

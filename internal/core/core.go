@@ -22,12 +22,14 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"gosip/internal/connmgr"
 	"gosip/internal/ipc"
 	"gosip/internal/location"
 	"gosip/internal/metrics"
+	"gosip/internal/overload"
 	"gosip/internal/proxy"
 	"gosip/internal/sipmsg"
 	"gosip/internal/timerlist"
@@ -105,8 +107,16 @@ type Config struct {
 	// the supervisor incurs before serving each request when the boost is
 	// absent. Zero = boosted supervisor (the paper's tuned configuration).
 	SupervisorPenalty time.Duration
+	// IPCTimeout bounds a worker's blocking fd request against a stalled
+	// supervisor; on expiry the affected request is answered 503 instead of
+	// hanging the worker (0 = 2s, negative = no deadline).
+	IPCTimeout time.Duration
 
 	// --- substrate knobs ---
+
+	// Overload configures the admission controller consulted before any
+	// per-request work (see package overload).
+	Overload overload.Config
 
 	// TimerInterval is the timer process's check period.
 	TimerInterval time.Duration
@@ -152,6 +162,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleCheckInterval <= 0 {
 		c.IdleCheckInterval = 500 * time.Millisecond
+	}
+	if c.IPCTimeout == 0 {
+		c.IPCTimeout = 2 * time.Second
 	}
 	if c.TimerInterval <= 0 {
 		c.TimerInterval = 100 * time.Millisecond
@@ -201,6 +214,10 @@ type substrate struct {
 	db     *userdb.DB
 	timers *timerlist.List
 	txns   *transaction.Table
+	ctrl   *overload.Controller
+	// obsBusy caches ctrl.NeedsObserve so the per-message path skips two
+	// time.Now calls for policies that ignore busy time.
+	obsBusy bool
 
 	parseHist    *metrics.Histogram
 	parseErrs    *metrics.Counter
@@ -224,6 +241,8 @@ func newSubstrate(cfg Config) *substrate {
 		parseErrs: prof.Counter(metrics.MetricParseErrors),
 	}
 	s.observeParse = s.parseHist.Record
+	s.ctrl = overload.New(cfg.Overload, cfg.Workers, s.txns.Pending, prof)
+	s.obsBusy = s.ctrl.NeedsObserve()
 	return s
 }
 
@@ -237,6 +256,12 @@ func (s *substrate) engineConfig(kind transport.Kind, host string, port int) pro
 	if s.cfg.Redirect {
 		mode = proxy.ModeRedirect
 	}
+	var retryAfter time.Duration
+	if s.ctrl.Active() {
+		// Locally generated 503s (IPC timeouts, forward failures) advertise
+		// the same back-off as admission rejections.
+		retryAfter = s.ctrl.RetryAfter()
+	}
 	return proxy.Config{
 		Mode:         mode,
 		Auth:         s.cfg.Auth,
@@ -248,6 +273,7 @@ func (s *substrate) engineConfig(kind transport.Kind, host string, port int) pro
 		ViaHost:      host,
 		ViaPort:      port,
 		Domain:       s.cfg.Domain,
+		RetryAfter:   retryAfter,
 	}
 }
 
@@ -262,4 +288,49 @@ func (s *substrate) parseOrCount(data []byte) (*sipmsg.Message, bool) {
 		return nil, false
 	}
 	return m, true
+}
+
+// admit runs the overload controller for one newly received message,
+// before any transaction or database work. Responses and in-dialog
+// requests always pass — only new INVITE/REGISTER work is shed, and a
+// retransmission of a request the server already admitted passes too (its
+// transaction absorbs it cheaply; rejecting it would kill a call the
+// server has already invested in). On rejection the 503 + Retry-After has
+// already been sent when admit returns false; queued is the receiving
+// worker's current event-queue depth (0 for UDP, which has no per-worker
+// queue).
+func (s *substrate) admit(send proxy.Sender, m *sipmsg.Message, origin any, queued int) bool {
+	if !s.ctrl.Active() {
+		return true
+	}
+	if m.IsResponse() || (m.Method != sipmsg.INVITE && m.Method != sipmsg.REGISTER) {
+		return true
+	}
+	ok, ra := s.ctrl.Decide(queued)
+	if !ok {
+		if key, err := m.TransactionKey(); err == nil && s.txns.Match(key) != nil {
+			ok = true // retransmission of admitted work
+		}
+	}
+	if ok {
+		s.ctrl.CountAdmit()
+		return true
+	}
+	s.ctrl.CountReject(ra)
+	resp := sipmsg.NewResponse(m, sipmsg.StatusServiceUnavail, sipmsg.NewTag())
+	resp.Add("Retry-After", strconv.Itoa(overload.RetryAfterSeconds(ra)))
+	_ = send.ToOrigin(origin, resp)
+	return false
+}
+
+// handleTimed runs the proxy engine on one message, feeding the processing
+// time to the occupancy estimator when that policy is active.
+func (s *substrate) handleTimed(e *proxy.Engine, send proxy.Sender, m *sipmsg.Message, origin any) {
+	if !s.obsBusy {
+		e.Handle(send, m, origin)
+		return
+	}
+	t0 := time.Now()
+	e.Handle(send, m, origin)
+	s.ctrl.Observe(time.Since(t0))
 }

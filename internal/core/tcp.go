@@ -82,7 +82,7 @@ func newTCPServer(cfg Config) (Server, error) {
 		return nil, err
 	}
 	sub := newSubstrate(cfg)
-	fabric, err := ipc.NewFabric(cfg.IPCMode, cfg.Workers, sub.prof)
+	fabric, err := ipc.NewFabric(cfg.IPCMode, cfg.Workers, cfg.IPCTimeout, sub.prof)
 	if err != nil {
 		ln.Close()
 		sub.close()
@@ -306,9 +306,26 @@ func (w *tcpWorker) adopt(c *conn.TCPConn) {
 
 // reader is the per-connection read pump feeding the worker's single event
 // loop; message processing still happens serially on the worker, so the
-// one-process-per-worker discipline holds.
+// one-process-per-worker discipline holds. With read-pausing enabled the
+// pump additionally implements connection-level backpressure (Shen &
+// Schulzrinne): while the owning worker's event queue is at its budget the
+// reader stops reading, unread bytes accumulate in the socket buffer, and
+// the kernel's flow control throttles the sender.
 func (w *tcpWorker) reader(c *conn.TCPConn) {
+	ctrl := w.srv.sub.ctrl
+	pausing := ctrl.PausesReads()
+	budget := ctrl.QueueBudget()
 	for {
+		if pausing && len(w.events) >= budget {
+			ctrl.NoteReadPause()
+			for len(w.events) >= budget {
+				select {
+				case <-w.srv.closed:
+					return
+				case <-time.After(time.Millisecond):
+				}
+			}
+		}
 		m, err := c.Stream().ReadMessage()
 		if err != nil {
 			select {
@@ -345,7 +362,13 @@ func (w *tcpWorker) handleEvent(ev workerEvent) {
 	}
 	c.Touch(time.Now(), w.srv.sub.cfg.IdleTimeout)
 	w.localMgr.Touch(c)
-	w.srv.engine.Handle(w.sender, ev.m, c)
+	// Admission control runs before transaction and database work; the
+	// queue depth doubles as the threshold policy's per-worker load signal.
+	if !w.srv.sub.admit(w.sender, ev.m, c, len(w.events)) {
+		ev.m.Release()
+		return
+	}
+	w.srv.sub.handleTimed(w.srv.engine, w.sender, ev.m, c)
 	// The engine retained the message if it needed it; the worker is done.
 	ev.m.Release()
 }

@@ -154,8 +154,24 @@ func (w *threadedWorker) adopt(c *conn.TCPConn) {
 	go w.reader(c)
 }
 
+// reader pumps messages into the worker's event loop. Like the TCP
+// architecture it supports connection-level backpressure: pausing reads at
+// the queue budget lets kernel flow control throttle the peer.
 func (w *threadedWorker) reader(c *conn.TCPConn) {
+	ctrl := w.srv.sub.ctrl
+	pausing := ctrl.PausesReads()
+	budget := ctrl.QueueBudget()
 	for {
+		if pausing && len(w.events) >= budget {
+			ctrl.NoteReadPause()
+			for len(w.events) >= budget {
+				select {
+				case <-w.srv.closed:
+					return
+				case <-time.After(time.Millisecond):
+				}
+			}
+		}
 		m, err := c.Stream().ReadMessage()
 		if err != nil {
 			select {
@@ -184,7 +200,11 @@ func (w *threadedWorker) handleEvent(ev workerEvent) {
 	}
 	c.Touch(time.Now(), w.srv.sub.cfg.IdleTimeout)
 	w.localMgr.Touch(c)
-	w.srv.engine.Handle(w.sender, ev.m, c)
+	if !w.srv.sub.admit(w.sender, ev.m, c, len(w.events)) {
+		ev.m.Release()
+		return
+	}
+	w.srv.sub.handleTimed(w.srv.engine, w.sender, ev.m, c)
 	// The engine retained the message if it needed it; the worker is done.
 	ev.m.Release()
 }

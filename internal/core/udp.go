@@ -169,7 +169,13 @@ func (s *udpServer) worker() {
 		if !ok {
 			continue
 		}
-		s.engine.Handle(s.sender, m, src)
+		// Admission control runs before any transaction or database work:
+		// a rejected request costs one 503 serialization and nothing else.
+		if !s.sub.admit(s.sender, m, src, 0) {
+			m.Release()
+			continue
+		}
+		s.sub.handleTimed(s.engine, s.sender, m, src)
 		// The engine retained the message if it needed it (transaction
 		// store); the worker's reference is done.
 		m.Release()

@@ -8,6 +8,7 @@ import (
 	"gosip/internal/connmgr"
 	"gosip/internal/core"
 	"gosip/internal/ipc"
+	"gosip/internal/overload"
 	"gosip/internal/transport"
 )
 
@@ -319,5 +320,49 @@ func TestRunStagesSmoke(t *testing.T) {
 	md := StageMarkdown(cells)
 	if !strings.Contains(md, "| stage (p50/p99) |") {
 		t.Errorf("stage markdown malformed:\n%s", md)
+	}
+}
+
+func TestRunOverloadShape(t *testing.T) {
+	// Gentle scale: the point here is that every cell runs, reports, and
+	// leaks nothing — the collapse-vs-control shape needs the real scale in
+	// cmd/sipexperiment and is not asserted at unit-test size.
+	sc := OverloadScale{
+		Pairs:           []int{2},
+		CallsPerCaller:  4,
+		Workers:         2,
+		LookupLatency:   time.Millisecond,
+		DBPool:          1,
+		MaxPending:      8,
+		MaxQueue:        8,
+		ResponseTimeout: 2 * time.Second,
+		MaxRetries:      1,
+		RejectRetries:   2,
+		BackoffCap:      20 * time.Millisecond,
+	}
+	var lines []string
+	rep, err := RunOverload(sc, func(s string) { lines = append(lines, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 3 * len(sc.Pairs); len(rep.Cells) != want || len(lines) != want {
+		t.Fatalf("cells = %d, lines = %d, want %d", len(rep.Cells), len(lines), want)
+	}
+	for _, c := range rep.Cells {
+		if c.HandlesLeaked != 0 {
+			t.Errorf("%s/%s: %d fd handles leaked", c.Policy, c.Transport, c.HandlesLeaked)
+		}
+		if c.GoroutineDelta > 0 {
+			t.Errorf("%s/%s: %d goroutines leaked", c.Policy, c.Transport, c.GoroutineDelta)
+		}
+		if c.Result.CallsCompleted == 0 {
+			t.Errorf("%s/%s: no calls completed at gentle load", c.Policy, c.Transport)
+		}
+	}
+	if rep.Cell(overload.PolicyThreshold, transport.UDP, 2) == nil {
+		t.Error("Cell lookup failed")
+	}
+	if !strings.Contains(rep.Table(), "goodput") || !strings.Contains(rep.Markdown(), "| policy |") {
+		t.Error("report renderers produced unexpected output")
 	}
 }

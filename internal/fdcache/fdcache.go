@@ -76,9 +76,15 @@ func (c *Cache) Get(id conn.ID) *ipc.Handle {
 
 // Put stores a handle obtained from the supervisor. If the cache is at
 // capacity the least-recently-used handle is closed and evicted. Invalid
-// handles are not cached.
+// handles are not cached — but they are closed: in unix mode a handle
+// whose connection died between RequestFD and Put still pins a duplicated
+// descriptor, which silently dropping it here would leak.
 func (c *Cache) Put(id conn.ID, h *ipc.Handle) {
-	if h == nil || !h.Valid() {
+	if h == nil {
+		return
+	}
+	if !h.Valid() {
+		h.Close()
 		return
 	}
 	if e, ok := c.entries[id]; ok {

@@ -177,6 +177,83 @@ func TestClose(t *testing.T) {
 	}
 }
 
+// TestHandleLeakBalance drives fabric-issued handles through every cache
+// path that must close them — invalid Put, replacement, LRU eviction,
+// Invalidate, stale-Get eviction, Sweep, and Close — and asserts the
+// fabric's issued/closed ledger balances: zero leaked handles.
+func TestHandleLeakBalance(t *testing.T) {
+	fx := newFixture()
+	fabric, err := ipc.NewFabric(ipc.ModeChan, 1, 0, fx.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fabric.Close()
+	go func() {
+		for req := range fabric.Requests() {
+			c := fx.table.Get(req.ConnID)
+			if c == nil || c.State() == conn.StateClosed {
+				fabric.Respond(req, nil, ipc.ErrConnGone)
+				continue
+			}
+			fabric.Respond(req, c, nil)
+		}
+	}()
+	request := func(c *conn.TCPConn) *ipc.Handle {
+		t.Helper()
+		h, err := fabric.RequestFD(0, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	cache := New(2, fx.prof)
+
+	// Invalid Put: the connection dies between RequestFD and Put. Before
+	// the fix the cache dropped the handle without closing it.
+	c1 := fx.newConn(t)
+	h1 := request(c1)
+	fx.table.Remove(c1)
+	cache.Put(c1.ID(), h1)
+	if cache.Len() != 0 {
+		t.Fatal("invalid handle cached")
+	}
+
+	// Replacement closes the superseded handle; Invalidate closes the rest.
+	c2 := fx.newConn(t)
+	cache.Put(c2.ID(), request(c2))
+	cache.Put(c2.ID(), request(c2))
+	cache.Invalidate(c2.ID())
+
+	// Stale-Get eviction.
+	c3 := fx.newConn(t)
+	cache.Put(c3.ID(), request(c3))
+	fx.table.Remove(c3)
+	if cache.Get(c3.ID()) != nil {
+		t.Fatal("stale handle returned")
+	}
+
+	// LRU eviction at capacity 2, then Sweep of a dead entry, then Close.
+	c4, c5, c6 := fx.newConn(t), fx.newConn(t), fx.newConn(t)
+	cache.Put(c4.ID(), request(c4))
+	cache.Put(c5.ID(), request(c5))
+	cache.Put(c6.ID(), request(c6)) // evicts c4
+	fx.table.Remove(c5)
+	if n := cache.Sweep(); n != 1 {
+		t.Fatalf("Sweep dropped %d, want 1", n)
+	}
+	cache.Close()
+
+	issued := fx.prof.Counter(metrics.MetricIPCHandlesIssued).Value()
+	closed := fx.prof.Counter(metrics.MetricIPCHandlesClosed).Value()
+	if issued == 0 {
+		t.Fatal("no handles issued; test exercised nothing")
+	}
+	if issued != closed {
+		t.Errorf("handle leak: issued=%d closed=%d", issued, closed)
+	}
+}
+
 func TestCapacityInvariantProperty(t *testing.T) {
 	// Property: under any Put/Get/Invalidate sequence, Len never exceeds
 	// capacity and Get never returns a handle for a destroyed connection.

@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"syscall"
+	"time"
 
 	"gosip/internal/conn"
 )
@@ -80,11 +81,18 @@ func (p *unixPair) sendErr() {
 	_, _, _ = p.sup.WriteMsgUnix([]byte{0}, nil, nil)
 }
 
-// recvHandle blocks for the supervisor's response and reconstructs a
-// net.Conn from the received descriptor. Exactly one byte is read per
-// response; a worker never has more than one request outstanding, so
-// responses cannot coalesce.
-func (p *unixPair) recvHandle() (*Handle, error) {
+// recvHandle blocks for the supervisor's next response — until deadline if
+// non-zero — and reconstructs a net.Conn from the received descriptor.
+// Exactly one byte is read per response. SOCK_STREAM would normally let
+// byte payloads coalesce, but each 1-byte payload carries (or delimits)
+// one SCM_RIGHTS control message, and the kernel never merges reads across
+// a control-message boundary, so one ReadMsgUnix consumes exactly one
+// response; the fabric counts abandoned requests and drains their late
+// responses before accepting a newer one.
+func (p *unixPair) recvHandle(deadline time.Time) (*Handle, error) {
+	if err := p.wrk.SetReadDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("ipc: set read deadline: %w", err)
+	}
 	buf := make([]byte, 1)
 	oob := make([]byte, 64)
 	n, oobn, _, _, err := p.wrk.ReadMsgUnix(buf, oob)

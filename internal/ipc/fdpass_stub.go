@@ -4,6 +4,7 @@ package ipc
 
 import (
 	"errors"
+	"time"
 
 	"gosip/internal/conn"
 )
@@ -14,8 +15,8 @@ type unixPair struct{}
 
 var errNoFDPass = errors.New("ipc: SCM_RIGHTS fd passing requires linux; use ModeChan")
 
-func newUnixPair() (*unixPair, error)              { return nil, errNoFDPass }
-func (p *unixPair) sendConnFD(*conn.TCPConn) error { return errNoFDPass }
-func (p *unixPair) sendErr()                       {}
-func (p *unixPair) recvHandle() (*Handle, error)   { return nil, errNoFDPass }
-func (p *unixPair) close()                         {}
+func newUnixPair() (*unixPair, error)                     { return nil, errNoFDPass }
+func (p *unixPair) sendConnFD(*conn.TCPConn) error        { return errNoFDPass }
+func (p *unixPair) sendErr()                              {}
+func (p *unixPair) recvHandle(time.Time) (*Handle, error) { return nil, errNoFDPass }
+func (p *unixPair) close()                                {}

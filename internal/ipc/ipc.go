@@ -22,6 +22,7 @@ package ipc
 import (
 	"errors"
 	"fmt"
+	"net"
 	"time"
 
 	"gosip/internal/conn"
@@ -43,6 +44,24 @@ var (
 	ErrConnGone = errors.New("ipc: connection no longer exists")
 	ErrShutdown = errors.New("ipc: fabric shut down")
 )
+
+// TimeoutError reports that a worker abandoned an fd request because the
+// supervisor did not answer within the fabric's per-request deadline. A
+// stalled or saturated supervisor previously blocked the worker goroutine
+// forever; with the deadline the worker gets this typed error and the proxy
+// answers the affected request with 503 instead of hanging.
+type TimeoutError struct {
+	Worker   int
+	Deadline time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("ipc: worker %d fd request timed out after %v", e.Worker, e.Deadline)
+}
+
+// Timeout marks the error as a timeout (the net.Error convention), so
+// callers can test errors.As(err, &netErr) && netErr.Timeout().
+func (e *TimeoutError) Timeout() bool { return true }
 
 // Handle is a worker's process-local descriptor for a connection: the
 // analogue of the fd a worker receives from the supervisor. In unix mode it
@@ -108,40 +127,55 @@ type reply struct {
 // Requests() and answer each with Respond.
 type Fabric struct {
 	mode     Mode
+	timeout  time.Duration // per-request deadline; <=0 blocks forever
 	requests chan Request
 	workers  []*workerPort
 	done     chan struct{}
 
-	ipcTime  *metrics.Timer
-	ipcCount *metrics.Counter
-	svTime   *metrics.Timer
-	ipcHist  *metrics.Histogram
-	svHist   *metrics.Histogram
+	ipcTime       *metrics.Timer
+	ipcCount      *metrics.Counter
+	svTime        *metrics.Timer
+	ipcHist       *metrics.Histogram
+	svHist        *metrics.Histogram
+	timeouts      *metrics.Counter
+	handlesIssued *metrics.Counter
+	handlesClosed *metrics.Counter
 }
 
 // workerPort is one worker's endpoint. Only unix mode populates the socket
-// pair; chan mode replies over the per-request channel.
+// pair; chan mode replies over the per-request channel. stale counts
+// enqueued-then-abandoned requests whose responses are still in flight in
+// the socketpair; it is touched only from RequestFD, and each worker ID is
+// used by exactly one goroutine (the worker's event loop), so no lock is
+// needed.
 type workerPort struct {
-	unix *unixPair // nil in chan mode
+	unix  *unixPair // nil in chan mode
+	stale int
 }
 
-// NewFabric creates a fabric for nWorkers workers. Unix mode requires a
-// platform with AF_UNIX fd passing (see fdpass_linux.go); constructing it
-// elsewhere returns an error.
-func NewFabric(mode Mode, nWorkers int, profile *metrics.Profile) (*Fabric, error) {
+// NewFabric creates a fabric for nWorkers workers. timeout bounds each
+// worker's blocking fd request (<=0 disables the deadline and restores
+// block-forever semantics). Unix mode requires a platform with AF_UNIX fd
+// passing (see fdpass_linux.go); constructing it elsewhere returns an
+// error.
+func NewFabric(mode Mode, nWorkers int, timeout time.Duration, profile *metrics.Profile) (*Fabric, error) {
 	f := &Fabric{
-		mode: mode,
+		mode:    mode,
+		timeout: timeout,
 		// The request queue is bounded like a socketpair buffer; workers
 		// block when the supervisor falls behind, exactly the backpressure
 		// the paper describes.
-		requests: make(chan Request, nWorkers),
-		workers:  make([]*workerPort, nWorkers),
-		done:     make(chan struct{}),
-		ipcTime:  profile.Timer(metrics.MetricIPCTime),
-		ipcCount: profile.Counter(metrics.MetricIPCCount),
-		svTime:   profile.Timer(metrics.MetricSupervisorWork),
-		ipcHist:  profile.Histogram(metrics.StageFDIPC),
-		svHist:   profile.Histogram(metrics.StageSupervisor),
+		requests:      make(chan Request, nWorkers),
+		workers:       make([]*workerPort, nWorkers),
+		done:          make(chan struct{}),
+		ipcTime:       profile.Timer(metrics.MetricIPCTime),
+		ipcCount:      profile.Counter(metrics.MetricIPCCount),
+		svTime:        profile.Timer(metrics.MetricSupervisorWork),
+		ipcHist:       profile.Histogram(metrics.StageFDIPC),
+		svHist:        profile.Histogram(metrics.StageSupervisor),
+		timeouts:      profile.Counter(metrics.MetricIPCTimeouts),
+		handlesIssued: profile.Counter(metrics.MetricIPCHandlesIssued),
+		handlesClosed: profile.Counter(metrics.MetricIPCHandlesClosed),
 	}
 	for i := range f.workers {
 		f.workers[i] = &workerPort{}
@@ -166,9 +200,11 @@ func (f *Fabric) Requests() <-chan Request { return f.requests }
 
 // RequestFD is the worker side: having looked the connection object up in
 // the shared table, the worker asks the supervisor for a descriptor for it
-// and blocks until the supervisor responds. The blocked time is accounted
-// to the IPC timer — the quantity the paper profiles at ~12% of busy time
-// in the baseline.
+// and blocks until the supervisor responds — bounded by the fabric's
+// per-request deadline, after which the worker gets a *TimeoutError
+// instead of hanging behind a stalled supervisor. The blocked time is
+// accounted to the IPC timer — the quantity the paper profiles at ~12% of
+// busy time in the baseline.
 func (f *Fabric) RequestFD(workerID int, c *conn.TCPConn) (*Handle, error) {
 	start := time.Now()
 	defer func() {
@@ -178,6 +214,15 @@ func (f *Fabric) RequestFD(workerID int, c *conn.TCPConn) (*Handle, error) {
 	}()
 	f.ipcCount.Inc()
 
+	var deadline time.Time
+	var timeoutC <-chan time.Time
+	if f.timeout > 0 {
+		deadline = start.Add(f.timeout)
+		timer := time.NewTimer(f.timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+
 	req := Request{ConnID: c.ID(), Worker: workerID}
 	if f.mode == ModeChan {
 		req.reply = make(chan reply, 1)
@@ -186,23 +231,84 @@ func (f *Fabric) RequestFD(workerID int, c *conn.TCPConn) (*Handle, error) {
 	case f.requests <- req:
 	case <-f.done:
 		return nil, ErrShutdown
+	case <-timeoutC:
+		// Never enqueued: the supervisor's queue stayed saturated for the
+		// whole deadline. Nothing will ever answer this request.
+		f.timeouts.Inc()
+		return nil, &TimeoutError{Worker: workerID, Deadline: f.timeout}
 	}
 
 	if f.mode == ModeChan {
 		select {
 		case r := <-req.reply:
-			return r.handle, r.err
+			if r.err != nil {
+				return nil, r.err
+			}
+			return f.issue(r.handle), nil
 		case <-f.done:
 			return nil, ErrShutdown
+		case <-timeoutC:
+			// Enqueued but unanswered. The supervisor's eventual reply lands
+			// in the buffered per-request channel and is garbage collected;
+			// chan-mode handles wrap the shared socket object, so no
+			// descriptor is at stake.
+			f.timeouts.Inc()
+			return nil, &TimeoutError{Worker: workerID, Deadline: f.timeout}
 		}
 	}
-	// Unix mode: block reading our socketpair for the fd.
-	h, err := f.workers[workerID].unix.recvHandle()
-	if err != nil {
-		return nil, err
+
+	// Unix mode: block reading our socketpair for the fd, bounded by the
+	// deadline. Responses arrive in request order, so after a timeout the
+	// abandoned request's response is still owed on the pair: it is counted
+	// in port.stale and drained — its duplicated descriptor closed — before
+	// a later request's reply is accepted.
+	port := f.workers[workerID]
+	for {
+		h, err := port.unix.recvHandle(deadline)
+		if err != nil {
+			if isTimeoutErr(err) {
+				port.stale++
+				f.timeouts.Inc()
+				return nil, &TimeoutError{Worker: workerID, Deadline: f.timeout}
+			}
+			if errors.Is(err, ErrConnGone) {
+				if port.stale > 0 {
+					port.stale-- // a stale request's conn-gone answer
+					continue
+				}
+				return nil, err
+			}
+			return nil, err
+		}
+		if port.stale > 0 {
+			port.stale--
+			_ = h.Close() // stale response: close the duplicated fd, keep waiting
+			continue
+		}
+		h.Conn = c
+		return f.issue(h), nil
 	}
-	h.Conn = c
-	return h, nil
+}
+
+// issue wraps a handle granted by the supervisor so its eventual Close is
+// counted: handles_issued minus handles_closed is the live-handle balance
+// that must read zero after shutdown (the fd-leak metric).
+func (f *Fabric) issue(h *Handle) *Handle {
+	f.handlesIssued.Inc()
+	orig := h.closer
+	h.closer = func() error {
+		f.handlesClosed.Inc()
+		if orig != nil {
+			return orig()
+		}
+		return nil
+	}
+	return h
+}
+
+func isTimeoutErr(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // Respond is the supervisor side: it answers req with the connection's

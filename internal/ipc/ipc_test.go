@@ -1,6 +1,7 @@
 package ipc
 
 import (
+	"errors"
 	"net"
 	"runtime"
 	"sync"
@@ -27,11 +28,47 @@ type testEnv struct {
 func newTestEnv(t *testing.T, mode Mode, workers int) *testEnv {
 	t.Helper()
 	prof := metrics.NewProfile()
-	fabric, err := NewFabric(mode, workers, prof)
+	fabric, err := NewFabric(mode, workers, 0, prof)
 	if err != nil {
 		t.Fatalf("NewFabric(%s): %v", mode, err)
 	}
+	table, tcpConn, peer := testLoopback(t, prof)
 
+	// Supervisor loop: resolve each request against the table.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for req := range fabric.Requests() {
+			c := table.Get(req.ConnID)
+			if c == nil || c.State() == conn.StateClosed {
+				fabric.Respond(req, nil, ErrConnGone)
+				continue
+			}
+			fabric.Respond(req, c, nil)
+		}
+	}()
+
+	env := &testEnv{
+		fabric: fabric,
+		table:  table,
+		conn:   tcpConn,
+		peer:   peer,
+		prof:   prof,
+	}
+	env.stop = func() {
+		fabric.Close()
+		env.peer.Close()
+		table.Remove(tcpConn)
+	}
+	t.Cleanup(env.stop)
+	return env
+}
+
+// testLoopback dials a loopback TCP connection, inserts the server side
+// into a fresh table (so unix mode can duplicate a real socket fd), and
+// returns the client end for reading what workers send.
+func testLoopback(t *testing.T, prof *metrics.Profile) (*conn.Table, *conn.TCPConn, *transport.StreamConn) {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -52,35 +89,7 @@ func newTestEnv(t *testing.T, mode Mode, workers int) *testEnv {
 
 	table := conn.NewTable(prof)
 	tcpConn := table.Insert(transport.NewStreamConn(srvSide), time.Minute)
-
-	// Supervisor loop: resolve each request against the table.
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for req := range fabric.Requests() {
-			c := table.Get(req.ConnID)
-			if c == nil || c.State() == conn.StateClosed {
-				fabric.Respond(req, nil, ErrConnGone)
-				continue
-			}
-			fabric.Respond(req, c, nil)
-		}
-	}()
-
-	env := &testEnv{
-		fabric: fabric,
-		table:  table,
-		conn:   tcpConn,
-		peer:   transport.NewStreamConn(cli),
-		prof:   prof,
-	}
-	env.stop = func() {
-		fabric.Close()
-		env.peer.Close()
-		table.Remove(tcpConn)
-	}
-	t.Cleanup(env.stop)
-	return env
+	return table, tcpConn, transport.NewStreamConn(cli)
 }
 
 func testMsg(i int) *sipmsg.Message {
@@ -254,7 +263,7 @@ func TestHandleValidReflectsConnState(t *testing.T) {
 
 func TestFabricCloseUnblocksWorkers(t *testing.T) {
 	prof := metrics.NewProfile()
-	fabric, err := NewFabric(ModeChan, 1, prof)
+	fabric, err := NewFabric(ModeChan, 1, 0, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +333,7 @@ func TestIPCTimeAccounted(t *testing.T) {
 }
 
 func TestFabricMode(t *testing.T) {
-	f, err := NewFabric(ModeChan, 1, metrics.NewProfile())
+	f, err := NewFabric(ModeChan, 1, 0, metrics.NewProfile())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,5 +351,143 @@ func TestHandleCloseWithoutCloser(t *testing.T) {
 	}
 	if h.Valid() {
 		t.Error("nil-conn handle reported valid")
+	}
+}
+
+// A stalled supervisor (never drains Requests, never Responds) must not
+// block workers forever: the per-request deadline turns the hang into a
+// typed timeout error the proxy can map to 503.
+func TestRequestFDTimeoutOnStalledSupervisor(t *testing.T) {
+	for _, mode := range modes(t) {
+		t.Run(string(mode), func(t *testing.T) {
+			prof := metrics.NewProfile()
+			fabric, err := NewFabric(mode, 1, 100*time.Millisecond, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fabric.Close()
+			table, c, peer := testLoopback(t, prof)
+			defer peer.Close()
+			defer table.Remove(c)
+
+			// Two concurrent requests against a 1-deep queue: one sits
+			// enqueued but unanswered, the other never enqueues. Both paths
+			// must time out.
+			errc := make(chan error, 2)
+			start := time.Now()
+			for i := 0; i < 2; i++ {
+				go func() {
+					_, err := fabric.RequestFD(0, c)
+					errc <- err
+				}()
+			}
+			for i := 0; i < 2; i++ {
+				select {
+				case err := <-errc:
+					var te *TimeoutError
+					if !errors.As(err, &te) {
+						t.Fatalf("err = %v, want *TimeoutError", err)
+					}
+					if te.Worker != 0 || !te.Timeout() {
+						t.Errorf("TimeoutError fields: %+v", te)
+					}
+				case <-time.After(2 * time.Second):
+					t.Fatal("worker still blocked past the deadline")
+				}
+			}
+			if d := time.Since(start); d > time.Second {
+				t.Errorf("timeouts took %v with a 100ms deadline", d)
+			}
+			if n := prof.Counter(metrics.MetricIPCTimeouts).Value(); n != 2 {
+				t.Errorf("timeout counter = %d, want 2", n)
+			}
+		})
+	}
+}
+
+// Unix-mode responses arrive in request order, so the response to an
+// abandoned (timed-out) request eventually lands in the socketpair. The
+// next request must drain it — closing the stale duplicated fd — and
+// return the response to its own request, not the stale one.
+func TestUnixStaleResponseDrained(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("unix fd passing is linux-only")
+	}
+	prof := metrics.NewProfile()
+	fabric, err := NewFabric(ModeUnix, 1, 100*time.Millisecond, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fabric.Close()
+	table, c, peer := testLoopback(t, prof)
+	defer peer.Close()
+	defer table.Remove(c)
+
+	// First request: the supervisor answers only after the worker gave up.
+	if _, err := fabric.RequestFD(0, c); !errors.As(err, new(*TimeoutError)) {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+	late := <-fabric.Requests()
+	fabric.Respond(late, c, nil) // stale response now sits in the socketpair
+
+	// Second request, answered promptly: the worker must discard the stale
+	// response first and hand back a working handle for this one.
+	go func() {
+		req := <-fabric.Requests()
+		fabric.Respond(req, c, nil)
+	}()
+	h, err := fabric.RequestFD(0, c)
+	if err != nil {
+		t.Fatalf("RequestFD after stale response: %v", err)
+	}
+	if !h.Valid() {
+		t.Error("handle invalid")
+	}
+	want := testMsg(1)
+	if err := h.Send(want); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := peer.ReadMessage()
+	if err != nil {
+		t.Fatalf("peer read: %v", err)
+	}
+	if got.CallID() != want.CallID() {
+		t.Error("message mismatch")
+	}
+	if err := h.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+
+	// Only the handle actually delivered to a worker counts as issued; the
+	// stale response's fd was closed during the drain, so the ledger reads
+	// one issued, one closed — no leak.
+	issued := prof.Counter(metrics.MetricIPCHandlesIssued).Value()
+	closed := prof.Counter(metrics.MetricIPCHandlesClosed).Value()
+	if issued != 1 || closed != 1 {
+		t.Errorf("handle ledger issued=%d closed=%d, want 1/1", issued, closed)
+	}
+}
+
+// Every issued handle that is closed must balance the ledger, and a double
+// Close must not double-count.
+func TestHandleLedgerBalances(t *testing.T) {
+	for _, mode := range modes(t) {
+		t.Run(string(mode), func(t *testing.T) {
+			env := newTestEnv(t, mode, 1)
+			const n = 5
+			for i := 0; i < n; i++ {
+				h, err := env.fabric.RequestFD(0, env.conn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h.Close()
+				h.Close() // idempotent: must not inflate handles_closed
+			}
+			issued := env.prof.Counter(metrics.MetricIPCHandlesIssued).Value()
+			closed := env.prof.Counter(metrics.MetricIPCHandlesClosed).Value()
+			if issued != n || closed != n {
+				t.Errorf("handle ledger issued=%d closed=%d, want %d/%d", issued, closed, n, n)
+			}
+		})
 	}
 }

@@ -52,6 +52,10 @@ type Config struct {
 	// ResponseTimeout and MaxRetries tune phone patience.
 	ResponseTimeout time.Duration
 	MaxRetries      int
+	// RejectRetries and BackoffCap configure how callers honor overload
+	// rejections (503 + Retry-After); see phone.Config.
+	RejectRetries int
+	BackoffCap    time.Duration
 	// RegisterConcurrency bounds parallel registrations during setup.
 	RegisterConcurrency int
 	// UserOffset shifts the user index range so multiple runs against one
@@ -91,6 +95,12 @@ type Result struct {
 	Retransmits int
 	// Reconnects counts TCP connection re-establishments.
 	Reconnects int
+	// Rejected counts overload rejections (503 + Retry-After) callers
+	// received; Throughput above already excludes them, so together they
+	// report goodput versus offered load honestly.
+	Rejected int
+	// BackoffTime is the total time callers spent honoring Retry-After.
+	BackoffTime time.Duration
 	// MeanCallLatency and MaxCallLatency summarize completed-call wall
 	// times across all callers; P50/P95/P99CallLatency are percentiles of
 	// the same distribution.
@@ -132,9 +142,9 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 
 // String renders the result as one report line.
 func (r Result) String() string {
-	return fmt.Sprintf("%8.0f ops/s  (%d ops in %v; %d calls ok, %d failed, %d rtx, %d reconn; lat p50=%v p99=%v max=%v)",
+	return fmt.Sprintf("%8.0f ops/s  (%d ops in %v; %d calls ok, %d failed, %d rej, %d rtx, %d reconn; lat p50=%v p99=%v max=%v)",
 		r.Throughput, r.Ops, r.Duration.Round(time.Millisecond),
-		r.CallsCompleted, r.CallsFailed, r.Retransmits, r.Reconnects,
+		r.CallsCompleted, r.CallsFailed, r.Rejected, r.Retransmits, r.Reconnects,
 		r.P50CallLatency.Round(time.Microsecond), r.P99CallLatency.Round(time.Microsecond),
 		r.MaxCallLatency.Round(time.Microsecond))
 }
@@ -163,6 +173,8 @@ func Run(cfg Config) (Result, error) {
 			OpsPerConn:      opsPerConn,
 			ResponseTimeout: cfg.ResponseTimeout,
 			MaxRetries:      cfg.MaxRetries,
+			RejectRetries:   cfg.RejectRetries,
+			BackoffCap:      cfg.BackoffCap,
 		}
 	}
 
@@ -274,6 +286,8 @@ func Run(cfg Config) (Result, error) {
 		res.CallsFailed += st.CallsFailed
 		res.Retransmits += st.Retransmits
 		res.Reconnects += st.Reconnects
+		res.Rejected += st.Rejected
+		res.BackoffTime += st.BackoffTime
 		totalCallTime += st.TotalCallTime
 		if st.MaxCallTime > res.MaxCallLatency {
 			res.MaxCallLatency = st.MaxCallTime

@@ -259,6 +259,21 @@ const (
 	MetricParseErrors    = "proxy.parse_errors"
 	MetricResolveHit     = "udp.resolve_hits"   // UDP destination-address resolve cache hits
 	MetricResolveMiss    = "udp.resolve_misses" // UDP destination-address resolve cache misses
+
+	// Overload-control counters (internal/overload): every new INVITE the
+	// admission controller saw, the split into admitted vs rejected-with-503,
+	// and TCP reader pause episodes (connection-level backpressure).
+	MetricOverloadOffered  = "overload.offered"
+	MetricOverloadAdmitted = "overload.admitted"
+	MetricOverloadRejected = "overload.rejected"
+	MetricOverloadPauses   = "overload.read_pauses"
+
+	// IPC robustness counters: fd requests abandoned on the per-request
+	// deadline, and the issued/closed balance for supervisor-granted
+	// handles — equal counts after shutdown mean no descriptor leaked.
+	MetricIPCTimeouts      = "ipc.fd_timeouts"
+	MetricIPCHandlesIssued = "ipc.handles_issued"
+	MetricIPCHandlesClosed = "ipc.handles_closed"
 )
 
 // GaugeOpenConns is the snapshot-time size of the shared connection table
@@ -280,6 +295,10 @@ const (
 	StageIdleScan   = "stage.idle_scan"    // one idle-connection scan (lock held)
 )
 
+// StageRetryAfter is the distribution of Retry-After delays advertised on
+// 503 rejections — not a pipeline stage, but the same histogram machinery.
+const StageRetryAfter = "overload.retry_after"
+
 // StageNames lists every per-stage histogram in pipeline order, for
 // reports that want a stable, complete stage table.
 var StageNames = []string{
@@ -294,6 +313,9 @@ var standardCounters = []string{
 	MetricConnsAccepted, MetricConnsClosed, MetricMsgsProcessed,
 	MetricTxnCreated, MetricRetransmits, MetricParseErrors,
 	MetricResolveHit, MetricResolveMiss,
+	MetricOverloadOffered, MetricOverloadAdmitted, MetricOverloadRejected,
+	MetricOverloadPauses, MetricIPCTimeouts,
+	MetricIPCHandlesIssued, MetricIPCHandlesClosed,
 }
 
 var standardTimers = []string{
@@ -315,4 +337,5 @@ func (p *Profile) RegisterStandard() {
 	for _, n := range StageNames {
 		p.Histogram(n)
 	}
+	p.Histogram(StageRetryAfter)
 }

@@ -13,6 +13,7 @@ package phone
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -54,6 +55,14 @@ type Config struct {
 	MaxRetries int
 	// RegisterTTL is the binding lifetime requested. Default 1 hour.
 	RegisterTTL time.Duration
+	// RejectRetries is how many times an INVITE rejected with 503 +
+	// Retry-After (server overload control) is reoffered after backing
+	// off. 0 keeps the old behaviour: any 503 fails the call immediately.
+	RejectRetries int
+	// BackoffCap bounds the honored Retry-After delay so experiment
+	// schedules stay bounded even when the server advertises multi-second
+	// back-offs. Default 2s.
+	BackoffCap time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RegisterTTL <= 0 {
 		c.RegisterTTL = time.Hour
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 2 * time.Second
 	}
 	return c
 }
@@ -80,6 +92,12 @@ type Stats struct {
 	// AuthRetries counts requests re-sent with credentials after a digest
 	// challenge.
 	AuthRetries int
+	// Rejected counts 503 + Retry-After overload rejections received; a
+	// rejected-then-retried call that later completes still counts here,
+	// keeping goodput accounting honest about the extra offered load.
+	Rejected int
+	// BackoffTime accumulates the time spent honoring Retry-After.
+	BackoffTime time.Duration
 
 	// TotalCallTime accumulates wall time of completed calls; MaxCallTime
 	// tracks the slowest. The load generator aggregates these into the
@@ -175,20 +193,40 @@ func (p *Phone) nextCSeq() uint32 {
 // starts the answering loop.
 func (p *Phone) Register() error {
 	contact := p.Contact()
-	req := sipmsg.NewRequest(sipmsg.RequestSpec{
-		Method:     sipmsg.REGISTER,
-		RequestURI: sipmsg.URI{Host: p.cfg.Domain},
-		From:       sipmsg.NameAddr{URI: p.AOR(), Params: map[string]string{"tag": sipmsg.NewTag()}},
-		To:         sipmsg.NameAddr{URI: p.AOR()},
-		CallID:     sipmsg.NewCallID(p.cfg.User),
-		CSeq:       p.nextCSeq(),
-		Via:        p.via(),
-		Contact:    &sipmsg.NameAddr{URI: contact},
-		Expires:    int(p.cfg.RegisterTTL / time.Second),
-	})
-	resp, err := p.request(req, sipmsg.REGISTER)
-	if err != nil {
-		return fmt.Errorf("phone %s: register: %w", p.cfg.User, err)
+	var resp *sipmsg.Message
+	// Overload rejections (503 + Retry-After) are honored here exactly as in
+	// Call: back off as instructed (capped) and re-attempt with a fresh
+	// transaction, up to RejectRetries times.
+	for attempt := 0; ; attempt++ {
+		req := sipmsg.NewRequest(sipmsg.RequestSpec{
+			Method:     sipmsg.REGISTER,
+			RequestURI: sipmsg.URI{Host: p.cfg.Domain},
+			From:       sipmsg.NameAddr{URI: p.AOR(), Params: map[string]string{"tag": sipmsg.NewTag()}},
+			To:         sipmsg.NameAddr{URI: p.AOR()},
+			CallID:     sipmsg.NewCallID(p.cfg.User),
+			CSeq:       p.nextCSeq(),
+			Via:        p.via(),
+			Contact:    &sipmsg.NameAddr{URI: contact},
+			Expires:    int(p.cfg.RegisterTTL / time.Second),
+		})
+		var err error
+		resp, err = p.request(req, sipmsg.REGISTER)
+		if err != nil {
+			return fmt.Errorf("phone %s: register: %w", p.cfg.User, err)
+		}
+		ra, isReject := retryAfterDelay(resp)
+		if !isReject {
+			break
+		}
+		p.stats.Rejected++
+		if attempt >= p.cfg.RejectRetries {
+			break
+		}
+		if ra > p.cfg.BackoffCap {
+			ra = p.cfg.BackoffCap
+		}
+		p.stats.BackoffTime += ra
+		time.Sleep(ra)
 	}
 	if resp.StatusCode != sipmsg.StatusOK {
 		return fmt.Errorf("phone %s: register rejected: %d %s", p.cfg.User, resp.StatusCode, resp.Reason)
@@ -235,6 +273,30 @@ func (p *Phone) Call(callee string) error {
 	if err != nil {
 		p.stats.CallsFailed++
 		return fmt.Errorf("%w: invite: %v", ErrCallFailed, err)
+	}
+	// An overload rejection (503 + Retry-After) is not a terminal failure:
+	// the phone backs off as instructed — capped so experiment schedules
+	// stay bounded — and reoffers with a fresh transaction, up to
+	// RejectRetries times. Plain 503s (no Retry-After) stay terminal.
+	for attempt := 0; ; attempt++ {
+		ra, isReject := retryAfterDelay(finalInvite)
+		if !isReject {
+			break
+		}
+		p.stats.Rejected++
+		if attempt >= p.cfg.RejectRetries {
+			break
+		}
+		if ra > p.cfg.BackoffCap {
+			ra = p.cfg.BackoffCap
+		}
+		p.stats.BackoffTime += ra
+		time.Sleep(ra)
+		invite = p.reoffer(invite)
+		if finalInvite, err = p.request(invite, sipmsg.INVITE); err != nil {
+			p.stats.CallsFailed++
+			return fmt.Errorf("%w: invite: %v", ErrCallFailed, err)
+		}
 	}
 	if finalInvite.StatusCode == 302 {
 		// A redirection server (§2) answered: the INVITE transaction at the
@@ -357,6 +419,44 @@ func (p *Phone) answerChallenge(req, challenge *sipmsg.Message) (*sipmsg.Message
 	}
 	retry.Set(credHeader, creds.Format())
 	return retry, nil
+}
+
+// reoffer clones a rejected request with a fresh branch and CSeq so the
+// proxy sees a new transaction rather than a retransmission of the one it
+// rejected.
+func (p *Phone) reoffer(req *sipmsg.Message) *sipmsg.Message {
+	r := req.Clone()
+	r.Set("CSeq", fmt.Sprintf("%d %s", p.nextCSeq(), req.Method))
+	if via, err := r.TopVia(); err == nil {
+		via.Params["branch"] = sipmsg.NewBranch()
+		r.RemoveFirst("Via")
+		r.Prepend("Via", via.String())
+	}
+	return r
+}
+
+// retryAfterDelay reports whether resp is an overload rejection — a 503
+// carrying Retry-After delta-seconds (RFC 3261 §20.33) — and the
+// advertised delay.
+func retryAfterDelay(resp *sipmsg.Message) (time.Duration, bool) {
+	if resp.StatusCode != sipmsg.StatusServiceUnavail {
+		return 0, false
+	}
+	v, ok := resp.Get("Retry-After")
+	if !ok {
+		return 0, false
+	}
+	// The header may carry parameters or a comment; the delay is the
+	// leading integer.
+	v = strings.TrimSpace(v)
+	if i := strings.IndexAny(v, "; ("); i >= 0 {
+		v = v[:i]
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
 }
 
 // completeRedirected follows a 302: it re-runs the call directly against

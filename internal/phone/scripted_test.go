@@ -1,6 +1,7 @@
 package phone
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -125,6 +126,95 @@ func TestPhoneRedirectWithoutContactFails(t *testing.T) {
 	}
 	if caller.Stats().CallsFailed != 1 {
 		t.Errorf("stats = %+v", caller.Stats())
+	}
+}
+
+// TestPhoneBacksOffOnRetryAfter: the fake proxy rejects the first INVITE
+// with 503 + Retry-After (an overload rejection), then answers the
+// reoffer. The phone must back off (capped), reoffer on a fresh
+// transaction, complete the call, and count the rejection.
+func TestPhoneBacksOffOnRetryAfter(t *testing.T) {
+	var mu sync.Mutex
+	var branches []string
+	srv := newScriptedServer(t, func(req *sipmsg.Message) []*sipmsg.Message {
+		switch req.Method {
+		case sipmsg.INVITE:
+			if via, err := req.TopVia(); err == nil {
+				mu.Lock()
+				branches = append(branches, via.Params["branch"])
+				n := len(branches)
+				mu.Unlock()
+				if n == 1 {
+					resp := sipmsg.NewResponse(req, sipmsg.StatusServiceUnavail, sipmsg.NewTag())
+					resp.Add("Retry-After", "1")
+					return []*sipmsg.Message{resp}
+				}
+			}
+			return []*sipmsg.Message{sipmsg.NewResponse(req, sipmsg.StatusOK, sipmsg.NewTag())}
+		case sipmsg.BYE:
+			return []*sipmsg.Message{sipmsg.NewResponse(req, sipmsg.StatusOK, sipmsg.NewTag())}
+		}
+		return nil
+	})
+
+	p, err := New(Config{
+		Transport:       transport.UDP,
+		ProxyAddr:       srv.addr(),
+		Domain:          "scripted.dom",
+		User:            "alice",
+		ResponseTimeout: 500 * time.Millisecond,
+		MaxRetries:      2,
+		RejectRetries:   2,
+		BackoffCap:      20 * time.Millisecond,
+	}, Caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if err := p.Call("bob"); err != nil {
+		t.Fatalf("rejected-then-retried call failed: %v", err)
+	}
+	st := p.Stats()
+	if st.Rejected != 1 || st.CallsCompleted != 1 || st.CallsFailed != 0 {
+		t.Errorf("stats = %+v, want 1 rejection and 1 completed call", st)
+	}
+	// The advertised 1s must have been capped to BackoffCap.
+	if st.BackoffTime <= 0 || st.BackoffTime > 100*time.Millisecond {
+		t.Errorf("BackoffTime = %v, want (0, 100ms]", st.BackoffTime)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(branches) != 2 || branches[0] == branches[1] {
+		t.Errorf("reoffer branches = %v, want two distinct", branches)
+	}
+}
+
+// TestPhonePlain503StaysTerminal: a 503 without Retry-After is not an
+// overload rejection and must fail the call immediately, as before.
+func TestPhonePlain503StaysTerminal(t *testing.T) {
+	srv := newScriptedServer(t, func(req *sipmsg.Message) []*sipmsg.Message {
+		return []*sipmsg.Message{sipmsg.NewResponse(req, sipmsg.StatusServiceUnavail, sipmsg.NewTag())}
+	})
+	p, err := New(Config{
+		Transport:       transport.UDP,
+		ProxyAddr:       srv.addr(),
+		Domain:          "scripted.dom",
+		User:            "alice",
+		ResponseTimeout: 500 * time.Millisecond,
+		MaxRetries:      2,
+		RejectRetries:   5,
+	}, Caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Call("bob"); err == nil {
+		t.Fatal("plain 503 completed the call")
+	}
+	st := p.Stats()
+	if st.Rejected != 0 || st.CallsFailed != 1 {
+		t.Errorf("stats = %+v, want no rejections and 1 failed call", st)
 	}
 }
 

@@ -87,6 +87,10 @@ type Config struct {
 	// through it via Route headers (RFC 3261 §16.6/§12.2) instead of
 	// location-service lookups.
 	RecordRoute bool
+	// RetryAfter, when positive, is advertised on locally generated 503
+	// responses (RFC 3261 §21.5.4) so clients back off instead of
+	// retransmitting into an overloaded or degraded server.
+	RetryAfter time.Duration
 }
 
 // Engine is the proxy core.
@@ -410,7 +414,7 @@ func (e *Engine) forwardStateful(s Sender, m *sipmsg.Message, origin any) {
 // finalizeLocal completes the transaction with a locally generated final
 // response sent upstream through the worker's sender.
 func (e *Engine) finalizeLocal(s Sender, tx *transaction.Transaction, code int) {
-	resp := sipmsg.NewResponse(tx.Request(), code, sipmsg.NewTag())
+	resp := e.localFinal(tx, code)
 	if e.txns.Complete(tx, resp) {
 		e.sendToOrigin(s, tx.Origin, resp)
 	}
@@ -418,10 +422,25 @@ func (e *Engine) finalizeLocal(s Sender, tx *transaction.Transaction, code int) 
 
 // finalizeLocalVia is finalizeLocal for timer-goroutine contexts.
 func (e *Engine) finalizeLocalVia(s Sender, tx *transaction.Transaction, code int) {
-	resp := sipmsg.NewResponse(tx.Request(), code, sipmsg.NewTag())
+	resp := e.localFinal(tx, code)
 	if e.txns.Complete(tx, resp) {
 		e.sendToOrigin(s, tx.Origin, resp)
 	}
+}
+
+// localFinal builds a locally generated final response, adding Retry-After
+// to 503s when configured so clients defer their retry instead of
+// hammering a server that is already shedding load.
+func (e *Engine) localFinal(tx *transaction.Transaction, code int) *sipmsg.Message {
+	resp := sipmsg.NewResponse(tx.Request(), code, sipmsg.NewTag())
+	if code == sipmsg.StatusServiceUnavail && e.cfg.RetryAfter > 0 {
+		secs := int((e.cfg.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		resp.Add("Retry-After", strconv.Itoa(secs))
+	}
+	return resp
 }
 
 // forwardStateless forwards a request with no transaction state: the

@@ -13,6 +13,7 @@ package transaction
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gosip/internal/metrics"
@@ -128,9 +129,10 @@ func (t *Transaction) RecordUpstreamResponse(resp *sipmsg.Message) {
 
 // Table is the shared transaction store.
 type Table struct {
-	cfg    Config
-	timers *timerlist.List
-	shards [16]txShard
+	cfg     Config
+	timers  *timerlist.List
+	shards  [16]txShard
+	pending atomic.Int64
 
 	created     *metrics.Counter
 	retransmits *metrics.Counter
@@ -194,6 +196,7 @@ func (tb *Table) Create(upKey string, req *sipmsg.Message, origin any) (tx *Tran
 	sh.m[upKey] = tx
 	sh.mu.Unlock()
 	tb.created.Inc()
+	tb.pending.Add(1)
 	return tx, false
 }
 
@@ -285,6 +288,7 @@ func (tb *Table) Complete(tx *Transaction, finalResp *sipmsg.Message) bool {
 	}
 	tx.lingerTimer = tb.timers.After(tb.cfg.Linger, func() { tb.Terminate(tx) })
 	tx.mu.Unlock()
+	tb.pending.Add(-1)
 	return true
 }
 
@@ -295,6 +299,7 @@ func (tb *Table) Terminate(tx *Transaction) {
 		tx.mu.Unlock()
 		return
 	}
+	wasProceeding := tx.state == StateProceeding
 	tx.state = StateTerminated
 	if tx.retransTimer != nil {
 		tx.retransTimer.Cancel()
@@ -306,6 +311,9 @@ func (tb *Table) Terminate(tx *Transaction) {
 	}
 	up, down := tx.upKey, tx.downKey
 	tx.mu.Unlock()
+	if wasProceeding {
+		tb.pending.Add(-1)
+	}
 
 	tb.remove(up, tx)
 	if down != "" {
@@ -321,6 +329,12 @@ func (tb *Table) remove(key string, tx *Transaction) {
 	}
 	sh.mu.Unlock()
 }
+
+// Pending returns the number of transactions still awaiting a final
+// response (Proceeding state). Unlike Len it counts each transaction once
+// and excludes completed-but-lingering entries, making it the load probe
+// the overload controller polls.
+func (tb *Table) Pending() int { return int(tb.pending.Load()) }
 
 // Len returns the number of index entries (a transaction with a forwarded
 // leg counts twice).
