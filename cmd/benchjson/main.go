@@ -1,0 +1,86 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, one record per benchmark with every reported metric
+// (ns/op, MB/s, B/op, allocs/op, and custom ReportMetric units such as
+// syscalls/op) plus a derived ops/s. The text lines it consumes are the
+// same ones benchstat reads, so the two views never disagree:
+//
+//	go test -run xxx -bench . ./internal/transport/ | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	recs, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// Record is one benchmark result. Metrics holds each "value unit" pair
+// from the result line keyed by unit; OpsPerSec is derived from ns/op.
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	OpsPerSec  float64            `json:"ops_per_sec,omitempty"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Parse reads go-test benchmark output, keeping only result lines and
+// ignoring everything else (goos/pkg headers, PASS, test logs).
+func Parse(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		if rec, ok := parseLine(sc.Text()); ok {
+			recs = append(recs, rec)
+		}
+	}
+	return recs, sc.Err()
+}
+
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || iters <= 0 {
+		return Record{}, false
+	}
+	rec := Record{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// After the name and iteration count the line is "value unit" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	if len(rec.Metrics) == 0 {
+		return Record{}, false
+	}
+	if ns, ok := rec.Metrics["ns/op"]; ok && ns > 0 {
+		rec.OpsPerSec = 1e9 / ns
+	}
+	return rec, true
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: gosip/internal/transport
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkUDPRoundtrip                  	   35283	      7555 ns/op	  25.54 MB/s	         2.000 syscalls/op	      53 B/op	       2 allocs/op
+BenchmarkUDPRoundtripBatch32           	   34764	      5997 ns/op	  32.18 MB/s	         0.06254 syscalls/op	      56 B/op	       2 allocs/op
+PASS
+ok  	gosip/internal/transport	2.213s
+`
+
+func TestParse(t *testing.T) {
+	recs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("parsed %d records, want 2", len(recs))
+	}
+	r := recs[0]
+	if r.Name != "BenchmarkUDPRoundtrip" || r.Iterations != 35283 {
+		t.Errorf("record 0 = %+v", r)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 7555, "MB/s": 25.54, "syscalls/op": 2.0, "B/op": 53, "allocs/op": 2,
+	} {
+		if got := r.Metrics[unit]; got != want {
+			t.Errorf("%s = %g, want %g", unit, got, want)
+		}
+	}
+	if r.OpsPerSec < 132000 || r.OpsPerSec > 133000 {
+		t.Errorf("ops/s = %g, want ~132362", r.OpsPerSec)
+	}
+	if got := recs[1].Metrics["syscalls/op"]; got != 0.06254 {
+		t.Errorf("batch32 syscalls/op = %g", got)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	in := "BenchmarkBroken abc\nBenchmarkNoMetrics 100\nrandom text 5 10\n"
+	recs, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("parsed %d records from noise, want 0", len(recs))
+	}
+}

@@ -73,6 +73,12 @@ func main() {
 		olTarget    = flag.Float64("overload-target", 0, "occupancy policy: target worker busy fraction (0 = 0.85)")
 		retryAfter  = flag.Duration("retry-after", 0, "base Retry-After advertised on 503 rejections (0 = 1s)")
 		olPause     = flag.Bool("overload-pause-reads", false, "pause TCP connection reads at the queue budget (kernel backpressure)")
+		udpBatch    = flag.Int("udp-batch", 0, "datagrams per recvmmsg/sendmmsg call (0/1 = unbatched baseline)")
+		udpShard    = flag.Int("udp-shard", 0, "SO_REUSEPORT UDP sockets to shard across (0/1 = one shared socket)")
+		udpLinger   = flag.Duration("udp-linger", 0, "egress batch flush deadline (0 = default; needs -udp-batch > 1)")
+		tcpCoalesce = flag.Bool("tcp-coalesce", false, "coalesce contended TCP sends into one writev (group commit)")
+		soRcvbuf    = flag.Int("so-rcvbuf", 0, "requested SO_RCVBUF for proxy sockets (0 = kernel default)")
+		soSndbuf    = flag.Int("so-sndbuf", 0, "requested SO_SNDBUF for proxy sockets (0 = kernel default)")
 		dbLatency   = flag.Duration("db-latency", 0, "simulated user-database lookup latency")
 		routesFlag  = flag.String("routes", "", "static next hops: domain=host:port[,domain=host:port...]")
 		dropRx      = flag.Float64("drop-rx", 0, "UDP inbound datagram loss probability (fault injection)")
@@ -118,6 +124,12 @@ func main() {
 		IdleCheckInterval: *checkEvery,
 		SupervisorPenalty: *penalty,
 		IPCTimeout:        *ipcTimeout,
+		UDPBatch:          *udpBatch,
+		UDPShards:         *udpShard,
+		EgressLinger:      *udpLinger,
+		TCPCoalesce:       *tcpCoalesce,
+		SoRcvBuf:          *soRcvbuf,
+		SoSndBuf:          *soSndbuf,
 		Overload: overload.Config{
 			Policy:          overload.Policy(*olPolicy),
 			MaxPending:      *olPending,
@@ -139,6 +151,24 @@ func main() {
 	srv.DB().ProvisionN(*users, *domain)
 	fmt.Printf("sipproxyd: %s listening on %s (%s), %d users provisioned\n",
 		*arch, srv.Addr(), srv.Engine().Describe(), *users)
+	if *udpBatch > 1 || *udpShard > 1 || *tcpCoalesce {
+		fmt.Printf("sipproxyd: batched I/O: udp-batch=%d udp-shard=%d tcp-coalesce=%v\n",
+			*udpBatch, *udpShard, *tcpCoalesce)
+	}
+	if *soRcvbuf > 0 || *soSndbuf > 0 {
+		// Report what the kernel actually granted (it may clamp to
+		// rmem_max/wmem_max, and on Linux it doubles the request).
+		if bs, ok := srv.(interface{ BufferSizes() (int, int) }); ok {
+			rcv, snd := bs.BufferSizes()
+			if rcv == 0 && snd == 0 {
+				fmt.Printf("sipproxyd: socket buffers requested rcv=%d snd=%d (effective sizes unavailable)\n", *soRcvbuf, *soSndbuf)
+			} else {
+				fmt.Printf("sipproxyd: socket buffers requested rcv=%d snd=%d, effective rcv=%d snd=%d\n", *soRcvbuf, *soSndbuf, rcv, snd)
+			}
+		} else {
+			fmt.Printf("sipproxyd: socket buffers requested rcv=%d snd=%d (applied per accepted connection)\n", *soRcvbuf, *soSndbuf)
+		}
+	}
 
 	if *metricsAddr != "" {
 		hs, bound, err := startMetrics(*metricsAddr, srv.Profile())

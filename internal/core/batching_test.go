@@ -1,0 +1,142 @@
+package core
+
+import (
+	"net"
+	"testing"
+
+	"gosip/internal/metrics"
+	"gosip/internal/transport"
+)
+
+// The batched I/O knobs must keep the proxy's observable behaviour
+// identical — same calls completed, same message counts — while changing
+// only how datagrams cross the kernel boundary. These tests run the same
+// end-to-end load as the baseline suites with each knob on and check both
+// the workload outcome and the syscall accounting.
+
+func sharding(t *testing.T) {
+	t.Helper()
+	if !transport.ReusePortAvailable() {
+		t.Skip("SO_REUSEPORT unavailable on this platform")
+	}
+}
+
+func TestUDPServerBatchedEndToEnd(t *testing.T) {
+	srv := startServer(t, Config{Arch: ArchUDP, Workers: 4, UDPBatch: 16})
+	res := runLoad(t, srv, transport.UDP, 4, 5, 0)
+	assertClean(t, res, 20)
+
+	prof := srv.Profile()
+	if got := prof.Counter(metrics.MetricUDPRecvMsgs).Value(); got == 0 {
+		t.Error("batched receive path recorded no datagrams")
+	}
+	if got := prof.Counter(metrics.MetricUDPPoolDropped).Value(); got != 0 {
+		t.Errorf("pool dropped %d buffers, want 0", got)
+	}
+	flushes := prof.Counter(metrics.MetricEgressFlushFull).Value() +
+		prof.Counter(metrics.MetricEgressFlushDrain).Value() +
+		prof.Counter(metrics.MetricEgressFlushLinger).Value() +
+		prof.Counter(metrics.MetricEgressFlushClose).Value()
+	if flushes == 0 {
+		t.Error("no egress flushes recorded: sends did not take the batched path")
+	}
+	if sent := prof.Counter(metrics.MetricUDPSendMsgs).Value(); sent == 0 {
+		t.Error("no datagrams recorded on the send side")
+	}
+}
+
+func TestUDPServerShardedEndToEnd(t *testing.T) {
+	sharding(t)
+	srv := startServer(t, Config{Arch: ArchUDP, Workers: 4, UDPShards: 4})
+	if got := srv.(*udpServer).ShardCount(); got != 4 {
+		t.Fatalf("ShardCount = %d, want 4", got)
+	}
+	res := runLoad(t, srv, transport.UDP, 4, 5, 0)
+	assertClean(t, res, 20)
+}
+
+func TestUDPServerBatchedShardedEndToEnd(t *testing.T) {
+	sharding(t)
+	srv := startServer(t, Config{Arch: ArchUDP, Workers: 4, UDPShards: 2, UDPBatch: 16})
+	res := runLoad(t, srv, transport.UDP, 4, 5, 0)
+	assertClean(t, res, 20)
+	if got := srv.Profile().Counter(metrics.MetricUDPPoolDropped).Value(); got != 0 {
+		t.Errorf("pool dropped %d buffers, want 0", got)
+	}
+}
+
+func TestUDPShardsClampedToWorkers(t *testing.T) {
+	sharding(t)
+	srv := startServer(t, Config{Arch: ArchUDP, Workers: 2, UDPShards: 8})
+	// A shard with no reader would blackhole its hash bucket; the clamp
+	// keeps every socket owned by at least one worker.
+	if got := srv.(*udpServer).ShardCount(); got != 2 {
+		t.Errorf("ShardCount = %d, want clamp to 2 workers", got)
+	}
+}
+
+func TestTCPServerCoalescedEndToEnd(t *testing.T) {
+	srv := startServer(t, Config{Arch: ArchTCP, Workers: 4, TCPCoalesce: true, FDCache: true})
+	res := runLoad(t, srv, transport.TCP, 4, 5, 0)
+	assertClean(t, res, 20)
+	prof := srv.Profile()
+	msgs := prof.Counter(metrics.MetricTCPWriteMsgs).Value()
+	calls := prof.Counter(metrics.MetricTCPWriteCalls).Value()
+	if msgs == 0 {
+		t.Error("no stream writes recorded")
+	}
+	if calls > msgs {
+		t.Errorf("write calls %d exceed messages %d", calls, msgs)
+	}
+}
+
+func TestThreadedServerCoalescedEndToEnd(t *testing.T) {
+	srv := startServer(t, Config{Arch: ArchThreaded, Workers: 4, TCPCoalesce: true})
+	res := runLoad(t, srv, transport.TCP, 4, 5, 0)
+	assertClean(t, res, 20)
+	if got := srv.Profile().Counter(metrics.MetricTCPWriteMsgs).Value(); got == 0 {
+		t.Error("no stream writes recorded")
+	}
+}
+
+// TestUDPSendAllocs pins the steady-state UDP send path at zero
+// allocations: the wire image is cached on the message, the destination
+// comes from the resolve cache, and the socket write is the netip-based
+// allocation-free variant.
+func TestUDPSendAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	s, _ := newTestSender(t)
+	sink, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	dst := sink.LocalAddr().String()
+	m := udpTestMsg()
+	// Warm the caches: first Serialize builds the wire image, first ToAddr
+	// populates the resolve cache.
+	if err := s.ToAddr("UDP", dst, m); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(500, func() {
+		if err := s.ToAddr("UDP", dst, m); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("UDP send allocates %.1f/op, want 0", got)
+	}
+	// ToOrigin takes the already-resolved address and must be free too.
+	addr, err := net.ResolveUDPAddr("udp", dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(500, func() {
+		if err := s.ToOrigin(addr, m); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("ToOrigin allocates %.1f/op, want 0", got)
+	}
+}

@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"net"
 	"strconv"
 	"time"
 
@@ -112,6 +113,32 @@ type Config struct {
 	// hanging the worker (0 = 2s, negative = no deadline).
 	IPCTimeout time.Duration
 
+	// --- batched I/O knobs ---
+	// The zero values reproduce the paper-faithful one-syscall-per-message
+	// behaviour exactly; each knob is an independent, measurable departure.
+
+	// UDPBatch > 1 enables batched datagram I/O: each worker receives up to
+	// this many datagrams per recvmmsg call and queues its responses into a
+	// per-worker egress batch drained by sendmmsg.
+	UDPBatch int
+	// UDPShards > 1 binds that many SO_REUSEPORT sockets to the listen
+	// address and spreads the workers across them, so the kernel — not a
+	// shared fd — load-balances datagrams between workers. Clamped to the
+	// worker count (a shard with no reader would blackhole its hash bucket).
+	UDPShards int
+	// EgressLinger bounds how long a partially filled egress batch may wait
+	// before flushing (0 = transport.DefaultEgressLinger). Only meaningful
+	// with UDPBatch > 1.
+	EgressLinger time.Duration
+	// TCPCoalesce enables group-commit write coalescing on stream
+	// connections: contended sends on one connection leave in a single
+	// writev instead of serialized write calls.
+	TCPCoalesce bool
+	// SoRcvBuf/SoSndBuf request socket buffer sizes (SO_RCVBUF/SO_SNDBUF)
+	// for the UDP sockets and every accepted or dialed TCP connection
+	// (0 = kernel default).
+	SoRcvBuf, SoSndBuf int
+
 	// --- substrate knobs ---
 
 	// Overload configures the admission controller consulted before any
@@ -169,6 +196,9 @@ func (c Config) withDefaults() Config {
 	if c.TimerInterval <= 0 {
 		c.TimerInterval = 100 * time.Millisecond
 	}
+	if c.UDPShards > c.Workers {
+		c.UDPShards = c.Workers
+	}
 	if c.Profile == nil {
 		c.Profile = metrics.NewProfile()
 	}
@@ -222,6 +252,11 @@ type substrate struct {
 	parseHist    *metrics.Histogram
 	parseErrs    *metrics.Counter
 	observeParse func(time.Duration) // bound once; avoids a closure per message
+
+	// tcpWriteCalls/tcpWriteMsgs instrument every stream connection's write
+	// side; with coalescing on, calls < msgs is the measured amortization.
+	tcpWriteCalls *metrics.Counter
+	tcpWriteMsgs  *metrics.Counter
 }
 
 func newSubstrate(cfg Config) *substrate {
@@ -239,6 +274,9 @@ func newSubstrate(cfg Config) *substrate {
 		txns:      transaction.NewTable(cfg.Txn, timers, prof),
 		parseHist: prof.Histogram(metrics.StageParse),
 		parseErrs: prof.Counter(metrics.MetricParseErrors),
+
+		tcpWriteCalls: prof.Counter(metrics.MetricTCPWriteCalls),
+		tcpWriteMsgs:  prof.Counter(metrics.MetricTCPWriteMsgs),
 	}
 	s.observeParse = s.parseHist.Record
 	s.ctrl = overload.New(cfg.Overload, cfg.Workers, s.txns.Pending, prof)
@@ -275,6 +313,41 @@ func (s *substrate) engineConfig(kind transport.Kind, host string, port int) pro
 		Domain:       s.cfg.Domain,
 		RetryAfter:   retryAfter,
 	}
+}
+
+// wrapStream applies the configured stream-socket policy to a newly
+// established TCP connection, accepted or dialed: Nagle off (SIP messages
+// are small and latency-sensitive), the optional socket buffer sizes,
+// write instrumentation, optional write coalescing, and the parse-time
+// observer. Every stream connection a server touches goes through here, so
+// the TCP knobs apply uniformly across the §3.1 and §6 architectures.
+func (s *substrate) wrapStream(nc net.Conn) *transport.StreamConn {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+		if s.cfg.SoRcvBuf > 0 {
+			_ = tc.SetReadBuffer(s.cfg.SoRcvBuf)
+		}
+		if s.cfg.SoSndBuf > 0 {
+			_ = tc.SetWriteBuffer(s.cfg.SoSndBuf)
+		}
+	}
+	sc := transport.NewStreamConn(nc)
+	sc.InstrumentWrites(s.tcpWriteCalls, s.tcpWriteMsgs)
+	if s.cfg.TCPCoalesce {
+		sc.EnableCoalesce()
+	}
+	sc.SetParseObserver(s.observeParse)
+	return sc
+}
+
+// dialStream establishes an outbound stream connection with the same
+// policy wrapStream applies to accepted ones.
+func (s *substrate) dialStream(hostport string) (*transport.StreamConn, error) {
+	nc, err := net.DialTimeout("tcp", hostport, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("core: dial tcp %q: %w", hostport, err)
+	}
+	return s.wrapStream(nc), nil
 }
 
 // parseOrCount wraps sipmsg.Parse with stage timing and drop accounting

@@ -153,11 +153,7 @@ func (s *tcpServer) acceptor() {
 		if err != nil {
 			return
 		}
-		if tc, ok := nc.(*net.TCPConn); ok {
-			_ = tc.SetNoDelay(true)
-		}
-		sc := transport.NewStreamConn(nc)
-		sc.SetParseObserver(s.sub.observeParse)
+		sc := s.sub.wrapStream(nc)
 		c := s.table.Insert(sc, s.sub.cfg.IdleTimeout)
 		select {
 		case s.accepts <- c:
@@ -428,11 +424,10 @@ func (ts *tcpSender) ToAddr(_ string, hostport string, m *sipmsg.Message) error 
 	// No usable connection: the worker establishes one (OpenSER's
 	// tcpconn_connect) and hands it to the supervisor for tracking; the
 	// dialing worker owns reads.
-	sc, err := transport.DialTCP(hostport)
+	sc, err := ts.w.srv.sub.dialStream(hostport)
 	if err != nil {
 		return err
 	}
-	sc.SetParseObserver(ts.w.srv.sub.observeParse)
 	c := ts.w.srv.table.Insert(sc, ts.w.srv.sub.cfg.IdleTimeout)
 	ts.w.adopt(c)
 	select {

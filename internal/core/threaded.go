@@ -93,11 +93,7 @@ func (s *threadedServer) acceptor() {
 		if err != nil {
 			return
 		}
-		if tc, ok := nc.(*net.TCPConn); ok {
-			_ = tc.SetNoDelay(true)
-		}
-		sc := transport.NewStreamConn(nc)
-		sc.SetParseObserver(s.sub.observeParse)
+		sc := s.sub.wrapStream(nc)
 		c := s.table.Insert(sc, s.sub.cfg.IdleTimeout)
 		if !s.dispatch(c) {
 			s.table.Remove(c)
@@ -253,11 +249,10 @@ func (ts *threadedSender) ToAddr(_ string, hostport string, m *sipmsg.Message) e
 	if c := ts.w.srv.table.Lookup(hostport); c != nil && c.State() == conn.StateActive {
 		return ts.send(c, m)
 	}
-	sc, err := transport.DialTCP(hostport)
+	sc, err := ts.w.srv.sub.dialStream(hostport)
 	if err != nil {
 		return err
 	}
-	sc.SetParseObserver(ts.w.srv.sub.observeParse)
 	c := ts.w.srv.table.Insert(sc, ts.w.srv.sub.cfg.IdleTimeout)
 	ts.w.adopt(c)
 	return ts.send(c, m)

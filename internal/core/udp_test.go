@@ -19,7 +19,7 @@ func newTestSender(t *testing.T) (*udpSender, *transport.UDPSocket) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { sock.Close() })
-	return newUDPSender(sock, nil, metrics.NewProfile()), sock
+	return &udpSender{sock: sock, cache: newResolveCache(metrics.NewProfile())}, sock
 }
 
 func udpTestMsg() *sipmsg.Message {
@@ -43,18 +43,18 @@ func TestUDPSenderToOriginRejectsWrongType(t *testing.T) {
 
 func TestUDPSenderResolveCache(t *testing.T) {
 	s, _ := newTestSender(t)
-	a1, err := s.resolve("127.0.0.1:5060")
+	a1, err := s.cache.resolve("127.0.0.1:5060")
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := s.resolve("127.0.0.1:5060")
+	a2, err := s.cache.resolve("127.0.0.1:5060")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a1 != a2 {
 		t.Error("resolve not cached (distinct pointers)")
 	}
-	if _, err := s.resolve("bad::addr::1:2:3:x"); err == nil {
+	if _, err := s.cache.resolve("bad::addr::1:2:3:x"); err == nil {
 		t.Error("bad address resolved")
 	}
 }

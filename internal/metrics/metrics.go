@@ -14,19 +14,37 @@ import (
 	"time"
 )
 
-// Counter is a monotonically increasing event count.
+// Counter is a monotonically increasing event count. Like Histogram, a nil
+// *Counter is a valid no-op receiver: instrumentation points in low-level
+// packages (transport) can keep an optional counter field and hit it
+// unconditionally on the hot path.
 type Counter struct {
 	n atomic.Int64
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.n.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n.Add(1)
+}
 
 // Add adds delta.
-func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(delta)
+}
 
 // Value returns the current count.
-func (c *Counter) Value() int64 { return c.n.Load() }
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
 
 // Timer accumulates total time spent inside a code region, the analogue of
 // per-function time in a flat profile.
@@ -274,6 +292,24 @@ const (
 	MetricIPCTimeouts      = "ipc.fd_timeouts"
 	MetricIPCHandlesIssued = "ipc.handles_issued"
 	MetricIPCHandlesClosed = "ipc.handles_closed"
+
+	// Batched-I/O counters (internal/transport). Syscall counts divide into
+	// message counts to give the syscalls-per-message amortization the
+	// batching experiment reports: 1.0 on the unbatched paths, 1/batch when
+	// recvmmsg/sendmmsg fill.
+	MetricUDPRecvSyscalls = "udp.recv_syscalls"  // recvfrom/recvmmsg calls
+	MetricUDPRecvMsgs     = "udp.recv_msgs"      // datagrams delivered by them
+	MetricUDPSendSyscalls = "udp.send_syscalls"  // sendto/sendmmsg calls
+	MetricUDPSendMsgs     = "udp.send_msgs"      // datagrams sent by them
+	MetricUDPPoolDropped  = "udp.pool_dropped"   // receive buffers Release could not recycle
+	MetricTCPWriteCalls   = "tcp.write_syscalls" // write/writev calls on stream sends
+	MetricTCPWriteMsgs    = "tcp.write_msgs"     // messages carried by them
+
+	// Egress flush-reason counters: why each sendmmsg batch was cut.
+	MetricEgressFlushFull   = "udp.egress_flush_full"   // batch reached capacity
+	MetricEgressFlushDrain  = "udp.egress_flush_drain"  // worker drained after its receive batch
+	MetricEgressFlushLinger = "udp.egress_flush_linger" // linger timer expired
+	MetricEgressFlushClose  = "udp.egress_flush_close"  // final flush at shutdown
 )
 
 // GaugeOpenConns is the snapshot-time size of the shared connection table
@@ -299,6 +335,14 @@ const (
 // 503 rejections — not a pipeline stage, but the same histogram machinery.
 const StageRetryAfter = "overload.retry_after"
 
+// Batch-occupancy histograms: how many datagrams each recvmmsg/sendmmsg
+// call carried, recorded as a unitless count through the duration-keyed
+// histogram machinery (1 "ns" = 1 datagram; the mean is mean occupancy).
+const (
+	HistRecvBatch = "batch.recv_occupancy"
+	HistSendBatch = "batch.send_occupancy"
+)
+
 // StageNames lists every per-stage histogram in pipeline order, for
 // reports that want a stable, complete stage table.
 var StageNames = []string{
@@ -316,6 +360,11 @@ var standardCounters = []string{
 	MetricOverloadOffered, MetricOverloadAdmitted, MetricOverloadRejected,
 	MetricOverloadPauses, MetricIPCTimeouts,
 	MetricIPCHandlesIssued, MetricIPCHandlesClosed,
+	MetricUDPRecvSyscalls, MetricUDPRecvMsgs,
+	MetricUDPSendSyscalls, MetricUDPSendMsgs, MetricUDPPoolDropped,
+	MetricTCPWriteCalls, MetricTCPWriteMsgs,
+	MetricEgressFlushFull, MetricEgressFlushDrain,
+	MetricEgressFlushLinger, MetricEgressFlushClose,
 }
 
 var standardTimers = []string{
@@ -338,4 +387,6 @@ func (p *Profile) RegisterStandard() {
 		p.Histogram(n)
 	}
 	p.Histogram(StageRetryAfter)
+	p.Histogram(HistRecvBatch)
+	p.Histogram(HistSendBatch)
 }

@@ -18,14 +18,24 @@ type udpEndpoint struct {
 	sock  *transport.UDPSocket
 	proxy *net.UDPAddr
 
+	// bw/dgs batch the callee's multi-response answers (e.g. 180 + 200 for
+	// an INVITE) into one sendmmsg. Only the answering goroutine uses them.
+	bw  *transport.BatchWriter
+	dgs []transport.Datagram
+
 	closeOnce sync.Once
 	startOnce sync.Once
 	done      chan struct{}
 	answering sync.WaitGroup
 }
 
+// phoneBatch sizes the phone-side send batch: an answering callee emits at
+// most a provisional plus a final response per request, so a small batch
+// already captures the full grouping.
+const phoneBatch = 4
+
 func newUDPEndpoint(cfg Config) (*udpEndpoint, error) {
-	sock, err := transport.ListenUDP("127.0.0.1:0")
+	sock, err := transport.ListenUDPOptions("127.0.0.1:0", transport.UDPOptions{BatchSize: phoneBatch})
 	if err != nil {
 		return nil, err
 	}
@@ -34,7 +44,11 @@ func newUDPEndpoint(cfg Config) (*udpEndpoint, error) {
 		sock.Close()
 		return nil, err
 	}
-	return &udpEndpoint{cfg: cfg, sock: sock, proxy: proxy, done: make(chan struct{})}, nil
+	return &udpEndpoint{
+		cfg: cfg, sock: sock, proxy: proxy,
+		bw:   sock.NewBatchWriter(phoneBatch),
+		done: make(chan struct{}),
+	}, nil
 }
 
 func (e *udpEndpoint) send(m *sipmsg.Message) error {
@@ -168,11 +182,15 @@ func (e *udpEndpoint) startAnswering() {
 				m.Release()
 				continue
 			}
+			// All responses to one request leave in a single batch: the
+			// provisional and final share one sendmmsg where available.
+			e.dgs = e.dgs[:0]
 			for _, resp := range answer(m, e.cfg.User, sipmsg.URI{User: e.cfg.User, Host: "127.0.0.1", Port: e.sock.LocalAddr().Port}) {
-				if err := e.sock.WriteTo(resp.Serialize(), src); err != nil {
-					m.Release()
-					return
-				}
+				e.dgs = append(e.dgs, transport.Datagram{Data: resp.Serialize(), Dst: src})
+			}
+			if err := e.sock.WriteBatch(e.bw, e.dgs); err != nil {
+				m.Release()
+				return
 			}
 			m.Release()
 		}

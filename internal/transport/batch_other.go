@@ -1,0 +1,29 @@
+//go:build !(linux && (amd64 || arm64))
+
+// Portable fallback for platforms without the recvmmsg/sendmmsg fast
+// path: batch calls degrade to the ordinary single-datagram syscalls
+// (see ReadBatch/WriteBatch in batch.go), preserving the API so callers
+// never branch on platform.
+
+package transport
+
+const mmsgAvailable = false
+
+type batchReaderOS struct{}
+
+func (o *batchReaderOS) init(br *BatchReader) {}
+
+type batchWriterOS struct{}
+
+func (o *batchWriterOS) init(n int) {}
+
+// The mmsg entry points are unreachable when mmsgAvailable is false
+// (UDPSocket.mmsg is never set); the stubs keep the package compiling.
+
+func (s *UDPSocket) readBatchMmsg(br *BatchReader) (int, error) {
+	panic("transport: mmsg path on non-mmsg platform")
+}
+
+func (s *UDPSocket) writeBatchMmsg(bw *BatchWriter, dgs []Datagram) (int, error) {
+	panic("transport: mmsg path on non-mmsg platform")
+}

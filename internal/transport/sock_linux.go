@@ -1,0 +1,52 @@
+//go:build linux
+
+package transport
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+const reusePortAvailable = true
+
+// soReusePort is SO_REUSEPORT, absent from the syscall package's constant
+// set; the value is uniform across Linux architectures.
+const soReusePort = 0xf
+
+// listenReusePort binds a UDP socket with SO_REUSEPORT set before bind, so
+// several sockets can share one port and the kernel hashes datagrams
+// across them by source 4-tuple — socket sharding without a user-space
+// dispatcher.
+func listenReusePort(ua *net.UDPAddr) (*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	pc, err := lc.ListenPacket(context.Background(), "udp", ua.String())
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}
+
+// socketBufferSizes reads back the effective SO_RCVBUF/SO_SNDBUF values.
+func socketBufferSizes(c syscall.Conn) (rcv, snd int) {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return 0, 0
+	}
+	_ = rc.Control(func(fd uintptr) {
+		rcv, _ = syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUF)
+		snd, _ = syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_SNDBUF)
+	})
+	return rcv, snd
+}

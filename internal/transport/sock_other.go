@@ -1,0 +1,19 @@
+//go:build !linux
+
+package transport
+
+import (
+	"fmt"
+	"net"
+	"syscall"
+)
+
+const reusePortAvailable = false
+
+func listenReusePort(ua *net.UDPAddr) (*net.UDPConn, error) {
+	return nil, fmt.Errorf("transport: SO_REUSEPORT unavailable")
+}
+
+// socketBufferSizes is unavailable portably; callers treat zeroes as
+// "unknown" and fall back to reporting the requested values.
+func socketBufferSizes(c syscall.Conn) (rcv, snd int) { return 0, 0 }

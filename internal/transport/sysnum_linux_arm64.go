@@ -1,0 +1,7 @@
+//go:build linux && arm64
+
+package transport
+
+// sysSENDMMSG is SYS_SENDMMSG, absent from the frozen syscall package
+// (the call entered Linux 3.0, after the table was generated).
+const sysSENDMMSG = 269

@@ -3,14 +3,24 @@
 // concurrently (OpenSER's UDP architecture relies on the kernel
 // distributing datagrams among processes blocked in recvfrom), and a
 // framed, write-locked wrapper for TCP stream connections.
+//
+// On Linux the UDP socket additionally offers batched receive and send
+// paths (recvmmsg/sendmmsg — see batch.go) and SO_REUSEPORT sharding, so
+// per-datagram syscall cost amortizes across a batch and workers need not
+// contend on one file descriptor. Both are opt-in: the defaults preserve
+// the paper-faithful one-syscall-per-message behaviour bit for bit.
 package transport
 
 import (
 	"fmt"
 	"net"
+	"net/netip"
+	"runtime"
 	"sync"
+	"syscall"
 	"time"
 
+	"gosip/internal/metrics"
 	"gosip/internal/sipmsg"
 )
 
@@ -28,10 +38,38 @@ const (
 // limit accommodates path-MTU-free loopback experiments.
 const MaxDatagram = 64 << 10
 
+// MaxBatch bounds the per-call datagram count of the batched I/O paths.
+const MaxBatch = 512
+
 // Packet is one datagram received on a UDP socket.
 type Packet struct {
 	Data []byte
 	Src  *net.UDPAddr
+
+	// buf is the pool slot backing Data for single-packet reads; nil for
+	// packets produced by a BatchReader, which owns its buffers.
+	buf *[]byte
+}
+
+// UDPOptions tunes a UDP SIP socket beyond the paper-faithful defaults.
+// The zero value reproduces the baseline socket exactly.
+type UDPOptions struct {
+	// BatchSize > 1 arms the batched ReadBatch/WriteBatch paths with this
+	// per-call datagram budget (Linux recvmmsg/sendmmsg where available,
+	// looped single-packet calls elsewhere).
+	BatchSize int
+	// ReusePort binds with SO_REUSEPORT so several sockets can share one
+	// port and the kernel load-balances datagrams between them. Returns an
+	// error on platforms without the option.
+	ReusePort bool
+	// RcvBuf/SndBuf request SO_RCVBUF/SO_SNDBUF sizes (0 = kernel default).
+	RcvBuf, SndBuf int
+	// ForceGeneric disables the mmsg fast path even where available — the
+	// hook the batch-parity test uses to run both paths on one platform.
+	ForceGeneric bool
+	// Profile receives the socket's syscall/occupancy instrumentation.
+	// Nil is valid: counters become no-ops.
+	Profile *metrics.Profile
 }
 
 // UDPSocket wraps a net.UDPConn for SIP use. ReadPacket may be called from
@@ -40,24 +78,98 @@ type Packet struct {
 // processes share a socket.
 type UDPSocket struct {
 	conn *net.UDPConn
+	rc   syscall.RawConn
+	mmsg bool // recvmmsg/sendmmsg fast path armed
+	is6  bool // socket bound to an IPv6 address
 
-	bufPool sync.Pool
+	bufPool sync.Pool // of *[]byte, each MaxDatagram long
+
+	recvSyscalls *metrics.Counter
+	recvMsgs     *metrics.Counter
+	sendSyscalls *metrics.Counter
+	sendMsgs     *metrics.Counter
+	poolDropped  *metrics.Counter
+	recvOcc      *metrics.Histogram
+	sendOcc      *metrics.Histogram
 }
 
-// ListenUDP opens a UDP SIP socket on addr (e.g. "127.0.0.1:0").
+// ListenUDP opens a UDP SIP socket on addr (e.g. "127.0.0.1:0") with the
+// baseline (unbatched, unshared) configuration.
 func ListenUDP(addr string) (*UDPSocket, error) {
+	return ListenUDPOptions(addr, UDPOptions{})
+}
+
+// ListenUDPOptions opens a UDP SIP socket with explicit tuning.
+func ListenUDPOptions(addr string, o UDPOptions) (*UDPSocket, error) {
+	if o.BatchSize > MaxBatch {
+		return nil, fmt.Errorf("transport: batch size %d exceeds max %d", o.BatchSize, MaxBatch)
+	}
+	if o.ReusePort && !reusePortAvailable {
+		return nil, fmt.Errorf("transport: SO_REUSEPORT is not supported on %s", runtime.GOOS)
+	}
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
 	}
-	c, err := net.ListenUDP("udp", ua)
+	var c *net.UDPConn
+	if o.ReusePort {
+		c, err = listenReusePort(ua)
+	} else {
+		c, err = net.ListenUDP("udp", ua)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen udp %q: %w", addr, err)
 	}
+	if o.RcvBuf > 0 {
+		if err := c.SetReadBuffer(o.RcvBuf); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("transport: SO_RCVBUF %d: %w", o.RcvBuf, err)
+		}
+	}
+	if o.SndBuf > 0 {
+		if err := c.SetWriteBuffer(o.SndBuf); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("transport: SO_SNDBUF %d: %w", o.SndBuf, err)
+		}
+	}
 	s := &UDPSocket{conn: c}
-	s.bufPool.New = func() any { return make([]byte, MaxDatagram) }
+	s.bufPool.New = func() any {
+		b := make([]byte, MaxDatagram)
+		return &b
+	}
+	s.is6 = s.LocalAddr().IP.To4() == nil
+	if o.BatchSize > 1 && mmsgAvailable && !o.ForceGeneric {
+		rc, err := c.SyscallConn()
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("transport: raw conn: %w", err)
+		}
+		s.rc = rc
+		s.mmsg = true
+	}
+	if p := o.Profile; p != nil {
+		s.recvSyscalls = p.Counter(metrics.MetricUDPRecvSyscalls)
+		s.recvMsgs = p.Counter(metrics.MetricUDPRecvMsgs)
+		s.sendSyscalls = p.Counter(metrics.MetricUDPSendSyscalls)
+		s.sendMsgs = p.Counter(metrics.MetricUDPSendMsgs)
+		s.poolDropped = p.Counter(metrics.MetricUDPPoolDropped)
+		s.recvOcc = p.Histogram(metrics.HistRecvBatch)
+		s.sendOcc = p.Histogram(metrics.HistSendBatch)
+	}
 	return s, nil
 }
+
+// MmsgActive reports whether the recvmmsg/sendmmsg fast path is armed.
+func (s *UDPSocket) MmsgActive() bool { return s.mmsg }
+
+// ReusePortAvailable reports whether SO_REUSEPORT socket sharding is
+// supported on this platform; ListenUDPOptions rejects ReusePort elsewhere.
+func ReusePortAvailable() bool { return reusePortAvailable }
+
+// BufferSizes reports the socket's effective SO_RCVBUF/SO_SNDBUF values as
+// the kernel sees them (Linux doubles the requested size for bookkeeping).
+// Zeroes mean the values could not be read on this platform.
+func (s *UDPSocket) BufferSizes() (rcv, snd int) { return socketBufferSizes(s.conn) }
 
 // LocalAddr returns the bound address.
 func (s *UDPSocket) LocalAddr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
@@ -65,19 +177,35 @@ func (s *UDPSocket) LocalAddr() *net.UDPAddr { return s.conn.LocalAddr().(*net.U
 // ReadPacket blocks for the next datagram. The returned Packet owns its
 // buffer; call Release when done to recycle it.
 func (s *UDPSocket) ReadPacket() (Packet, error) {
-	buf := s.bufPool.Get().([]byte)
-	n, src, err := s.conn.ReadFromUDP(buf)
+	bp := s.bufPool.Get().(*[]byte)
+	n, src, err := s.conn.ReadFromUDP(*bp)
 	if err != nil {
-		s.bufPool.Put(buf) //nolint:staticcheck // fixed-size buffer
+		s.bufPool.Put(bp)
 		return Packet{}, err
 	}
-	return Packet{Data: buf[:n], Src: src}, nil
+	s.recvSyscalls.Inc()
+	s.recvMsgs.Inc()
+	s.recvOcc.Record(1)
+	return Packet{Data: (*bp)[:n], Src: src, buf: bp}, nil
 }
 
-// Release returns a packet's buffer to the pool.
+// Release returns a packet's buffer to the pool. Packets whose buffer the
+// pool cannot recycle (produced elsewhere, or resized by the caller) are
+// counted as dropped rather than silently discarded; packets from a
+// BatchReader carry no pool buffer and are a no-op.
 func (s *UDPSocket) Release(p Packet) {
-	if cap(p.Data) == MaxDatagram {
-		s.bufPool.Put(p.Data[:MaxDatagram]) //nolint:staticcheck
+	if p.buf != nil {
+		if cap(*p.buf) == MaxDatagram {
+			s.bufPool.Put(p.buf)
+			return
+		}
+		s.poolDropped.Inc()
+		return
+	}
+	if p.Data != nil && cap(p.Data) == MaxDatagram {
+		// A pool-sized buffer with no pool slot: constructed by hand (tests)
+		// or copied between sockets. It cannot re-enter the pool.
+		s.poolDropped.Inc()
 	}
 }
 
@@ -85,8 +213,21 @@ func (s *UDPSocket) Release(p Packet) {
 // no locking is needed — the property the paper credits for UDP's
 // synchronization-free send path.
 func (s *UDPSocket) WriteTo(data []byte, dst *net.UDPAddr) error {
-	_, err := s.conn.WriteToUDP(data, dst)
+	s.sendSyscalls.Inc()
+	s.sendMsgs.Inc()
+	s.sendOcc.Record(1)
+	_, err := s.conn.WriteToUDPAddrPort(data, udpAddrPort(dst))
 	return err
+}
+
+// udpAddrPort converts a *net.UDPAddr to the allocation-free netip form,
+// unmapping 4-in-6 addresses so AF_INET sockets accept them.
+func udpAddrPort(a *net.UDPAddr) netip.AddrPort {
+	ap := a.AddrPort()
+	if addr := ap.Addr(); addr.Is4In6() {
+		return netip.AddrPortFrom(addr.Unmap(), ap.Port())
+	}
+	return ap
 }
 
 // SetReadDeadline bounds blocking ReadPacket calls; the zero time removes
@@ -102,17 +243,47 @@ func (s *UDPSocket) Close() error { return s.conn.Close() }
 // one goroutine (the owning worker); the write side may be shared, which
 // models OpenSER's "a connection may be written to by different sending
 // processes" with user-level locking for atomic sends.
+//
+// With coalescing enabled (EnableCoalesce) concurrent writers group-commit:
+// the first writer becomes the flusher and drains everything that queued
+// behind it through one writev (net.Buffers), so N contended sends cost one
+// syscall instead of N serialized ones.
 type StreamConn struct {
 	conn net.Conn
 	rd   *sipmsg.Reader
 
-	wmu sync.Mutex
+	wmu      sync.Mutex
+	coalesce bool
+	wbusy    bool     // a flusher is mid-writev with wmu released
+	werr     error    // sticky write error: the connection is dead
+	pending  [][]byte // copies queued behind the active flusher
+	scratch  [][]byte // header copies handed to writev (consumed by it)
+	inflight [][]byte // original headers of scratch, for recycling
+	free     [][]byte // recycled copy buffers
+
+	writeCalls *metrics.Counter
+	writeMsgs  *metrics.Counter
 }
+
+// maxFreeWriteBufs bounds the per-connection recycle list for coalesced
+// write copies.
+const maxFreeWriteBufs = 64
 
 // NewStreamConn wraps an established TCP connection.
 func NewStreamConn(c net.Conn) *StreamConn {
 	return &StreamConn{conn: c, rd: sipmsg.NewReader(c)}
 }
+
+// InstrumentWrites wires write syscall/message counters (nil-safe).
+// Call before the connection is shared between goroutines.
+func (c *StreamConn) InstrumentWrites(calls, msgs *metrics.Counter) {
+	c.writeCalls = calls
+	c.writeMsgs = msgs
+}
+
+// EnableCoalesce turns on group-commit write coalescing. Call before the
+// connection is shared between goroutines.
+func (c *StreamConn) EnableCoalesce() { c.coalesce = true }
 
 // SetParseObserver forwards fn to the framing reader: it receives the
 // parse-only time of each delivered message (blocked socket reads
@@ -129,19 +300,91 @@ func (c *StreamConn) ReadMessage() (*sipmsg.Message, error) {
 // WriteMessage serializes and sends m atomically with respect to other
 // writers of this StreamConn.
 func (c *StreamConn) WriteMessage(m *sipmsg.Message) error {
-	data := m.Serialize()
+	return c.WriteRaw(m.Serialize())
+}
+
+// WriteRaw sends pre-serialized bytes atomically. data is not retained
+// past the call: if it must queue behind an in-progress writev it is
+// copied first, because callers recycle serialization buffers the moment
+// WriteRaw returns.
+func (c *StreamConn) WriteRaw(data []byte) error {
 	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	_, err := c.conn.Write(data)
+	if !c.coalesce {
+		defer c.wmu.Unlock()
+		c.writeCalls.Inc()
+		c.writeMsgs.Inc()
+		_, err := c.conn.Write(data)
+		return err
+	}
+	if c.werr != nil {
+		err := c.werr
+		c.wmu.Unlock()
+		return err
+	}
+	if c.wbusy {
+		// A flusher is mid-writev: leave a copy for it and return. The
+		// flusher guarantees it drains everything queued before it exits,
+		// so the bytes are on their way — this is the group commit.
+		buf := c.getCopyLocked(data)
+		c.pending = append(c.pending, buf)
+		c.wmu.Unlock()
+		return nil
+	}
+	// Become the flusher: write own data (no copy needed — we hold the
+	// caller's buffer until the write completes), then drain whatever
+	// queued behind us while wmu was released.
+	c.wbusy = true
+	c.scratch = append(c.scratch[:0], data)
+	for {
+		bufs := net.Buffers(c.scratch)
+		c.writeCalls.Inc()
+		c.writeMsgs.Add(int64(len(bufs)))
+		c.wmu.Unlock()
+		_, err := bufs.WriteTo(c.conn)
+		c.wmu.Lock()
+		for _, b := range c.inflight {
+			c.putCopyLocked(b)
+		}
+		c.inflight = c.inflight[:0]
+		if err != nil && c.werr == nil {
+			c.werr = err
+		}
+		if len(c.pending) == 0 || c.werr != nil {
+			// Failed writes poison the connection: drop anything queued
+			// (its writers were told nil, but the peer will reset — SIP
+			// retransmission owns recovery) and surface the sticky error.
+			for _, b := range c.pending {
+				c.putCopyLocked(b)
+			}
+			c.pending = c.pending[:0]
+			break
+		}
+		c.scratch = append(c.scratch[:0], c.pending...)
+		c.inflight = append(c.inflight[:0], c.pending...)
+		c.pending = c.pending[:0]
+	}
+	c.wbusy = false
+	err := c.werr
+	c.wmu.Unlock()
 	return err
 }
 
-// WriteRaw sends pre-serialized bytes atomically.
-func (c *StreamConn) WriteRaw(data []byte) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	_, err := c.conn.Write(data)
-	return err
+// getCopyLocked copies data into a recycled (or new) buffer. wmu held.
+func (c *StreamConn) getCopyLocked(data []byte) []byte {
+	var buf []byte
+	if n := len(c.free); n > 0 {
+		buf = c.free[n-1]
+		c.free = c.free[:n-1]
+	}
+	return append(buf[:0], data...)
+}
+
+// putCopyLocked returns a copy buffer to the recycle list. wmu held.
+func (c *StreamConn) putCopyLocked(b []byte) {
+	if b == nil || len(c.free) >= maxFreeWriteBufs {
+		return
+	}
+	c.free = append(c.free, b[:0])
 }
 
 // SetReadDeadline forwards to the underlying connection.

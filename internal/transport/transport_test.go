@@ -51,7 +51,11 @@ func TestUDPRoundTrip(t *testing.T) {
 }
 
 func TestUDPConcurrentReaders(t *testing.T) {
-	srv, err := ListenUDP("127.0.0.1:0")
+	// The burst below is one rcvbuf's worth of datagrams; with the default
+	// 208K buffer the test sits at the kernel's drop threshold whenever the
+	// sender outruns the readers (single-CPU machines). An explicit receive
+	// buffer keeps the assertion about delivery, not about scheduling luck.
+	srv, err := ListenUDPOptions("127.0.0.1:0", UDPOptions{RcvBuf: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
