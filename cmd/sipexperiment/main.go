@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which experiment: 3, 4, 5, profile, priority, arch, stages, overload, batching, or all")
+		fig     = flag.String("fig", "all", "which experiment: 3, 4, 5, profile, priority, arch, stages, overload, batching, locks, or all")
 		clients = flag.String("clients", "", "comma-separated client counts (default scale: 10,50,100)")
 		calls   = flag.Int("calls", 0, "calls per caller (default 100)")
 		workers = flag.Int("workers", 0, "server worker count (default 8)")
@@ -70,7 +70,7 @@ func main() {
 
 	which := strings.Split(*fig, ",")
 	if *fig == "all" {
-		which = []string{"3", "4", "5", "profile", "priority", "arch", "scenarios", "loss", "stages", "overload", "batching"}
+		which = []string{"3", "4", "5", "profile", "priority", "arch", "scenarios", "loss", "stages", "overload", "batching", "locks"}
 	}
 	start := time.Now()
 	for _, f := range which {
@@ -189,6 +189,26 @@ func main() {
 			rep, err := experiment.RunBatching(bsc, progress)
 			if err != nil {
 				fatalf("batching: %v", err)
+			}
+			fmt.Println()
+			fmt.Print(rep.Table())
+			if *md {
+				fmt.Print(rep.Markdown())
+			}
+		case "locks":
+			lsc := experiment.DefaultLocksScale()
+			if *clients != "" {
+				lsc.Pairs = sc.Clients
+			}
+			if *calls > 0 {
+				lsc.CallsPerCaller = *calls
+			}
+			if *workers > 0 {
+				lsc.Workers = *workers
+			}
+			rep, err := experiment.RunLocks(lsc, progress)
+			if err != nil {
+				fatalf("locks: %v", err)
 			}
 			fmt.Println()
 			fmt.Print(rep.Table())

@@ -33,6 +33,7 @@ import (
 	"gosip/internal/ipc"
 	"gosip/internal/metrics"
 	"gosip/internal/overload"
+	"gosip/internal/timerlist"
 )
 
 // startMetrics binds addr and serves the introspection mux on it. The
@@ -79,6 +80,10 @@ func main() {
 		tcpCoalesce = flag.Bool("tcp-coalesce", false, "coalesce contended TCP sends into one writev (group commit)")
 		soRcvbuf    = flag.Int("so-rcvbuf", 0, "requested SO_RCVBUF for proxy sockets (0 = kernel default)")
 		soSndbuf    = flag.Int("so-sndbuf", 0, "requested SO_SNDBUF for proxy sockets (0 = kernel default)")
+		timerImpl   = flag.String("timer-impl", "heap", "timer data structure: heap (paper-faithful) or wheel (sharded timing wheel)")
+		timerShards = flag.Int("timer-shards", 0, "timing-wheel shard count (0 = GOMAXPROCS; heap ignores this)")
+		txnShards   = flag.Int("txn-shards", 0, "transaction-table shards, rounded to a power of two (0 = max(16, 4x GOMAXPROCS))")
+		dispatch    = flag.String("dispatch", "rr", "threaded connection dispatch: rr (round-robin) or affinity (peer-hash worker pinning)")
 		dbLatency   = flag.Duration("db-latency", 0, "simulated user-database lookup latency")
 		routesFlag  = flag.String("routes", "", "static next hops: domain=host:port[,domain=host:port...]")
 		dropRx      = flag.Float64("drop-rx", 0, "UDP inbound datagram loss probability (fault injection)")
@@ -130,6 +135,9 @@ func main() {
 		TCPCoalesce:       *tcpCoalesce,
 		SoRcvBuf:          *soRcvbuf,
 		SoSndBuf:          *soSndbuf,
+		TimerImpl:         timerlist.Impl(*timerImpl),
+		TimerShards:       *timerShards,
+		Dispatch:          core.Dispatch(*dispatch),
 		Overload: overload.Config{
 			Policy:          overload.Policy(*olPolicy),
 			MaxPending:      *olPending,
@@ -139,6 +147,7 @@ func main() {
 			PauseReads:      *olPause,
 		},
 	}
+	cfg.Txn.Shards = *txnShards
 	cfg.DB.LookupLatency = *dbLatency
 	cfg.Routes = routes
 	cfg.Faults = core.FaultConfig{DropRx: *dropRx, DropTx: *dropTx}
@@ -154,6 +163,10 @@ func main() {
 	if *udpBatch > 1 || *udpShard > 1 || *tcpCoalesce {
 		fmt.Printf("sipproxyd: batched I/O: udp-batch=%d udp-shard=%d tcp-coalesce=%v\n",
 			*udpBatch, *udpShard, *tcpCoalesce)
+	}
+	if *timerImpl != "heap" || *timerShards > 0 || *txnShards > 0 || *dispatch != "rr" {
+		fmt.Printf("sipproxyd: locking: timer-impl=%s timer-shards=%d txn-shards=%d dispatch=%s\n",
+			*timerImpl, *timerShards, *txnShards, *dispatch)
 	}
 	if *soRcvbuf > 0 || *soSndbuf > 0 {
 		// Report what the kernel actually granted (it may clamp to

@@ -147,6 +147,20 @@ type Config struct {
 
 	// TimerInterval is the timer process's check period.
 	TimerInterval time.Duration
+	// TimerImpl selects the timer data structure: timerlist.ImplHeap (the
+	// paper-faithful binary heap, the default) or timerlist.ImplWheel (the
+	// sharded hierarchical timing wheel with O(1) schedule and cancel).
+	TimerImpl timerlist.Impl
+	// TimerShards is the wheel's shard count (0 = GOMAXPROCS); ignored by
+	// the heap, which is inherently single-lock.
+	TimerShards int
+	// Dispatch selects how the threaded architecture assigns inbound
+	// connections to workers: DispatchRR (round-robin, the default) or
+	// DispatchAffinity (hash of the peer address, so one peer's
+	// connections — and therefore its Call-ID-keyed transactions and
+	// timers — always land on the same worker). Ignored by other
+	// architectures.
+	Dispatch Dispatch
 	// Txn tunes the transaction layer.
 	Txn transaction.Config
 	// DB configures the simulated persistent store.
@@ -159,6 +173,22 @@ type Config struct {
 const (
 	DefaultWorkersUDP = 8
 	DefaultWorkersTCP = 8
+)
+
+// Dispatch names a connection-to-worker assignment policy for the threaded
+// architecture.
+type Dispatch string
+
+// Dispatch policies.
+const (
+	// DispatchRR spreads inbound connections round-robin: even load, but a
+	// peer's transactions scatter across workers and every shard lock they
+	// share is contended.
+	DispatchRR Dispatch = "rr"
+	// DispatchAffinity hashes the peer address so a peer's connections
+	// always land on one worker; its transactions and timers stay
+	// worker-local, trading perfect balance for lock locality.
+	DispatchAffinity Dispatch = "affinity"
 )
 
 func (c Config) withDefaults() Config {
@@ -196,6 +226,12 @@ func (c Config) withDefaults() Config {
 	if c.TimerInterval <= 0 {
 		c.TimerInterval = 100 * time.Millisecond
 	}
+	if c.TimerImpl == "" {
+		c.TimerImpl = timerlist.ImplHeap
+	}
+	if c.Dispatch == "" {
+		c.Dispatch = DispatchRR
+	}
 	if c.UDPShards > c.Workers {
 		c.UDPShards = c.Workers
 	}
@@ -217,6 +253,8 @@ type Server interface {
 	Location() *location.Service
 	// DB exposes the simulated user store.
 	DB() *userdb.DB
+	// Timers exposes the timer scheduler (experiments poll its population).
+	Timers() timerlist.Scheduler
 	// Close shuts the server down and releases all resources.
 	Close() error
 }
@@ -224,6 +262,12 @@ type Server interface {
 // New starts a server of the configured architecture.
 func New(cfg Config) (Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Dispatch != DispatchRR && cfg.Dispatch != DispatchAffinity {
+		return nil, fmt.Errorf("core: unknown dispatch policy %q", cfg.Dispatch)
+	}
+	if cfg.TimerImpl != timerlist.ImplHeap && cfg.TimerImpl != timerlist.ImplWheel {
+		return nil, fmt.Errorf("core: unknown timer implementation %q", cfg.TimerImpl)
+	}
 	switch cfg.Arch {
 	case ArchUDP, ArchSCTP:
 		return newUDPServer(cfg)
@@ -242,7 +286,7 @@ type substrate struct {
 	prof   *metrics.Profile
 	loc    *location.Service
 	db     *userdb.DB
-	timers *timerlist.List
+	timers timerlist.Scheduler
 	txns   *transaction.Table
 	ctrl   *overload.Controller
 	// obsBusy caches ctrl.NeedsObserve so the per-message path skips two
@@ -260,11 +304,22 @@ type substrate struct {
 }
 
 func newSubstrate(cfg Config) *substrate {
-	timers := timerlist.New(cfg.TimerInterval)
 	prof := cfg.Profile
 	// Pre-create the full standard name set so every metric a server can
 	// emit is present in /metrics and reports from the start.
 	prof.RegisterStandard()
+	// TimerImpl was validated in New; a zero Config (tests construct
+	// substrates directly) falls back to the heap inside NewScheduler.
+	timers, err := timerlist.NewScheduler(cfg.TimerImpl, timerlist.Options{
+		Interval: cfg.TimerInterval,
+		Shards:   cfg.TimerShards,
+		Profile:  prof,
+	})
+	if err != nil {
+		panic(err) // unreachable: New validates cfg.TimerImpl
+	}
+	prof.SetGauge(metrics.GaugeTimersPending, func() float64 { return float64(timers.Len()) })
+	prof.SetGauge(metrics.GaugeTimersCancelledResident, func() float64 { return float64(timers.CancelledResident()) })
 	s := &substrate{
 		cfg:       cfg,
 		prof:      prof,

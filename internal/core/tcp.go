@@ -15,6 +15,7 @@ import (
 	"gosip/internal/metrics"
 	"gosip/internal/proxy"
 	"gosip/internal/sipmsg"
+	"gosip/internal/timerlist"
 	"gosip/internal/transport"
 	"gosip/internal/userdb"
 )
@@ -483,6 +484,7 @@ func (s *tcpServer) Engine() *proxy.Engine       { return s.engine }
 func (s *tcpServer) Profile() *metrics.Profile   { return s.sub.prof }
 func (s *tcpServer) Location() *location.Service { return s.sub.loc }
 func (s *tcpServer) DB() *userdb.DB              { return s.sub.db }
+func (s *tcpServer) Timers() timerlist.Scheduler { return s.sub.timers }
 
 // ConnCount reports live connection objects (exported for tests and the
 // experiment harness via type assertion).

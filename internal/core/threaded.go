@@ -13,6 +13,7 @@ import (
 	"gosip/internal/metrics"
 	"gosip/internal/proxy"
 	"gosip/internal/sipmsg"
+	"gosip/internal/timerlist"
 	"gosip/internal/transport"
 	"gosip/internal/userdb"
 )
@@ -102,10 +103,33 @@ func (s *threadedServer) acceptor() {
 	}
 }
 
-// dispatch assigns a connection to a worker, blocking on the least-loaded
-// fallback; with no supervisor in the loop there is no two-party deadlock
-// to avoid.
+// workerFor hashes a peer address (FNV-1a) to its affinity worker, so every
+// connection from one peer — and the Call-ID-keyed transactions and timers
+// its dialogs create — lands on the same event loop.
+func (s *threadedServer) workerFor(key string) *threadedWorker {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return s.workers[h%uint32(len(s.workers))]
+}
+
+// dispatch assigns a connection to a worker. Round-robin spreads for
+// balance, blocking on the least-loaded fallback; affinity pins by peer
+// hash and waits for that specific worker — locality is the policy's whole
+// point, so it does not spill. With no supervisor in the loop there is no
+// two-party deadlock to avoid.
 func (s *threadedServer) dispatch(c *conn.TCPConn) bool {
+	if s.sub.cfg.Dispatch == DispatchAffinity {
+		w := s.workerFor(c.Key())
+		select {
+		case w.newConns <- c:
+			return true
+		case <-s.closed:
+			return false
+		}
+	}
 	for i := 0; i < len(s.workers); i++ {
 		w := s.workers[s.rr%len(s.workers)]
 		s.rr++
@@ -253,7 +277,21 @@ func (ts *threadedSender) ToAddr(_ string, hostport string, m *sipmsg.Message) e
 	if err != nil {
 		return err
 	}
-	c := ts.w.srv.table.Insert(sc, ts.w.srv.sub.cfg.IdleTimeout)
+	srv := ts.w.srv
+	c := srv.table.Insert(sc, srv.sub.cfg.IdleTimeout)
+	// Under affinity dispatch a dialed connection belongs to the peer's
+	// hash worker, same as an accepted one; sending needs no ownership, so
+	// the write proceeds while the owner adopts. A backlogged owner keeps
+	// the connection local rather than stalling this worker's event loop.
+	if srv.sub.cfg.Dispatch == DispatchAffinity {
+		if w2 := srv.workerFor(c.Key()); w2 != ts.w {
+			select {
+			case w2.newConns <- c:
+				return ts.send(c, m)
+			default:
+			}
+		}
+	}
 	ts.w.adopt(c)
 	return ts.send(c, m)
 }
@@ -272,6 +310,7 @@ func (s *threadedServer) Engine() *proxy.Engine       { return s.engine }
 func (s *threadedServer) Profile() *metrics.Profile   { return s.sub.prof }
 func (s *threadedServer) Location() *location.Service { return s.sub.loc }
 func (s *threadedServer) DB() *userdb.DB              { return s.sub.db }
+func (s *threadedServer) Timers() timerlist.Scheduler { return s.sub.timers }
 
 // ConnCount reports live connection objects.
 func (s *threadedServer) ConnCount() int { return s.table.Len() }

@@ -10,6 +10,7 @@ import (
 	"gosip/internal/metrics"
 	"gosip/internal/proxy"
 	"gosip/internal/sipmsg"
+	"gosip/internal/timerlist"
 	"gosip/internal/transport"
 	"gosip/internal/userdb"
 )
@@ -307,6 +308,7 @@ func (s *udpServer) Engine() *proxy.Engine       { return s.engine }
 func (s *udpServer) Profile() *metrics.Profile   { return s.sub.prof }
 func (s *udpServer) Location() *location.Service { return s.sub.loc }
 func (s *udpServer) DB() *userdb.DB              { return s.sub.db }
+func (s *udpServer) Timers() timerlist.Scheduler { return s.sub.timers }
 
 // BufferSizes reports the effective socket buffer sizes of the first shard
 // (all shards are configured identically). Exposed for startup logging via

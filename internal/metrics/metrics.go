@@ -270,6 +270,8 @@ const (
 	MetricTxnCreated     = "txn.created"
 	MetricRetransmits    = "txn.retransmits"
 	MetricLockWaitTime   = "lock.conn_table"   // time waiting on the shared connection table lock
+	MetricTimerLockWait  = "lock.timers"       // contended wait on the timer subsystem's lock(s)
+	MetricTxnLockWait    = "lock.txn_shards"   // contended wait on transaction-table shard locks
 	MetricSupervisorWork = "supervisor.handle" // time the supervisor spends handling requests
 	MetricProcessTime    = "worker.process"    // time workers spend processing SIP messages
 	MetricSendTime       = "worker.send"       // time workers spend sending (incl. fd acquisition)
@@ -315,6 +317,16 @@ const (
 // GaugeOpenConns is the snapshot-time size of the shared connection table
 // (TCP architectures only; registered via SetGauge).
 const GaugeOpenConns = "conn.open"
+
+// Timer-subsystem gauges (registered via SetGauge by every server):
+// resident timer population, and how many of those residents are cancelled
+// corpses awaiting their deadline. The heap policy lets the second climb
+// with retransmission-timer churn; the wheel policy pins it at zero by
+// reclaiming slots on cancel.
+const (
+	GaugeTimersPending           = "timers.pending"
+	GaugeTimersCancelledResident = "timers.cancelled_resident"
+)
 
 // Per-stage latency histogram names: the paper's "where does the time go"
 // question (§5, Figures 4/5) answered as live distributions rather than
@@ -369,6 +381,7 @@ var standardCounters = []string{
 
 var standardTimers = []string{
 	MetricIPCTime, MetricIdleScanTime, MetricLockWaitTime,
+	MetricTimerLockWait, MetricTxnLockWait,
 	MetricSupervisorWork, MetricProcessTime, MetricSendTime, MetricDBLookupTime,
 }
 

@@ -478,10 +478,6 @@ func (e *Engine) handleResponse(s Sender, m *sipmsg.Message) {
 		e.drops.Inc()
 		return
 	}
-	if method == sipmsg.ACK || method == sipmsg.CANCEL {
-		method = sipmsg.INVITE
-	}
-	downKey := top.Branch() + "|" + string(method)
 
 	fwd := m.Clone()
 	if !fwd.RemoveFirst("Via") {
@@ -502,8 +498,10 @@ func (e *Engine) handleResponse(s Sender, m *sipmsg.Message) {
 		return
 	}
 
+	// MatchParts assembles branch|method in a stack buffer: the per-response
+	// key string the old path allocated is gone from the hot path entirely.
 	t0 := time.Now()
-	tx := e.txns.MatchResponse(downKey)
+	tx := e.txns.MatchParts(top.Branch(), method)
 	e.txnHist.Record(time.Since(t0))
 	if tx == nil {
 		// Late or duplicate final response after linger: drop.

@@ -499,14 +499,17 @@ func (m *Message) TransactionKey() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if method == ACK {
-		// ACK for non-2xx matches the INVITE server transaction.
-		method = INVITE
+	return branch + "|" + string(TransactionMethod(method)), nil
+}
+
+// TransactionMethod maps a CSeq method to the method its transaction is
+// keyed by: ACK for a non-2xx response and CANCEL both match their INVITE's
+// server transaction; everything else keys as itself.
+func TransactionMethod(method Method) Method {
+	if method == ACK || method == CANCEL {
+		return INVITE
 	}
-	if method == CANCEL {
-		method = INVITE
-	}
-	return branch + "|" + string(method), nil
+	return method
 }
 
 // Clone returns a deep copy of the message. Clones are always built

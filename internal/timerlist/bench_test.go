@@ -1,0 +1,211 @@
+package timerlist
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The benchmarks compare the two timer policies at realistic pending
+// populations: a proxy at the paper's load levels holds tens of thousands
+// of linger and Timer A/B timers at once. Each benchmark pre-populates the
+// scheduler with `pending` long-lived timers (the standing population) and
+// then measures one hot-path operation against that backdrop, because the
+// heap's costs — O(log n) sifts and cancelled corpses that must ripen —
+// only show at depth, while the wheel's link/unlink is O(1) regardless.
+
+var benchSizes = []int{1_000, 10_000, 100_000}
+
+func benchImpls() map[string]func() Scheduler {
+	return map[string]func() Scheduler{
+		"heap":  func() Scheduler { return NewManual() },
+		"wheel": func() Scheduler { return NewWheel(Options{Shards: 4}) },
+	}
+}
+
+func nop() {}
+
+// populate installs the standing timer population, spread far enough out
+// that none of it fires during the measured window.
+func populate(s Scheduler, base time.Time, n int) {
+	for i := 0; i < n; i++ {
+		s.Schedule(base.Add(time.Hour+time.Duration(i)*time.Millisecond), nop)
+	}
+}
+
+// BenchmarkTimerScheduleCancel is the transaction hot path: arm a
+// retransmission timer, then cancel it when the response arrives a moment
+// later. CheckNow runs every 1024 cycles the way the timer process's
+// periodic check would; for the heap that is where the cancelled corpses
+// are finally popped — O(log n) each against the full population — while
+// the wheel reclaimed each slot at Cancel and only advances its clock.
+func BenchmarkTimerScheduleCancel(b *testing.B) {
+	for name, mk := range benchImpls() {
+		for _, pending := range benchSizes {
+			b.Run(fmt.Sprintf("%s/pending=%d", name, pending), func(b *testing.B) {
+				s := mk()
+				defer s.Close()
+				base := time.Now()
+				populate(s, base, pending)
+				now := base
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t := s.Schedule(now.Add(5*time.Millisecond), nop)
+					t.Cancel()
+					if i&1023 == 1023 {
+						now = now.Add(10 * time.Millisecond)
+						s.CheckNow(now)
+					}
+				}
+				b.ReportMetric(float64(pending), "pending")
+			})
+		}
+	}
+}
+
+// BenchmarkTimerSchedule measures arming alone: timers are scheduled just
+// ahead of the advancing clock and fire (rather than cancel) at the
+// periodic check, so the cost includes each policy's fire-time share —
+// heap pops against the full population, wheel slot drains.
+func BenchmarkTimerSchedule(b *testing.B) {
+	for name, mk := range benchImpls() {
+		for _, pending := range benchSizes {
+			b.Run(fmt.Sprintf("%s/pending=%d", name, pending), func(b *testing.B) {
+				s := mk()
+				defer s.Close()
+				base := time.Now()
+				populate(s, base, pending)
+				now := base
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Schedule(now.Add(5*time.Millisecond), nop)
+					if i&1023 == 1023 {
+						now = now.Add(10 * time.Millisecond)
+						s.CheckNow(now)
+					}
+				}
+				b.ReportMetric(float64(pending), "pending")
+			})
+		}
+	}
+}
+
+// BenchmarkTimerCancel isolates Cancel itself. For the heap this is the
+// cheap half of its bargain — a CAS and a counter; the pop is deferred to
+// ripening. For the wheel it is the full reclamation: lock, unlink, done.
+// The heap "winning" here is expected and honest; ScheduleCancel above
+// charges the corpse debt where it actually falls due.
+func BenchmarkTimerCancel(b *testing.B) {
+	for name, mk := range benchImpls() {
+		for _, pending := range benchSizes {
+			b.Run(fmt.Sprintf("%s/pending=%d", name, pending), func(b *testing.B) {
+				s := mk()
+				defer s.Close()
+				base := time.Now()
+				populate(s, base, pending)
+				timers := make([]*Timer, b.N)
+				for i := range timers {
+					timers[i] = s.Schedule(base.Add(2*time.Hour+time.Duration(i)*time.Microsecond), nop)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					timers[i].Cancel()
+				}
+				b.ReportMetric(float64(pending), "pending")
+			})
+		}
+	}
+}
+
+// BenchmarkTimerScheduleCancelParallel is the contended version of the
+// hot path: every P runs the schedule/cancel cycle at once while a
+// background goroutine drives the periodic check. This is where the two
+// policies truly diverge — the heap serializes all of it behind one
+// mutex, the wheel spreads it across shards — but the gap only opens
+// with real hardware parallelism; on a single-core host the numbers
+// collapse back to the serial ratio.
+func BenchmarkTimerScheduleCancelParallel(b *testing.B) {
+	const pending = 100_000
+	for name, mk := range benchImpls() {
+		b.Run(fmt.Sprintf("%s/pending=%d", name, pending), func(b *testing.B) {
+			s := mk()
+			defer s.Close()
+			base := time.Now()
+			populate(s, base, pending)
+			var mu sync.Mutex
+			now := base
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				tk := time.NewTicker(time.Millisecond)
+				defer tk.Stop()
+				for {
+					select {
+					case <-tk.C:
+						mu.Lock()
+						now = now.Add(10 * time.Millisecond)
+						n := now
+						mu.Unlock()
+						s.CheckNow(n)
+					case <-stop:
+						return
+					}
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					mu.Lock()
+					n := now
+					mu.Unlock()
+					t := s.Schedule(n.Add(5*time.Millisecond), nop)
+					t.Cancel()
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			<-done
+			b.ReportMetric(float64(pending), "pending")
+		})
+	}
+}
+
+// BenchmarkTimerFire measures delivery: batches of due timers collected
+// and fired by CheckNow against the standing population.
+func BenchmarkTimerFire(b *testing.B) {
+	const batch = 1024
+	for name, mk := range benchImpls() {
+		for _, pending := range benchSizes {
+			b.Run(fmt.Sprintf("%s/pending=%d", name, pending), func(b *testing.B) {
+				s := mk()
+				defer s.Close()
+				base := time.Now()
+				populate(s, base, pending)
+				now := base
+				b.ReportAllocs()
+				b.ResetTimer()
+				for done := 0; done < b.N; {
+					b.StopTimer()
+					k := batch
+					if b.N-done < k {
+						k = b.N - done
+					}
+					for j := 0; j < k; j++ {
+						s.Schedule(now.Add(5*time.Millisecond), nop)
+					}
+					b.StartTimer()
+					now = now.Add(10 * time.Millisecond)
+					s.CheckNow(now)
+					done += k
+				}
+				b.ReportMetric(float64(pending), "pending")
+			})
+		}
+	}
+}

@@ -1,39 +1,171 @@
-// Package timerlist implements the global retransmission timer list that
+// Package timerlist implements the retransmission timer subsystem that
 // OpenSER's dedicated timer process manages (Ram et al. §3.2): when a
 // stateful proxy sends a message over an unreliable transport it arms a
-// timer; the timer process periodically walks the list and fires expired
-// timers, which retransmit unacknowledged SIP messages. The list is shared
-// with the worker processes, so access is synchronized.
+// timer; the timer process periodically walks the shared list and fires
+// expired timers, which retransmit unacknowledged SIP messages.
 //
-// The implementation is a hierarchical-free, single-level list with a
-// monotonic heap — deliberately simple, as in SER — plus cancellation.
+// Two implementations stand behind one Scheduler interface:
+//
+//   - List ("heap") is the paper-faithful shape: a single monotonic heap
+//     under one mutex, shared by every worker. Cancellation only marks the
+//     timer; the corpse stays resident in the heap until its deadline
+//     ripens — exactly the dead-timer churn Shen & Schulzrinne identify as
+//     a first-order retransmission-timer cost.
+//   - Wheel ("wheel", see wheel.go) is a sharded hierarchical timing wheel
+//     with O(1) schedule and O(1) cancel that reclaims the slot
+//     immediately, removing the global-lock and log(n) sift costs from the
+//     transaction hot path.
+//
+// Both count how long callers wait on their locks (when given a profile)
+// so the serialization the paper talks about is observable, not inferred.
 package timerlist
 
 import (
 	"container/heap"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gosip/internal/metrics"
+)
+
+// Impl names a timer-subsystem implementation.
+type Impl string
+
+// Available implementations.
+const (
+	ImplHeap  Impl = "heap"  // single-mutex global heap (paper-faithful)
+	ImplWheel Impl = "wheel" // sharded hierarchical timing wheel
+)
+
+// Scheduler is the timer subsystem the transaction layer drives. Both
+// implementations satisfy it with identical firing semantics: CheckNow
+// fires every uncancelled timer whose deadline has passed (the wheel may
+// defer a fire by up to one tick — coarser, never earlier than the heap
+// by more than scheduling skew), callbacks run outside all locks, and a
+// cancelled timer never fires.
+type Scheduler interface {
+	// Schedule arms fn to run at (roughly) time at. The callback runs on
+	// the goroutine calling CheckNow; it must not block for long.
+	Schedule(at time.Time, fn func()) *Timer
+	// After arms fn to run after d.
+	After(d time.Duration, fn func()) *Timer
+	// CheckNow fires every expired, uncancelled timer as of now and
+	// returns how many fired.
+	CheckNow(now time.Time) int
+	// Len returns how many timers are resident (for the heap this
+	// includes cancelled timers not yet reaped; the wheel reclaims on
+	// cancel, so it counts live timers only).
+	Len() int
+	// Stats returns cumulative scheduled and fired counts; fired ≤
+	// scheduled always holds.
+	Stats() (scheduled, fired int64)
+	// CancelledResident returns how many cancelled timers still occupy
+	// the structure awaiting their deadline. Always 0 for the wheel — the
+	// property the wheel policy exists to provide.
+	CancelledResident() int64
+	// Close stops the checking goroutine. Pending timers never fire after
+	// Close returns.
+	Close()
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// Interval is the background check period; 0 means no background
+	// goroutine (the caller drives CheckNow, as tests do).
+	Interval time.Duration
+	// Shards is the wheel shard count (0 = GOMAXPROCS). Ignored by the
+	// heap, which is deliberately a single shared structure.
+	Shards int
+	// Tick is the wheel tick granularity (0 = DefaultTick). Ignored by
+	// the heap, which keeps exact deadlines.
+	Tick time.Duration
+	// Profile, when non-nil, receives lock-wait instrumentation
+	// (metrics.MetricTimerLockWait): time callers spent blocked on the
+	// subsystem's lock(s), counted only when the lock was contended.
+	Profile *metrics.Profile
+}
+
+// NewScheduler builds the named implementation. An empty impl selects the
+// paper-faithful heap.
+func NewScheduler(impl Impl, opts Options) (Scheduler, error) {
+	switch impl {
+	case "", ImplHeap:
+		return newList(opts), nil
+	case ImplWheel:
+		return NewWheel(opts), nil
+	default:
+		return nil, fmt.Errorf("timerlist: unknown timer implementation %q", impl)
+	}
+}
+
+// Timer lifecycle states.
+const (
+	timerPending int32 = iota
+	timerFired
+	timerCancelled
 )
 
 // Timer is one scheduled callback. It may fire at most once per Schedule;
 // Cancel prevents a pending fire.
 type Timer struct {
-	id       uint64
-	at       time.Time
-	fn       func()
-	canceled atomic.Bool
+	at    time.Time
+	fn    func()
+	state atomic.Int32
+	owner owner
+
+	// Wheel linkage, guarded by the owning shard's mutex. The heap never
+	// touches these fields.
+	next, prev *Timer
+	tick       int64
+	level      int8
+	slot       int16
+	linked     bool
 }
 
-// Cancel prevents the timer from firing if it has not fired yet.
-func (t *Timer) Cancel() { t.canceled.Store(true) }
+// owner lets Cancel tell the scheduler that bookkeeping is due: the heap
+// counts the new corpse, the wheel unlinks the slot immediately.
+type owner interface {
+	onCancel(t *Timer)
+}
 
-// List is the shared timer list plus the "timer process" goroutine that
-// periodically checks it.
+// Cancel prevents the timer from firing if it has not fired yet. It is
+// idempotent and safe to call concurrently with CheckNow.
+func (t *Timer) Cancel() {
+	if t == nil || !t.state.CompareAndSwap(timerPending, timerCancelled) {
+		return
+	}
+	if t.owner != nil {
+		t.owner.onCancel(t)
+	}
+}
+
+// lockTimed acquires mu, charging contended waits to lw. The uncontended
+// fast path is a single TryLock CAS with no clock reads, so
+// instrumentation costs nothing until the lock is actually fought over —
+// which is precisely when the measurement matters.
+func lockTimed(mu *sync.Mutex, lw *metrics.Timer) {
+	if mu.TryLock() {
+		return
+	}
+	if lw == nil {
+		mu.Lock()
+		return
+	}
+	t0 := time.Now()
+	mu.Lock()
+	lw.AddDuration(time.Since(t0))
+}
+
+// List is the shared single-heap timer list plus the "timer process"
+// goroutine that periodically checks it — the paper's shape, kept as the
+// `heap` policy.
 type List struct {
-	mu     sync.Mutex
-	h      timerHeap
-	nextID uint64
+	mu sync.Mutex
+	h  timerHeap
+
+	lockWait *metrics.Timer
 
 	interval time.Duration
 	stop     chan struct{}
@@ -41,6 +173,7 @@ type List struct {
 
 	scheduled atomic.Int64
 	fired     atomic.Int64
+	cancResid atomic.Int64
 }
 
 type timerHeap []*Timer
@@ -53,27 +186,40 @@ func (h *timerHeap) Pop() any {
 	old := *h
 	n := len(old)
 	t := old[n-1]
+	// Nil the vacated slot: the backing array survives the shrink, and a
+	// retained *Timer pins its closure (and whatever the closure closes
+	// over — messages, transactions) until the slot is overwritten.
+	old[n-1] = nil
 	*h = old[:n-1]
 	return t
 }
 
-// New creates a timer list whose checking goroutine wakes every interval —
-// the periodic check the paper describes. Call Close to stop it.
+// New creates a heap timer list whose checking goroutine wakes every
+// interval — the periodic check the paper describes. Call Close to stop it.
 func New(interval time.Duration) *List {
-	l := &List{
-		interval: interval,
-		stop:     make(chan struct{}),
-	}
-	l.stopped.Add(1)
-	go l.run()
-	return l
+	return newList(Options{Interval: interval})
 }
 
-// NewManual creates a list with no background goroutine; the caller drives
-// it with CheckNow. Used by tests and by the transaction layer's unit
-// tests for determinism.
+// NewManual creates a heap list with no background goroutine; the caller
+// drives it with CheckNow. Used by tests and by the transaction layer's
+// unit tests for determinism.
 func NewManual() *List {
-	return &List{stop: make(chan struct{})}
+	return newList(Options{})
+}
+
+func newList(opts Options) *List {
+	l := &List{
+		interval: opts.Interval,
+		stop:     make(chan struct{}),
+	}
+	if opts.Profile != nil {
+		l.lockWait = opts.Profile.Timer(metrics.MetricTimerLockWait)
+	}
+	if l.interval > 0 {
+		l.stopped.Add(1)
+		go l.run()
+	}
+	return l
 }
 
 func (l *List) run() {
@@ -93,9 +239,8 @@ func (l *List) run() {
 // Schedule arms fn to run at (roughly) time at. The callback runs on the
 // timer goroutine; it must not block for long.
 func (l *List) Schedule(at time.Time, fn func()) *Timer {
-	l.mu.Lock()
-	l.nextID++
-	t := &Timer{id: l.nextID, at: at, fn: fn}
+	t := &Timer{at: at, fn: fn, owner: l}
+	lockTimed(&l.mu, l.lockWait)
 	heap.Push(&l.h, t)
 	l.mu.Unlock()
 	l.scheduled.Add(1)
@@ -107,18 +252,24 @@ func (l *List) After(d time.Duration, fn func()) *Timer {
 	return l.Schedule(time.Now().Add(d), fn)
 }
 
+// onCancel counts the corpse: the heap has no way to remove a cancelled
+// timer early, so it stays resident until its deadline ripens in CheckNow.
+func (l *List) onCancel(*Timer) { l.cancResid.Add(1) }
+
 // CheckNow fires every expired, uncancelled timer as of now and returns
 // how many fired. Callbacks run outside the list lock.
 func (l *List) CheckNow(now time.Time) int {
 	var due []*Timer
-	l.mu.Lock()
+	lockTimed(&l.mu, l.lockWait)
 	for len(l.h) > 0 && !l.h[0].at.After(now) {
 		due = append(due, heap.Pop(&l.h).(*Timer))
 	}
 	l.mu.Unlock()
 	n := 0
 	for _, t := range due {
-		if t.canceled.Load() {
+		if !t.state.CompareAndSwap(timerPending, timerFired) {
+			// Cancelled corpse finally ripened; it stops being resident.
+			l.cancResid.Add(-1)
 			continue
 		}
 		t.fn()
@@ -131,7 +282,7 @@ func (l *List) CheckNow(now time.Time) int {
 // Len returns how many timers are pending (including cancelled ones not
 // yet reaped).
 func (l *List) Len() int {
-	l.mu.Lock()
+	lockTimed(&l.mu, l.lockWait)
 	defer l.mu.Unlock()
 	return len(l.h)
 }
@@ -141,6 +292,10 @@ func (l *List) Len() int {
 func (l *List) Stats() (scheduled, fired int64) {
 	return l.scheduled.Load(), l.fired.Load()
 }
+
+// CancelledResident returns how many cancelled timers still occupy the
+// heap awaiting their deadline — the dead weight the wheel policy removes.
+func (l *List) CancelledResident() int64 { return l.cancResid.Load() }
 
 // Close stops the checking goroutine. Pending timers never fire after
 // Close returns.

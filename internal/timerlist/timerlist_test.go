@@ -1,6 +1,7 @@
 package timerlist
 
 import (
+	"container/heap"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -116,6 +117,73 @@ func TestFiredNeverExceedsScheduledProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHeapPopClearsSlot is the retention regression test: timerHeap.Pop
+// must nil the vacated backing-array slot, or every popped *Timer (and the
+// message/transaction state its closure pins) stays reachable until the
+// slot is overwritten by a later push.
+func TestHeapPopClearsSlot(t *testing.T) {
+	var h timerHeap
+	base := time.Now()
+	for i := 0; i < 8; i++ {
+		heap.Push(&h, &Timer{at: base.Add(time.Duration(i))})
+	}
+	for i := 0; i < 8; i++ {
+		if tm := heap.Pop(&h).(*Timer); tm == nil {
+			t.Fatal("popped nil timer")
+		}
+		// The slot just vacated is at the old length, still within the
+		// backing array's capacity.
+		if got := h[:len(h)+1][len(h)]; got != nil {
+			t.Fatalf("pop %d left *Timer %p resident in the backing array", i, got)
+		}
+	}
+}
+
+// TestListPopReleasesThroughCheckNow covers the same retention bug at the
+// List level: after firing, no slot of the heap's backing array may still
+// reference a timer.
+func TestListPopReleasesThroughCheckNow(t *testing.T) {
+	l := NewManual()
+	defer l.Close()
+	base := time.Now()
+	for i := 0; i < 16; i++ {
+		l.Schedule(base.Add(time.Duration(i)*time.Millisecond), func() {})
+	}
+	if n := l.CheckNow(base.Add(time.Second)); n != 16 {
+		t.Fatalf("fired %d, want 16", n)
+	}
+	for i, tm := range l.h[:cap(l.h)] {
+		if tm != nil {
+			t.Fatalf("backing array slot %d still references a fired timer", i)
+		}
+	}
+}
+
+// TestHeapCancelledResident pins the corpse accounting: cancels raise the
+// count, ripening lowers it, and firing normally never touches it.
+func TestHeapCancelledResident(t *testing.T) {
+	l := NewManual()
+	defer l.Close()
+	base := time.Now()
+	var tms []*Timer
+	for i := 0; i < 10; i++ {
+		tms = append(tms, l.Schedule(base.Add(time.Duration(i+1)*time.Millisecond), func() {}))
+	}
+	for _, tm := range tms[:4] {
+		tm.Cancel()
+		tm.Cancel() // idempotent: must not double-count
+	}
+	if got := l.CancelledResident(); got != 4 {
+		t.Fatalf("CancelledResident = %d, want 4", got)
+	}
+	if n := l.CheckNow(base.Add(time.Second)); n != 6 {
+		t.Errorf("fired %d, want 6", n)
+	}
+	if got := l.CancelledResident(); got != 0 {
+		t.Errorf("CancelledResident after reap = %d, want 0", got)
 	}
 }
 

@@ -1,0 +1,309 @@
+package timerlist
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gosip/internal/metrics"
+)
+
+// Wheel geometry: three levels of 256 slots each. With the default 5ms
+// tick, level 0 spans 1.28s (every retransmission T1 and most lingers),
+// level 1 spans ~5.5 minutes (Timer B and any configured linger), and
+// level 2 spans ~23 hours. Timers beyond the horizon park in the farthest
+// level-2 slot and re-cascade until their true tick is representable.
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 3
+	wheelSpan   = int64(1) << (wheelLevels * wheelBits)
+)
+
+// DefaultTick is the wheel granularity: a timer may fire up to one tick
+// after its deadline, never before. 5ms is well under the 100ms check
+// interval the paper's timer process uses, so wheel coarseness is invisible
+// next to check-period quantization.
+const DefaultTick = 5 * time.Millisecond
+
+// Wheel is a sharded hierarchical timing wheel: the `wheel` policy.
+// Schedule round-robins timers across shards, each shard a private
+// three-level wheel under its own mutex, so concurrent workers arming
+// Timer A/B never serialize on one global lock. Schedule is O(1) (slot
+// arithmetic plus a list link) and Cancel is O(1) and reclaims the slot
+// immediately — a cancelled timer costs nothing at fire time, unlike the
+// heap where it ripens as a corpse.
+type Wheel struct {
+	shards []*wheelShard
+	tickNs int64
+
+	lockWait *metrics.Timer
+
+	interval time.Duration
+	stop     chan struct{}
+	stopped  sync.WaitGroup
+
+	rr        atomic.Uint32
+	scheduled atomic.Int64
+	fired     atomic.Int64
+}
+
+type wheelShard struct {
+	w  *Wheel
+	mu sync.Mutex
+	// base is the wall-clock ns of tick 0; cur is the last tick whose
+	// level-0 slot has been fired. Both are guarded by mu.
+	base    int64
+	cur     int64
+	lists   [wheelLevels][wheelSlots]*Timer
+	pending int64
+	// pad keeps neighbouring shards' mutexes off one cache line.
+	_ [24]byte
+}
+
+// NewWheel builds a wheel from opts (Shards 0 = GOMAXPROCS, Tick 0 =
+// DefaultTick, Interval 0 = no background goroutine).
+func NewWheel(opts Options) *Wheel {
+	n := opts.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	tick := opts.Tick
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	w := &Wheel{
+		shards:   make([]*wheelShard, n),
+		tickNs:   int64(tick),
+		interval: opts.Interval,
+		stop:     make(chan struct{}),
+	}
+	if opts.Profile != nil {
+		w.lockWait = opts.Profile.Timer(metrics.MetricTimerLockWait)
+	}
+	base := time.Now().UnixNano()
+	for i := range w.shards {
+		w.shards[i] = &wheelShard{w: w, base: base}
+	}
+	if w.interval > 0 {
+		w.stopped.Add(1)
+		go w.run()
+	}
+	return w
+}
+
+func (w *Wheel) run() {
+	defer w.stopped.Done()
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			w.CheckNow(time.Now())
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// Schedule arms fn to run at (roughly) time at, on the next shard in
+// round-robin order.
+func (w *Wheel) Schedule(at time.Time, fn func()) *Timer {
+	sh := w.shards[w.rr.Add(1)%uint32(len(w.shards))]
+	t := &Timer{at: at, fn: fn, owner: sh}
+	atNs := at.UnixNano()
+	lockTimed(&sh.mu, w.lockWait)
+	sh.insert(t, atNs)
+	sh.mu.Unlock()
+	w.scheduled.Add(1)
+	return t
+}
+
+// After arms fn to run after d.
+func (w *Wheel) After(d time.Duration, fn func()) *Timer {
+	return w.Schedule(time.Now().Add(d), fn)
+}
+
+// insert places t by its deadline tick. Deadlines round up to the next
+// tick boundary (fire no earlier than asked); past-due deadlines land on
+// the next tick so the coming CheckNow fires them. Callers hold sh.mu.
+func (sh *wheelShard) insert(t *Timer, atNs int64) {
+	tick := (atNs - sh.base + sh.w.tickNs - 1) / sh.w.tickNs
+	if tick <= sh.cur {
+		tick = sh.cur + 1
+	}
+	t.tick = tick
+	sh.link(t)
+	sh.pending++
+}
+
+// link files t into the level/slot its tick maps to from the shard's
+// current position. The placement tick is clamped to the horizon but
+// t.tick keeps the true deadline, so an over-horizon timer re-cascades
+// from the farthest slot instead of firing early.
+func (sh *wheelShard) link(t *Timer) {
+	place := t.tick
+	if max := sh.cur + wheelSpan - 1; place > max {
+		place = max
+	}
+	delta := place - sh.cur
+	var lvl int
+	switch {
+	case delta < wheelSlots:
+		lvl = 0
+	case delta < wheelSlots*wheelSlots:
+		lvl = 1
+	default:
+		lvl = 2
+	}
+	slot := int((place >> uint(lvl*wheelBits)) & wheelMask)
+	t.level, t.slot = int8(lvl), int16(slot)
+	head := sh.lists[lvl][slot]
+	t.prev = nil
+	t.next = head
+	if head != nil {
+		head.prev = t
+	}
+	sh.lists[lvl][slot] = t
+	t.linked = true
+}
+
+// unlink removes t from its slot list. Callers hold sh.mu.
+func (sh *wheelShard) unlink(t *Timer) {
+	if !t.linked {
+		return
+	}
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		sh.lists[t.level][t.slot] = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	}
+	t.next, t.prev = nil, nil
+	t.linked = false
+}
+
+// onCancel is the wheel's O(1) reclamation: the slot is vacated the moment
+// the timer is cancelled, so a dead timer is never revisited. (If the
+// firing path already collected the timer, the state CAS in Cancel has
+// made that fire a no-op and there is nothing left to unlink.)
+func (sh *wheelShard) onCancel(t *Timer) {
+	lockTimed(&sh.mu, sh.w.lockWait)
+	if t.linked {
+		sh.unlink(t)
+		sh.pending--
+	}
+	sh.mu.Unlock()
+}
+
+// CheckNow advances every shard to now and fires what came due, returning
+// how many fired. Callbacks run outside all shard locks.
+func (w *Wheel) CheckNow(now time.Time) int {
+	nowNs := now.UnixNano()
+	n := 0
+	for _, sh := range w.shards {
+		lockTimed(&sh.mu, w.lockWait)
+		due := sh.advance(nowNs) // due timers, chained via .next
+		sh.mu.Unlock()
+		for due != nil {
+			t := due
+			due = due.next
+			t.next = nil
+			if t.state.CompareAndSwap(timerPending, timerFired) {
+				t.fn()
+				w.fired.Add(1)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// advance moves the shard clock to nowNs tick by tick, draining each
+// level-0 slot as it is reached and cascading a higher-level slot every
+// time a lower revolution completes. Returns the due timers as a singly
+// linked chain. Callers hold sh.mu.
+func (sh *wheelShard) advance(nowNs int64) *Timer {
+	target := (nowNs - sh.base) / sh.w.tickNs
+	var due *Timer
+	for sh.cur < target {
+		sh.cur++
+		c := sh.cur
+		if c&wheelMask == 0 {
+			sh.cascade(1, int((c>>wheelBits)&wheelMask), &due)
+			if (c>>wheelBits)&wheelMask == 0 {
+				sh.cascade(2, int((c>>(2*wheelBits))&wheelMask), &due)
+			}
+		}
+		// Every timer in this slot has tick == c (placement keeps deltas
+		// within one revolution), so the whole list is due.
+		for t := sh.lists[0][c&wheelMask]; t != nil; {
+			next := t.next
+			sh.unlink(t)
+			sh.pending--
+			t.next = due
+			due = t
+			t = next
+		}
+	}
+	return due
+}
+
+// cascade refiles a higher-level slot's timers now that the clock has
+// reached their revolution: each lands in a lower level, or directly on
+// the due chain if its true tick has already passed (the slot boundary
+// itself).
+func (sh *wheelShard) cascade(lvl, slot int, due **Timer) {
+	for t := sh.lists[lvl][slot]; t != nil; {
+		next := t.next
+		sh.unlink(t)
+		if t.tick <= sh.cur {
+			sh.pending--
+			t.next = *due
+			*due = t
+		} else {
+			sh.link(t)
+		}
+		t = next
+	}
+}
+
+// Len returns how many live timers are resident across all shards.
+// Cancelled timers are reclaimed immediately, so they never count.
+func (w *Wheel) Len() int {
+	n := int64(0)
+	for _, sh := range w.shards {
+		lockTimed(&sh.mu, w.lockWait)
+		n += sh.pending
+		sh.mu.Unlock()
+	}
+	return int(n)
+}
+
+// Stats returns cumulative scheduled and fired counts.
+func (w *Wheel) Stats() (scheduled, fired int64) {
+	return w.scheduled.Load(), w.fired.Load()
+}
+
+// CancelledResident is always 0: cancellation reclaims the slot
+// synchronously, which is the point of the wheel policy.
+func (w *Wheel) CancelledResident() int64 { return 0 }
+
+// ShardCount reports how many shards the wheel spreads timers across.
+func (w *Wheel) ShardCount() int { return len(w.shards) }
+
+// Close stops the checking goroutine. Pending timers never fire after
+// Close returns.
+func (w *Wheel) Close() {
+	select {
+	case <-w.stop:
+		return
+	default:
+		close(w.stop)
+	}
+	w.stopped.Wait()
+}

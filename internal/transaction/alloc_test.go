@@ -1,0 +1,102 @@
+package transaction
+
+import (
+	"strings"
+	"testing"
+
+	"gosip/internal/sipmsg"
+)
+
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+}
+
+// TestMatchPartsAllocs pins the response hot path at zero allocations: the
+// branch|method key is assembled in a stack buffer, the FNV shard hash runs
+// over the bytes in place, and the map probe uses the compiler's
+// no-copy string-conversion lookup. Every response the proxy relays takes
+// this path once, so a single alloc here is megabytes per second at the
+// paper's load levels.
+func TestMatchPartsAllocs(t *testing.T) {
+	skipIfRace(t)
+	tb, _ := newTestTable(Config{})
+	req := inviteReq("alloc-call")
+	tx, _ := tb.Create(key(t, req), req, nil)
+	branch := "z9hG4bK-alloc-branch-0001"
+	tb.SetForwarded(tx, branch+"|INVITE", req)
+
+	if got := tb.MatchParts(branch, sipmsg.INVITE); got != tx {
+		t.Fatalf("MatchParts = %v, want the forwarded transaction", got)
+	}
+	// ACK and CANCEL key to the INVITE transaction through the same path.
+	if got := tb.MatchParts(branch, sipmsg.ACK); got != tx {
+		t.Fatal("MatchParts(ACK) did not map to the INVITE transaction")
+	}
+
+	got := testing.AllocsPerRun(1000, func() {
+		if tb.MatchParts(branch, sipmsg.INVITE) != tx {
+			t.Fatal("MatchParts missed during alloc run")
+		}
+	})
+	if got != 0 {
+		t.Errorf("MatchParts allocates %.1f/op, want 0", got)
+	}
+
+	// Missing keys must be free too: that is the stateless-retransmit path.
+	got = testing.AllocsPerRun(1000, func() {
+		if tb.MatchParts("z9hG4bK-no-such-branch", sipmsg.INVITE) != nil {
+			t.Fatal("unexpected match")
+		}
+	})
+	if got != 0 {
+		t.Errorf("MatchParts miss allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestShardForAllocs pins the shard-selection hash itself: hashing a key
+// string to a shard index must not allocate.
+func TestShardForAllocs(t *testing.T) {
+	skipIfRace(t)
+	tb, _ := newTestTable(Config{})
+	k := "z9hG4bK-shard-key|INVITE"
+	got := testing.AllocsPerRun(1000, func() {
+		if tb.shardFor(k) == nil {
+			t.Fatal("nil shard")
+		}
+	})
+	if got != 0 {
+		t.Errorf("shardFor allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestMatchPartsLongBranch covers the heap fallback: a branch too long for
+// the stack buffer still matches correctly (it may allocate, which is fine
+// for a pathological input that real stacks never produce).
+func TestMatchPartsLongBranch(t *testing.T) {
+	tb, _ := newTestTable(Config{})
+	req := inviteReq("long-call")
+	tx, _ := tb.Create(key(t, req), req, nil)
+	branch := "z9hG4bK-" + strings.Repeat("x", 200)
+	tb.SetForwarded(tx, branch+"|INVITE", req)
+	if got := tb.MatchParts(branch, sipmsg.INVITE); got != tx {
+		t.Fatal("MatchParts missed the long-branch transaction")
+	}
+}
+
+// TestMatchPartsAgreesWithMatch cross-checks the two lookup paths over a
+// spread of branches so the in-place hash provably equals the string hash.
+func TestMatchPartsAgreesWithMatch(t *testing.T) {
+	tb, _ := newTestTable(Config{Shards: 8})
+	req := inviteReq("agree-call")
+	for i := 0; i < 64; i++ {
+		tx, _ := tb.Create(key(t, req)+string(rune('a'+i%26))+string(rune('0'+i%10)), req, nil)
+		branch := "z9hG4bK" + strings.Repeat(string(rune('a'+i%26)), i%13+1)
+		tb.SetForwarded(tx, branch+"|INVITE", req)
+		if tb.MatchParts(branch, sipmsg.INVITE) != tb.Match(branch+"|INVITE") {
+			t.Fatalf("branch %q: MatchParts and Match disagree", branch)
+		}
+	}
+}

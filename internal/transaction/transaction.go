@@ -12,6 +12,7 @@
 package transaction
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,7 +45,7 @@ func (s State) String() string {
 	return "unknown"
 }
 
-// Config tunes the timer behaviour.
+// Config tunes the timer behaviour and the table's shard geometry.
 type Config struct {
 	// T1 is the RFC 3261 round-trip estimate; retransmissions start at T1
 	// and double. Default 500ms.
@@ -55,6 +56,24 @@ type Config struct {
 	// Linger is how long a completed transaction stays matchable to absorb
 	// retransmitted requests (Timer D/K). Default 2s.
 	Linger time.Duration
+	// Shards is the transaction-table shard count, rounded up to a power
+	// of two. 0 picks the next power of two at or above 4×GOMAXPROCS
+	// (never below 16, the historical fixed count), so the lock population
+	// scales with the parallelism that contends on it.
+	Shards int
+}
+
+// DefaultShards returns the shard count a zero Config.Shards resolves to.
+func DefaultShards() int {
+	return ceilPow2(max(16, 4*runtime.GOMAXPROCS(0)))
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +85,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Linger <= 0 {
 		c.Linger = 2 * time.Second
+	}
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards()
+	} else {
+		c.Shards = ceilPow2(c.Shards)
 	}
 	return c
 }
@@ -129,11 +153,13 @@ func (t *Transaction) RecordUpstreamResponse(resp *sipmsg.Message) {
 
 // Table is the shared transaction store.
 type Table struct {
-	cfg     Config
-	timers  *timerlist.List
-	shards  [16]txShard
-	pending atomic.Int64
+	cfg       Config
+	timers    timerlist.Scheduler
+	shards    []txShard
+	shardMask uint32
+	pending   atomic.Int64
 
+	lockWait    *metrics.Timer
 	created     *metrics.Counter
 	retransmits *metrics.Counter
 }
@@ -141,14 +167,21 @@ type Table struct {
 type txShard struct {
 	mu sync.Mutex
 	m  map[string]*Transaction
+	// pad keeps neighbouring shards' mutexes off one cache line, so
+	// contention on one shard never false-shares into the next.
+	_ [40]byte
 }
 
-// NewTable creates a transaction table driven by the given timer list (the
-// "timer process"); pass a manual list in tests for determinism.
-func NewTable(cfg Config, timers *timerlist.List, profile *metrics.Profile) *Table {
+// NewTable creates a transaction table driven by the given timer scheduler
+// (the "timer process"); pass a manual list in tests for determinism.
+func NewTable(cfg Config, timers timerlist.Scheduler, profile *metrics.Profile) *Table {
+	cfg = cfg.withDefaults()
 	tbl := &Table{
-		cfg:         cfg.withDefaults(),
+		cfg:         cfg,
 		timers:      timers,
+		shards:      make([]txShard, cfg.Shards),
+		shardMask:   uint32(cfg.Shards - 1),
+		lockWait:    profile.Timer(metrics.MetricTxnLockWait),
 		created:     profile.Counter(metrics.MetricTxnCreated),
 		retransmits: profile.Counter(metrics.MetricRetransmits),
 	}
@@ -158,14 +191,36 @@ func NewTable(cfg Config, timers *timerlist.List, profile *metrics.Profile) *Tab
 	return tbl
 }
 
+// fnvOffset/fnvPrime are the FNV-1a 32-bit parameters; the hash runs over
+// the key bytes without allocating regardless of how the key is held.
+const (
+	fnvOffset uint32 = 2166136261
+	fnvPrime  uint32 = 16777619
+)
+
 func (tb *Table) shardFor(key string) *txShard {
-	var h uint32 = 2166136261
+	h := fnvOffset
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
-		h *= 16777619
+		h *= fnvPrime
 	}
-	return &tb.shards[h%uint32(len(tb.shards))]
+	return &tb.shards[h&tb.shardMask]
 }
+
+// lock acquires sh.mu, charging any contended wait to the shard-lock timer.
+// The TryLock fast path costs one CAS when uncontended, so the hot path
+// pays for instrumentation only when it is actually waiting.
+func (tb *Table) lock(sh *txShard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	sh.mu.Lock()
+	tb.lockWait.AddDuration(time.Since(t0))
+}
+
+// ShardCount returns the effective number of shards.
+func (tb *Table) ShardCount() int { return len(tb.shards) }
 
 // Config returns the effective configuration.
 func (tb *Table) Config() Config { return tb.cfg }
@@ -175,7 +230,7 @@ func (tb *Table) Config() Config { return tb.cfg }
 // and returns the existing one.
 func (tb *Table) Create(upKey string, req *sipmsg.Message, origin any) (tx *Transaction, isRetransmit bool) {
 	sh := tb.shardFor(upKey)
-	sh.mu.Lock()
+	tb.lock(sh)
 	if existing, ok := sh.m[upKey]; ok {
 		sh.mu.Unlock()
 		return existing, true
@@ -209,7 +264,7 @@ func (tb *Table) SetForwarded(tx *Transaction, downKey string, fwd *sipmsg.Messa
 	tx.fwd = fwd
 	tx.mu.Unlock()
 	sh := tb.shardFor(downKey)
-	sh.mu.Lock()
+	tb.lock(sh)
 	sh.m[downKey] = tx
 	sh.mu.Unlock()
 }
@@ -218,9 +273,37 @@ func (tb *Table) SetForwarded(tx *Transaction, downKey string, fwd *sipmsg.Messa
 // response key, or nil.
 func (tb *Table) MatchResponse(downKey string) *Transaction {
 	sh := tb.shardFor(downKey)
-	sh.mu.Lock()
+	tb.lock(sh)
 	defer sh.mu.Unlock()
 	return sh.m[downKey]
+}
+
+// MatchParts looks up the transaction keyed by branch and method without
+// materializing the "branch|method" key string. The key is assembled in a
+// stack buffer and both the FNV shard hash and the map probe run over it
+// in place (the compiler elides the string conversion inside a map index),
+// so the response hot path — one MatchParts per response — allocates
+// nothing. Falls back to the heap for pathological branch lengths.
+func (tb *Table) MatchParts(branch string, method sipmsg.Method) *Transaction {
+	m := sipmsg.TransactionMethod(method)
+	var stack [96]byte
+	buf := stack[:0]
+	if len(branch)+1+len(m) > len(stack) {
+		buf = make([]byte, 0, len(branch)+1+len(m))
+	}
+	buf = append(buf, branch...)
+	buf = append(buf, '|')
+	buf = append(buf, m...)
+
+	h := fnvOffset
+	for i := 0; i < len(buf); i++ {
+		h ^= uint32(buf[i])
+		h *= fnvPrime
+	}
+	sh := &tb.shards[h&tb.shardMask]
+	tb.lock(sh)
+	defer sh.mu.Unlock()
+	return sh.m[string(buf)]
 }
 
 // Match returns any transaction indexed under key, or nil.
@@ -323,7 +406,7 @@ func (tb *Table) Terminate(tx *Transaction) {
 
 func (tb *Table) remove(key string, tx *Transaction) {
 	sh := tb.shardFor(key)
-	sh.mu.Lock()
+	tb.lock(sh)
 	if sh.m[key] == tx {
 		delete(sh.m, key)
 	}

@@ -37,6 +37,25 @@ func key(t *testing.T, m *sipmsg.Message) string {
 	return k
 }
 
+func TestShardGeometry(t *testing.T) {
+	tb, _ := newTestTable(Config{})
+	def := DefaultShards()
+	if tb.ShardCount() != def {
+		t.Errorf("default ShardCount = %d, want %d", tb.ShardCount(), def)
+	}
+	if def < 16 || def&(def-1) != 0 {
+		t.Errorf("DefaultShards = %d, want a power of two >= 16", def)
+	}
+	tb7, _ := newTestTable(Config{Shards: 7})
+	if tb7.ShardCount() != 8 {
+		t.Errorf("Shards=7 rounded to %d, want 8", tb7.ShardCount())
+	}
+	tb64, _ := newTestTable(Config{Shards: 64})
+	if tb64.ShardCount() != 64 {
+		t.Errorf("Shards=64 gave %d", tb64.ShardCount())
+	}
+}
+
 func TestCreateAndRetransmitDetection(t *testing.T) {
 	tb, _ := newTestTable(Config{})
 	req := inviteReq("c1")
