@@ -28,7 +28,8 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which experiment: 3, 4, 5, profile, priority, arch, stages, overload, batching, locks, or all")
+		fig     = flag.String("fig", "all", "which experiment: 3, 4, 5, profile, priority, arch, stages, overload, batching, locks, register, or all")
+		prefill = flag.Int("prefill", 0, "register sweep: pre-filled bindings in the location store (default 1000000)")
 		clients = flag.String("clients", "", "comma-separated client counts (default scale: 10,50,100)")
 		calls   = flag.Int("calls", 0, "calls per caller (default 100)")
 		workers = flag.Int("workers", 0, "server worker count (default 8)")
@@ -70,7 +71,7 @@ func main() {
 
 	which := strings.Split(*fig, ",")
 	if *fig == "all" {
-		which = []string{"3", "4", "5", "profile", "priority", "arch", "scenarios", "loss", "stages", "overload", "batching", "locks"}
+		which = []string{"3", "4", "5", "profile", "priority", "arch", "scenarios", "loss", "stages", "overload", "batching", "locks", "register"}
 	}
 	start := time.Now()
 	for _, f := range which {
@@ -209,6 +210,29 @@ func main() {
 			rep, err := experiment.RunLocks(lsc, progress)
 			if err != nil {
 				fatalf("locks: %v", err)
+			}
+			fmt.Println()
+			fmt.Print(rep.Table())
+			if *md {
+				fmt.Print(rep.Markdown())
+			}
+		case "register":
+			rsc := experiment.DefaultRegisterScale()
+			if *clients != "" {
+				rsc.Phones = sc.Clients
+			}
+			if *calls > 0 {
+				rsc.RegistersPerPhone = *calls
+			}
+			if *workers > 0 {
+				rsc.Workers = *workers
+			}
+			if *prefill > 0 {
+				rsc.Prefill = *prefill
+			}
+			rep, err := experiment.RunRegister(rsc, progress)
+			if err != nil {
+				fatalf("register: %v", err)
 			}
 			fmt.Println()
 			fmt.Print(rep.Table())

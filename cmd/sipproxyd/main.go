@@ -34,6 +34,7 @@ import (
 	"gosip/internal/metrics"
 	"gosip/internal/overload"
 	"gosip/internal/timerlist"
+	"gosip/internal/userdb"
 )
 
 // startMetrics binds addr and serves the introspection mux on it. The
@@ -50,45 +51,50 @@ func startMetrics(addr string, prof *metrics.Profile) (*http.Server, net.Addr, e
 
 func main() {
 	var (
-		arch        = flag.String("arch", "tcp", "architecture: udp, tcp, threaded, sctpsim")
-		addr        = flag.String("addr", "127.0.0.1:5060", "listen address")
-		workers     = flag.Int("workers", 0, "worker count (0 = architecture default)")
-		stateless   = flag.Bool("stateless", false, "run as a stateless proxy")
-		redirect    = flag.Bool("redirect", false, "run as a redirection server (302) instead of proxying")
-		auth        = flag.Bool("auth", false, "enable digest authentication (401/407 challenges)")
-		recordRoute = flag.Bool("record-route", false, "insert Record-Route so in-dialog requests stay on the proxy path")
-		domain      = flag.String("domain", "gosip.test", "served SIP domain")
-		users       = flag.Int("users", 10000, "synthetic users to provision")
-		ipcMode     = flag.String("ipc", "unix", "TCP supervisor IPC: unix or chan")
-		fdcache     = flag.Bool("fdcache", false, "enable the per-worker fd cache (Figure 4)")
-		fdcacheCap  = flag.Int("fdcache-cap", 0, "fd cache capacity per worker (0 = unbounded)")
-		mgr         = flag.String("connmgr", "scan", "idle-connection strategy: scan or pqueue (Figure 5)")
-		idleTimeout = flag.Duration("idle-timeout", 10*time.Second, "idle connection timeout (paper §4.3)")
-		grace       = flag.Duration("grace", 5*time.Second, "supervisor grace before destroying returned connections")
-		checkEvery  = flag.Duration("idle-check", 500*time.Millisecond, "idle check floor interval")
-		penalty     = flag.Duration("supervisor-penalty", 0, "per-request supervisor delay (models §4.3 starvation)")
-		ipcTimeout  = flag.Duration("ipc-timeout", 0, "worker fd-request deadline against a stalled supervisor (0 = 2s, negative = none)")
-		olPolicy    = flag.String("overload", "none", "overload admission policy: none, threshold, occupancy")
-		olPending   = flag.Int("overload-max-pending", 0, "threshold policy: in-flight transaction budget (0 = 4x workers)")
-		olQueue     = flag.Int("overload-max-queue", 0, "per-worker queued-event budget (0 = 64)")
-		olTarget    = flag.Float64("overload-target", 0, "occupancy policy: target worker busy fraction (0 = 0.85)")
-		retryAfter  = flag.Duration("retry-after", 0, "base Retry-After advertised on 503 rejections (0 = 1s)")
-		olPause     = flag.Bool("overload-pause-reads", false, "pause TCP connection reads at the queue budget (kernel backpressure)")
-		udpBatch    = flag.Int("udp-batch", 0, "datagrams per recvmmsg/sendmmsg call (0/1 = unbatched baseline)")
-		udpShard    = flag.Int("udp-shard", 0, "SO_REUSEPORT UDP sockets to shard across (0/1 = one shared socket)")
-		udpLinger   = flag.Duration("udp-linger", 0, "egress batch flush deadline (0 = default; needs -udp-batch > 1)")
-		tcpCoalesce = flag.Bool("tcp-coalesce", false, "coalesce contended TCP sends into one writev (group commit)")
-		soRcvbuf    = flag.Int("so-rcvbuf", 0, "requested SO_RCVBUF for proxy sockets (0 = kernel default)")
-		soSndbuf    = flag.Int("so-sndbuf", 0, "requested SO_SNDBUF for proxy sockets (0 = kernel default)")
-		timerImpl   = flag.String("timer-impl", "heap", "timer data structure: heap (paper-faithful) or wheel (sharded timing wheel)")
-		timerShards = flag.Int("timer-shards", 0, "timing-wheel shard count (0 = GOMAXPROCS; heap ignores this)")
-		txnShards   = flag.Int("txn-shards", 0, "transaction-table shards, rounded to a power of two (0 = max(16, 4x GOMAXPROCS))")
-		dispatch    = flag.String("dispatch", "rr", "threaded connection dispatch: rr (round-robin) or affinity (peer-hash worker pinning)")
-		dbLatency   = flag.Duration("db-latency", 0, "simulated user-database lookup latency")
-		routesFlag  = flag.String("routes", "", "static next hops: domain=host:port[,domain=host:port...]")
-		dropRx      = flag.Float64("drop-rx", 0, "UDP inbound datagram loss probability (fault injection)")
-		dropTx      = flag.Float64("drop-tx", 0, "UDP outbound datagram loss probability (fault injection)")
-		metricsAddr = flag.String("metrics-addr", "", "HTTP address for /metrics, /profile, and /debug/pprof (empty = disabled)")
+		arch         = flag.String("arch", "tcp", "architecture: udp, tcp, threaded, sctpsim")
+		addr         = flag.String("addr", "127.0.0.1:5060", "listen address")
+		workers      = flag.Int("workers", 0, "worker count (0 = architecture default)")
+		stateless    = flag.Bool("stateless", false, "run as a stateless proxy")
+		redirect     = flag.Bool("redirect", false, "run as a redirection server (302) instead of proxying")
+		auth         = flag.Bool("auth", false, "enable digest authentication (401/407 challenges)")
+		recordRoute  = flag.Bool("record-route", false, "insert Record-Route so in-dialog requests stay on the proxy path")
+		domain       = flag.String("domain", "gosip.test", "served SIP domain")
+		users        = flag.Int("users", 10000, "synthetic users to provision")
+		ipcMode      = flag.String("ipc", "unix", "TCP supervisor IPC: unix or chan")
+		fdcache      = flag.Bool("fdcache", false, "enable the per-worker fd cache (Figure 4)")
+		fdcacheCap   = flag.Int("fdcache-cap", 0, "fd cache capacity per worker (0 = unbounded)")
+		mgr          = flag.String("connmgr", "scan", "idle-connection strategy: scan or pqueue (Figure 5)")
+		idleTimeout  = flag.Duration("idle-timeout", 10*time.Second, "idle connection timeout (paper §4.3)")
+		grace        = flag.Duration("grace", 5*time.Second, "supervisor grace before destroying returned connections")
+		checkEvery   = flag.Duration("idle-check", 500*time.Millisecond, "idle check floor interval")
+		penalty      = flag.Duration("supervisor-penalty", 0, "per-request supervisor delay (models §4.3 starvation)")
+		ipcTimeout   = flag.Duration("ipc-timeout", 0, "worker fd-request deadline against a stalled supervisor (0 = 2s, negative = none)")
+		olPolicy     = flag.String("overload", "none", "overload admission policy: none, threshold, occupancy")
+		olPending    = flag.Int("overload-max-pending", 0, "threshold policy: in-flight transaction budget (0 = 4x workers)")
+		olQueue      = flag.Int("overload-max-queue", 0, "per-worker queued-event budget (0 = 64)")
+		olTarget     = flag.Float64("overload-target", 0, "occupancy policy: target worker busy fraction (0 = 0.85)")
+		retryAfter   = flag.Duration("retry-after", 0, "base Retry-After advertised on 503 rejections (0 = 1s)")
+		olPause      = flag.Bool("overload-pause-reads", false, "pause TCP connection reads at the queue budget (kernel backpressure)")
+		udpBatch     = flag.Int("udp-batch", 0, "datagrams per recvmmsg/sendmmsg call (0/1 = unbatched baseline)")
+		udpShard     = flag.Int("udp-shard", 0, "SO_REUSEPORT UDP sockets to shard across (0/1 = one shared socket)")
+		udpLinger    = flag.Duration("udp-linger", 0, "egress batch flush deadline (0 = default; needs -udp-batch > 1)")
+		tcpCoalesce  = flag.Bool("tcp-coalesce", false, "coalesce contended TCP sends into one writev (group commit)")
+		soRcvbuf     = flag.Int("so-rcvbuf", 0, "requested SO_RCVBUF for proxy sockets (0 = kernel default)")
+		soSndbuf     = flag.Int("so-sndbuf", 0, "requested SO_SNDBUF for proxy sockets (0 = kernel default)")
+		timerImpl    = flag.String("timer-impl", "heap", "timer data structure: heap (paper-faithful) or wheel (sharded timing wheel)")
+		timerShards  = flag.Int("timer-shards", 0, "timing-wheel shard count (0 = GOMAXPROCS; heap ignores this)")
+		txnShards    = flag.Int("txn-shards", 0, "transaction-table shards, rounded to a power of two (0 = max(16, 4x GOMAXPROCS))")
+		dispatch     = flag.String("dispatch", "rr", "threaded connection dispatch: rr (round-robin) or affinity (peer-hash worker pinning)")
+		dbLatency    = flag.Duration("db-latency", 0, "simulated user-database lookup latency")
+		dbBackend    = flag.String("db-backend", "memory", "user-database driver: memory or sql (latency-modelled; uses -db-latency per query)")
+		dbPool       = flag.Int("db-pool", 0, "user-database connection-pool size (0 = unbounded)")
+		authCache    = flag.Int("auth-cache", 0, "credential-cache entries in front of the user database (0 = disabled)")
+		authCacheTTL = flag.Duration("auth-cache-ttl", 0, "credential-cache entry lifetime (0 = 60s when the cache is enabled)")
+		locShards    = flag.Int("loc-shards", 0, "location-service shards, rounded to a power of two (0 = 16)")
+		routesFlag   = flag.String("routes", "", "static next hops: domain=host:port[,domain=host:port...]")
+		dropRx       = flag.Float64("drop-rx", 0, "UDP inbound datagram loss probability (fault injection)")
+		dropTx       = flag.Float64("drop-tx", 0, "UDP outbound datagram loss probability (fault injection)")
+		metricsAddr  = flag.String("metrics-addr", "", "HTTP address for /metrics, /profile, and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -148,7 +154,19 @@ func main() {
 		},
 	}
 	cfg.Txn.Shards = *txnShards
-	cfg.DB.LookupLatency = *dbLatency
+	cfg.LocShards = *locShards
+	cfg.DB.PoolSize = *dbPool
+	cfg.DB.Cache = userdb.CacheConfig{Entries: *authCache, TTL: *authCacheTTL}
+	switch *dbBackend {
+	case "memory":
+		cfg.DB.LookupLatency = *dbLatency
+	case "sql":
+		// The SQL driver carries the latency itself, per Fetch.
+		cfg.DB.Backend = userdb.NewSQLBackend(*dbLatency)
+	default:
+		fmt.Fprintf(os.Stderr, "sipproxyd: unknown -db-backend %q\n", *dbBackend)
+		os.Exit(1)
+	}
 	cfg.Routes = routes
 	cfg.Faults = core.FaultConfig{DropRx: *dropRx, DropTx: *dropTx}
 
@@ -167,6 +185,10 @@ func main() {
 	if *timerImpl != "heap" || *timerShards > 0 || *txnShards > 0 || *dispatch != "rr" {
 		fmt.Printf("sipproxyd: locking: timer-impl=%s timer-shards=%d txn-shards=%d dispatch=%s\n",
 			*timerImpl, *timerShards, *txnShards, *dispatch)
+	}
+	if *locShards > 0 || *authCache > 0 || *dbBackend != "memory" {
+		fmt.Printf("sipproxyd: registrar: loc-shards=%d db-backend=%s auth-cache=%d auth-cache-ttl=%v\n",
+			srv.Location().ShardCount(), *dbBackend, *authCache, *authCacheTTL)
 	}
 	if *soRcvbuf > 0 || *soSndbuf > 0 {
 		// Report what the kernel actually granted (it may clamp to

@@ -39,8 +39,11 @@ func main() {
 	resp := loc.HandleRegister(register(600), "192.0.2.10:5071", "UDP", now)
 	fmt.Printf("REGISTER -> %d %s\n", resp.StatusCode, resp.Reason)
 
-	// 2. The proxy-side lookup: where is alice right now?
-	bindings, err := loc.Lookup(aor.AOR(), now)
+	// 2. The proxy-side lookup: where is alice right now? The caller owns
+	// the result buffer — the proxy hot path reuses a stack array so the
+	// lookup itself never allocates.
+	var buf [4]location.Binding
+	bindings, err := loc.Lookup(aor.AOR(), now, buf[:0])
 	if err != nil {
 		log.Fatalf("lookup: %v", err)
 	}
@@ -52,17 +55,17 @@ func main() {
 	tablet := sipmsg.URI{User: "alice", Host: "192.0.2.99", Port: 5072}
 	loc.Register(aor.AOR(), location.Binding{Contact: tablet, Transport: "TCP", Source: "192.0.2.99:40001"},
 		2*time.Hour, now)
-	bindings, _ = loc.Lookup(aor.AOR(), now)
+	bindings, _ = loc.Lookup(aor.AOR(), now, buf[:0])
 	fmt.Printf("alice now has %d bindings; routing prefers %s\n", len(bindings), bindings[0].Contact)
 
 	// 4. De-register the tablet (Expires: 0 semantics).
 	loc.Register(aor.AOR(), location.Binding{Contact: tablet}, 0, now)
-	bindings, _ = loc.Lookup(aor.AOR(), now)
+	bindings, _ = loc.Lookup(aor.AOR(), now, buf[:0])
 	fmt.Printf("after de-registration: %d binding(s) left\n", len(bindings))
 
 	// 5. Bindings lapse on their own; Purge reclaims the storage.
 	later := now.Add(time.Hour)
-	if _, err := loc.Lookup(aor.AOR(), later); err != nil {
+	if _, err := loc.Lookup(aor.AOR(), later, buf[:0]); err != nil {
 		fmt.Println("an hour later the 600s binding has expired:", err)
 	}
 	removed := loc.Purge(later)

@@ -165,6 +165,12 @@ type Config struct {
 	Txn transaction.Config
 	// DB configures the simulated persistent store.
 	DB userdb.Config
+	// LocShards is the location-service shard count, rounded up to a power
+	// of two (0 = location.DefaultShards, the historical fixed count).
+	LocShards int
+	// LocSweepInterval is how often the registrar's expiry wheels advance
+	// (0 = 1s).
+	LocSweepInterval time.Duration
 	// Profile receives instrumentation; one is created when nil.
 	Profile *metrics.Profile
 }
@@ -231,6 +237,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Dispatch == "" {
 		c.Dispatch = DispatchRR
+	}
+	if c.LocSweepInterval <= 0 {
+		c.LocSweepInterval = time.Second
 	}
 	if c.UDPShards > c.Workers {
 		c.UDPShards = c.Workers
@@ -321,9 +330,13 @@ func newSubstrate(cfg Config) *substrate {
 	prof.SetGauge(metrics.GaugeTimersPending, func() float64 { return float64(timers.Len()) })
 	prof.SetGauge(metrics.GaugeTimersCancelledResident, func() float64 { return float64(timers.CancelledResident()) })
 	s := &substrate{
-		cfg:       cfg,
-		prof:      prof,
-		loc:       location.New(),
+		cfg:  cfg,
+		prof: prof,
+		loc: location.NewService(location.Options{
+			Shards:        cfg.LocShards,
+			Profile:       prof,
+			SweepInterval: cfg.LocSweepInterval,
+		}),
 		db:        userdb.New(cfg.DB, prof),
 		timers:    timers,
 		txns:      transaction.NewTable(cfg.Txn, timers, prof),
@@ -341,6 +354,7 @@ func newSubstrate(cfg Config) *substrate {
 
 func (s *substrate) close() {
 	s.timers.Close()
+	s.loc.Close()
 }
 
 // engineConfig builds the proxy engine configuration for a bound address.

@@ -1,0 +1,128 @@
+package location
+
+import (
+	"testing"
+	"time"
+
+	"gosip/internal/sipmsg"
+)
+
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+}
+
+// TestLookupAllocs pins the read path at zero allocations: the caller
+// provides the result buffer, the list is kept pre-sorted so no sort.Slice
+// closure is built, and nothing escapes. Every routed INVITE performs one
+// lookup, so a single alloc here is a per-call GC tax at avalanche load.
+func TestLookupAllocs(t *testing.T) {
+	skipIfRace(t)
+	s := New()
+	now := time.Now()
+	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), time.Hour, now)
+	s.Register("bob@x.com", mkBinding("10.0.0.2", 2), time.Hour, now)
+
+	var buf [8]Binding
+	got := testing.AllocsPerRun(1000, func() {
+		bs, err := s.Lookup("bob@x.com", now, buf[:0])
+		if err != nil || len(bs) != 2 {
+			t.Fatal("Lookup failed during alloc run")
+		}
+	})
+	if got != 0 {
+		t.Errorf("Lookup allocates %.1f/op, want 0", got)
+	}
+
+	// Missing AORs must be free too.
+	got = testing.AllocsPerRun(1000, func() {
+		if _, err := s.Lookup("carol@x.com", now, buf[:0]); err != ErrNoBinding {
+			t.Fatal("unexpected hit")
+		}
+	})
+	if got != 0 {
+		t.Errorf("Lookup miss allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestLookupOneAllocs pins the proxy's route-time lookup: the AOR key is
+// assembled from the request URI in a stack buffer and probed with the
+// compiler-elided map[string(buf)] form.
+func TestLookupOneAllocs(t *testing.T) {
+	skipIfRace(t)
+	s := New()
+	now := time.Now()
+	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), time.Hour, now)
+	uri := sipmsg.URI{User: "bob", Host: "X.com", Port: 5060}
+
+	got := testing.AllocsPerRun(1000, func() {
+		if _, ok := s.LookupOne(uri, now); !ok {
+			t.Fatal("LookupOne missed during alloc run")
+		}
+	})
+	if got != 0 {
+		t.Errorf("LookupOne allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestRegisterRefreshAllocs pins the registrar's steady state — an
+// existing binding being refreshed — at zero allocations: the same-contact
+// match is structural (no Contact.String() under the shard lock), the node
+// is updated in place, and the wheel relink reuses the resident node.
+func TestRegisterRefreshAllocs(t *testing.T) {
+	skipIfRace(t)
+	s := New()
+	now := time.Now()
+	b := mkBinding("10.0.0.1", 5062)
+	s.Register("bob@x.com", b, time.Hour, now)
+
+	got := testing.AllocsPerRun(1000, func() {
+		s.Register("bob@x.com", b, time.Hour, now)
+	})
+	if got != 0 {
+		t.Errorf("Register refresh allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestRegisterContactAllocs pins the full HandleRegister store path: key
+// assembly from the To URI, shard hash, and in-place refresh.
+func TestRegisterContactAllocs(t *testing.T) {
+	skipIfRace(t)
+	s := New()
+	now := time.Now()
+	to := sipmsg.URI{User: "bob", Host: "x.com"}
+	b := mkBinding("10.0.0.1", 5062)
+	s.RegisterContact(to, b, time.Hour, now)
+
+	got := testing.AllocsPerRun(1000, func() {
+		s.RegisterContact(to, b, time.Hour, now)
+	})
+	if got != 0 {
+		t.Errorf("RegisterContact refresh allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestRegisterChurnAllocs pins the register/deregister/re-register cycle:
+// after the pool warms up, node churn recycles shard-local nodes instead
+// of allocating.
+func TestRegisterChurnAllocs(t *testing.T) {
+	skipIfRace(t)
+	s := New()
+	now := time.Now()
+	b := mkBinding("10.0.0.1", 5062)
+	// Warm the pool and the map bucket.
+	for i := 0; i < 8; i++ {
+		s.Register("bob@x.com", b, time.Hour, now)
+		s.Register("bob@x.com", b, 0, now)
+	}
+
+	got := testing.AllocsPerRun(1000, func() {
+		s.Register("bob@x.com", b, time.Hour, now)
+		s.Register("bob@x.com", b, 0, now)
+	})
+	if got != 0 {
+		t.Errorf("register/deregister cycle allocates %.1f/op, want 0", got)
+	}
+}

@@ -1,0 +1,135 @@
+package location
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gosip/internal/metrics"
+	"gosip/internal/sipmsg"
+)
+
+// benchStore caches one pre-filled service per population size so the
+// multi-invocation benchmark protocol (go test reruns the function with
+// growing b.N) pays the million-binding pre-fill once, not per invocation.
+type benchStore struct {
+	svc             *Service
+	users           []string
+	bytesPerBinding float64
+}
+
+var benchStores = map[int]*benchStore{}
+
+// getBenchStore builds (or returns) a service holding n bindings, measuring
+// the store's marginal heap cost per binding across the pre-fill: node, wheel
+// links, AOR index slot, and the store-owned key string. User strings are
+// allocated before the baseline snapshot so only the store's own footprint is
+// counted.
+func getBenchStore(n int) *benchStore {
+	if bs, ok := benchStores[n]; ok {
+		return bs
+	}
+	bs := &benchStore{
+		svc:   NewService(Options{}),
+		users: make([]string, n),
+	}
+	for i := range bs.users {
+		bs.users[i] = fmt.Sprintf("pf%d", i)
+	}
+	now := time.Now()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := range bs.users {
+		bs.svc.RegisterContact(
+			sipmsg.URI{User: bs.users[i], Host: "bench.gosip"},
+			Binding{
+				Contact:   sipmsg.URI{User: bs.users[i], Host: "192.0.2.10", Port: 5060},
+				Transport: "UDP",
+				Source:    "192.0.2.10:5060",
+			}, 24*time.Hour, now)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if n > 0 && after.HeapAlloc > before.HeapAlloc {
+		bs.bytesPerBinding = float64(after.HeapAlloc-before.HeapAlloc) / float64(n)
+	}
+	benchStores[n] = bs
+	return bs
+}
+
+var benchPrefills = []int{100_000, 1_000_000}
+
+// BenchmarkRegistrarRegister measures the steady-state re-REGISTER (binding
+// refresh) rate against a large resident population — the avalanche's inner
+// operation — and reports the store's resident bytes per binding. The hot
+// path must stay allocation-free regardless of population.
+func BenchmarkRegistrarRegister(b *testing.B) {
+	for _, n := range benchPrefills {
+		b.Run(fmt.Sprintf("prefill=%d", n), func(b *testing.B) {
+			bs := getBenchStore(n)
+			now := time.Now()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := bs.users[i%n]
+				bs.svc.RegisterContact(
+					sipmsg.URI{User: u, Host: "bench.gosip"},
+					Binding{
+						Contact:   sipmsg.URI{User: u, Host: "192.0.2.10", Port: 5060},
+						Transport: "UDP",
+						Source:    "192.0.2.10:5060",
+					}, 24*time.Hour, now)
+			}
+			b.StopTimer()
+			b.ReportMetric(bs.bytesPerBinding, "bytes/binding")
+		})
+	}
+}
+
+// BenchmarkRegistrarLookup measures routing-side reads against the resident
+// population, with a churn goroutine concurrently refreshing bindings — the
+// proxy's view of the registrar mid-avalanche. Latency percentiles come from
+// a log2 histogram, reported as p50-ns/p99-ns custom metrics.
+func BenchmarkRegistrarLookup(b *testing.B) {
+	for _, n := range benchPrefills {
+		b.Run(fmt.Sprintf("prefill=%d/churn", n), func(b *testing.B) {
+			bs := getBenchStore(n)
+			var stop atomic.Bool
+			churnDone := make(chan struct{})
+			go func() {
+				defer close(churnDone)
+				now := time.Now()
+				for i := 0; !stop.Load(); i++ {
+					u := bs.users[(i*7919)%n]
+					bs.svc.RegisterContact(
+						sipmsg.URI{User: u, Host: "bench.gosip"},
+						Binding{
+							Contact:   sipmsg.URI{User: u, Host: "192.0.2.10", Port: 5060},
+							Transport: "UDP",
+							Source:    "192.0.2.10:5060",
+						}, 24*time.Hour, now)
+				}
+			}()
+			hist := new(metrics.Histogram)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := sipmsg.URI{User: bs.users[(i*104729)%n], Host: "bench.gosip"}
+				t0 := time.Now()
+				if _, ok := bs.svc.LookupOne(u, t0); !ok {
+					b.Fatal("prefilled binding missing")
+				}
+				hist.Record(time.Since(t0))
+			}
+			b.StopTimer()
+			stop.Store(true)
+			<-churnDone
+			snap := hist.Snapshot()
+			b.ReportMetric(float64(snap.Quantile(0.50)), "p50-ns")
+			b.ReportMetric(float64(snap.Quantile(0.99)), "p99-ns")
+		})
+	}
+}

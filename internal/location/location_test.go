@@ -1,9 +1,11 @@
 package location
 
 import (
+	"strings"
 	"testing"
 	"time"
 
+	"gosip/internal/metrics"
 	"gosip/internal/sipmsg"
 )
 
@@ -19,15 +21,30 @@ func TestRegisterLookup(t *testing.T) {
 	s := New()
 	now := time.Now()
 	s.Register("bob@example.com", mkBinding("10.0.0.1", 5062), time.Hour, now)
-	bs, err := s.Lookup("bob@example.com", now)
+	bs, err := s.Lookup("bob@example.com", now, nil)
 	if err != nil {
 		t.Fatalf("Lookup: %v", err)
 	}
 	if len(bs) != 1 || bs[0].Contact.Host != "10.0.0.1" {
 		t.Errorf("bindings = %+v", bs)
 	}
-	if _, err := s.Lookup("carol@example.com", now); err != ErrNoBinding {
+	if _, err := s.Lookup("carol@example.com", now, nil); err != ErrNoBinding {
 		t.Errorf("missing AOR: %v", err)
+	}
+}
+
+func TestLookupUsesCallerBuffer(t *testing.T) {
+	s := New()
+	now := time.Now()
+	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), time.Minute, now)
+	s.Register("bob@x.com", mkBinding("10.0.0.2", 2), time.Hour, now)
+	var buf [4]Binding
+	bs, err := s.Lookup("bob@x.com", now, buf[:0])
+	if err != nil || len(bs) != 2 {
+		t.Fatalf("bindings = %v, err = %v", bs, err)
+	}
+	if &bs[0] != &buf[0] {
+		t.Error("Lookup did not fill the caller-provided buffer")
 	}
 }
 
@@ -36,12 +53,28 @@ func TestRegisterRefreshReplacesSameContact(t *testing.T) {
 	now := time.Now()
 	s.Register("bob@x.com", mkBinding("10.0.0.1", 5062), time.Minute, now)
 	s.Register("bob@x.com", mkBinding("10.0.0.1", 5062), time.Hour, now.Add(time.Second))
-	bs, err := s.Lookup("bob@x.com", now.Add(2*time.Second))
+	bs, err := s.Lookup("bob@x.com", now.Add(2*time.Second), nil)
 	if err != nil || len(bs) != 1 {
 		t.Fatalf("bindings = %v, err = %v", bs, err)
 	}
 	if bs[0].Expires.Sub(now) < 30*time.Minute {
 		t.Error("refresh did not extend expiry")
+	}
+	if s.Bindings() != 1 {
+		t.Errorf("Bindings = %d, want 1", s.Bindings())
+	}
+}
+
+func TestSameContactComparesHostCaseInsensitively(t *testing.T) {
+	s := New()
+	now := time.Now()
+	b := mkBinding("Host.Example.COM", 5062)
+	s.Register("bob@x.com", b, time.Minute, now)
+	b.Contact.Host = "host.example.com"
+	s.Register("bob@x.com", b, time.Hour, now)
+	bs, err := s.Lookup("bob@x.com", now, nil)
+	if err != nil || len(bs) != 1 {
+		t.Fatalf("case-differing hosts made distinct bindings: %v, err = %v", bs, err)
 	}
 }
 
@@ -50,7 +83,7 @@ func TestMultipleContactsFreshestFirst(t *testing.T) {
 	now := time.Now()
 	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), time.Minute, now)
 	s.Register("bob@x.com", mkBinding("10.0.0.2", 2), time.Hour, now)
-	bs, err := s.Lookup("bob@x.com", now)
+	bs, err := s.Lookup("bob@x.com", now, nil)
 	if err != nil || len(bs) != 2 {
 		t.Fatalf("bindings = %v, err = %v", bs, err)
 	}
@@ -59,11 +92,29 @@ func TestMultipleContactsFreshestFirst(t *testing.T) {
 	}
 }
 
+func TestLookupOne(t *testing.T) {
+	s := New()
+	now := time.Now()
+	uri := sipmsg.URI{User: "bob", Host: "X.com"}
+	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), time.Minute, now)
+	s.Register("bob@x.com", mkBinding("10.0.0.2", 2), time.Hour, now)
+	b, ok := s.LookupOne(uri, now)
+	if !ok || b.Contact.Host != "10.0.0.2" {
+		t.Errorf("LookupOne = %+v, %v", b, ok)
+	}
+	if _, ok := s.LookupOne(sipmsg.URI{User: "carol", Host: "x.com"}, now); ok {
+		t.Error("LookupOne found a missing AOR")
+	}
+	if _, ok := s.LookupOne(uri, now.Add(2*time.Hour)); ok {
+		t.Error("LookupOne returned a lapsed binding")
+	}
+}
+
 func TestExpiryAndPurge(t *testing.T) {
 	s := New()
 	now := time.Now()
 	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), time.Second, now)
-	if _, err := s.Lookup("bob@x.com", now.Add(2*time.Second)); err != ErrNoBinding {
+	if _, err := s.Lookup("bob@x.com", now.Add(2*time.Second), nil); err != ErrNoBinding {
 		t.Errorf("expired binding returned: %v", err)
 	}
 	if s.Len() != 1 {
@@ -75,6 +126,62 @@ func TestExpiryAndPurge(t *testing.T) {
 	if s.Len() != 0 {
 		t.Errorf("Len after purge = %d", s.Len())
 	}
+	if s.Bindings() != 0 {
+		t.Errorf("Bindings after purge = %d", s.Bindings())
+	}
+}
+
+// TestWheelExpiresOnlyLapsed drives the wheel far past one revolution and
+// checks long-lived bindings survive while short ones are reclaimed.
+func TestWheelExpiresOnlyLapsed(t *testing.T) {
+	s := New()
+	now := time.Now()
+	s.Register("short@x.com", mkBinding("10.0.0.1", 1), 30*time.Second, now)
+	s.Register("long@x.com", mkBinding("10.0.0.2", 2), time.Hour, now)
+
+	// One revolution is 256 s: advancing 10 minutes forces the hour-long
+	// binding to relink at least once.
+	if n := s.Purge(now.Add(10 * time.Minute)); n != 1 {
+		t.Fatalf("Purge removed %d, want 1", n)
+	}
+	if _, err := s.Lookup("long@x.com", now.Add(10*time.Minute), nil); err != nil {
+		t.Fatalf("long binding lost: %v", err)
+	}
+	if n := s.Purge(now.Add(2 * time.Hour)); n != 1 {
+		t.Fatalf("second Purge removed %d, want 1", n)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after all expired", s.Len())
+	}
+}
+
+// TestWheelNeverExpiresEarly registers a binding and advances to just
+// before its deadline: it must survive.
+func TestWheelNeverExpiresEarly(t *testing.T) {
+	s := New()
+	now := time.Now()
+	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), 100*time.Second, now)
+	if n := s.Purge(now.Add(99 * time.Second)); n != 0 {
+		t.Fatalf("binding reclaimed %v early", time.Second)
+	}
+	if n := s.Purge(now.Add(102 * time.Second)); n != 1 {
+		t.Errorf("binding not reclaimed after deadline: removed %d", n)
+	}
+}
+
+func TestNodePoolRecycles(t *testing.T) {
+	s := New()
+	now := time.Now()
+	// Churn one AOR through register/deregister cycles; the shard pool
+	// should keep the heap footprint flat (verified exactly by the alloc
+	// test; here just exercise the path).
+	for i := 0; i < 100; i++ {
+		s.Register("bob@x.com", mkBinding("10.0.0.1", 1), time.Hour, now)
+		s.Register("bob@x.com", mkBinding("10.0.0.1", 1), 0, now)
+	}
+	if s.Len() != 0 || s.Bindings() != 0 {
+		t.Errorf("Len = %d, Bindings = %d after churn", s.Len(), s.Bindings())
+	}
 }
 
 func TestDeregisterWithZeroTTL(t *testing.T) {
@@ -82,8 +189,35 @@ func TestDeregisterWithZeroTTL(t *testing.T) {
 	now := time.Now()
 	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), time.Hour, now)
 	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), 0, now)
-	if _, err := s.Lookup("bob@x.com", now); err != ErrNoBinding {
+	if _, err := s.Lookup("bob@x.com", now, nil); err != ErrNoBinding {
 		t.Error("zero-TTL register did not remove binding")
+	}
+}
+
+func TestShardCountRoundsToPowerOfTwo(t *testing.T) {
+	s := NewService(Options{Shards: 5})
+	if s.ShardCount() != 8 {
+		t.Errorf("ShardCount = %d, want 8", s.ShardCount())
+	}
+	if New().ShardCount() != DefaultShards {
+		t.Errorf("default ShardCount = %d", New().ShardCount())
+	}
+}
+
+func TestLockWaitMetricWired(t *testing.T) {
+	prof := metrics.NewProfile()
+	s := NewService(Options{Shards: 1, Profile: prof})
+	now := time.Now()
+	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), time.Hour, now)
+	if c := prof.Counter(metrics.MetricLocRegistered).Value(); c != 1 {
+		t.Errorf("registered counter = %d", c)
+	}
+	snap := prof.Snapshot()
+	if _, ok := snap.Gauges[metrics.GaugeLocBindings]; !ok {
+		t.Error("location.bindings gauge not registered")
+	}
+	if snap.Gauges[metrics.GaugeLocBindings] != 1 {
+		t.Errorf("bindings gauge = %g", snap.Gauges[metrics.GaugeLocBindings])
 	}
 }
 
@@ -122,7 +256,7 @@ func TestHandleRegisterOK(t *testing.T) {
 	if v, ok := resp.Get("Expires"); !ok || v != "600" {
 		t.Errorf("Expires = %q", v)
 	}
-	bs, err := s.Lookup("bob@example.com", now)
+	bs, err := s.Lookup("bob@example.com", now, nil)
 	if err != nil {
 		t.Fatalf("Lookup after register: %v", err)
 	}
@@ -138,7 +272,7 @@ func TestHandleRegisterDefaultsExpiry(t *testing.T) {
 	if resp.StatusCode != sipmsg.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	bs, _ := s.Lookup("bob@x.com", now)
+	bs, _ := s.Lookup("bob@x.com", now, nil)
 	if want := now.Add(DefaultExpiry); bs[0].Expires.Before(want.Add(-time.Second)) {
 		t.Errorf("expiry = %v, want ~%v", bs[0].Expires, want)
 	}
@@ -159,11 +293,41 @@ func TestHandleRegisterErrors(t *testing.T) {
 	if resp.StatusCode != sipmsg.StatusBadRequest {
 		t.Errorf("bad To: status = %d", resp.StatusCode)
 	}
-	// Query-style: no Contact.
+}
+
+// TestHandleRegisterQueryListsBindings covers RFC 3261 §10.3 step 8: a
+// Contact-less REGISTER is a query and the 200 must carry every live
+// binding with its remaining lifetime.
+func TestHandleRegisterQueryListsBindings(t *testing.T) {
+	s := New()
+	now := time.Now()
+	s.Register("bob@x.com", mkBinding("10.0.0.1", 5062), 600*time.Second, now)
+	s.Register("bob@x.com", mkBinding("10.0.0.2", 5063), 1200*time.Second, now)
+
 	q := registerMsg(t, "bob@x.com", "", "")
-	resp = s.HandleRegister(q, "a:1", "UDP", now)
+	resp := s.HandleRegister(q, "a:1", "UDP", now)
 	if resp.StatusCode != sipmsg.StatusOK {
-		t.Errorf("query register: status = %d", resp.StatusCode)
+		t.Fatalf("query register: status = %d", resp.StatusCode)
+	}
+	contacts := resp.GetAll("Contact")
+	if len(contacts) != 2 {
+		t.Fatalf("query response lists %d contacts, want 2: %v", len(contacts), contacts)
+	}
+	// Freshest first, each with remaining expires.
+	if !strings.Contains(contacts[0], "10.0.0.2") || !strings.Contains(contacts[0], ";expires=1200") {
+		t.Errorf("contact[0] = %q", contacts[0])
+	}
+	if !strings.Contains(contacts[1], "10.0.0.1") || !strings.Contains(contacts[1], ";expires=600") {
+		t.Errorf("contact[1] = %q", contacts[1])
+	}
+
+	// An AOR with no bindings still answers 200, with no Contact.
+	resp = s.HandleRegister(registerMsg(t, "carol@x.com", "", ""), "a:1", "UDP", now)
+	if resp.StatusCode != sipmsg.StatusOK {
+		t.Fatalf("empty query: status = %d", resp.StatusCode)
+	}
+	if got := resp.GetAll("Contact"); len(got) != 0 {
+		t.Errorf("empty query lists contacts: %v", got)
 	}
 }
 
@@ -177,4 +341,12 @@ func TestLenCountsAORs(t *testing.T) {
 	if s.Len() != 26 {
 		t.Errorf("Len = %d, want 26 distinct AORs", s.Len())
 	}
+}
+
+func TestCloseStopsSweeper(t *testing.T) {
+	s := NewService(Options{SweepInterval: time.Millisecond})
+	now := time.Now()
+	s.Register("bob@x.com", mkBinding("10.0.0.1", 1), time.Hour, now)
+	s.Close()
+	s.Close() // idempotent
 }

@@ -276,6 +276,7 @@ const (
 	MetricProcessTime    = "worker.process"    // time workers spend processing SIP messages
 	MetricSendTime       = "worker.send"       // time workers spend sending (incl. fd acquisition)
 	MetricDBLookupTime   = "userdb.lookup"
+	MetricLocLockWait    = "lock.location" // contended wait on location-service shard locks
 	MetricParseErrors    = "proxy.parse_errors"
 	MetricResolveHit     = "udp.resolve_hits"   // UDP destination-address resolve cache hits
 	MetricResolveMiss    = "udp.resolve_misses" // UDP destination-address resolve cache misses
@@ -312,6 +313,21 @@ const (
 	MetricEgressFlushDrain  = "udp.egress_flush_drain"  // worker drained after its receive batch
 	MetricEgressFlushLinger = "udp.egress_flush_linger" // linger timer expired
 	MetricEgressFlushClose  = "udp.egress_flush_close"  // final flush at shutdown
+
+	// Registrar counters (internal/location): binding lifecycle events. A
+	// REGISTER either creates a binding, refreshes one, or (Expires: 0)
+	// removes one; "expired" counts bindings reclaimed by the expiry wheel.
+	MetricLocRegistered   = "location.registered"
+	MetricLocRefreshed    = "location.refreshed"
+	MetricLocExpired      = "location.expired"
+	MetricLocDeregistered = "location.deregistered"
+
+	// Auth-cache counters (internal/userdb): credential-record cache in
+	// front of the simulated SQL round-trip. A hit skips the pool slot and
+	// the modelled query latency entirely.
+	MetricAuthCacheHits      = "authcache.hits"
+	MetricAuthCacheMisses    = "authcache.misses"
+	MetricAuthCacheEvictions = "authcache.evictions"
 )
 
 // GaugeOpenConns is the snapshot-time size of the shared connection table
@@ -328,13 +344,21 @@ const (
 	GaugeTimersCancelledResident = "timers.cancelled_resident"
 )
 
+// Registrar gauges (registered via SetGauge): live binding population and
+// the number of AORs holding at least one binding.
+const (
+	GaugeLocBindings = "location.bindings"
+	GaugeLocAORs     = "location.aors"
+)
+
 // Per-stage latency histogram names: the paper's "where does the time go"
 // question (§5, Figures 4/5) answered as live distributions rather than
 // offline OProfile totals.
 const (
 	StageParse      = "stage.parse"        // wire bytes → parsed message
 	StageTxnMatch   = "stage.txn_match"    // transaction create/match
-	StageDBLookup   = "stage.db_lookup"    // user-database query
+	StageDBQueue    = "stage.db_queue"     // wait for a free connection-pool slot
+	StageDBLookup   = "stage.db_lookup"    // user-database query (pool wait excluded)
 	StageFDIPC      = "stage.fd_ipc"       // blocked fd request to the supervisor
 	StageFDCacheHit = "stage.fd_cache_hit" // fd acquisition served from the local cache
 	StageSend       = "stage.send"         // forward/send incl. fd acquisition
@@ -358,7 +382,7 @@ const (
 // StageNames lists every per-stage histogram in pipeline order, for
 // reports that want a stable, complete stage table.
 var StageNames = []string{
-	StageParse, StageTxnMatch, StageDBLookup, StageFDCacheHit,
+	StageParse, StageTxnMatch, StageDBQueue, StageDBLookup, StageFDCacheHit,
 	StageFDIPC, StageSend, StageSupervisor, StageProcess, StageIdleScan,
 }
 
@@ -377,11 +401,14 @@ var standardCounters = []string{
 	MetricTCPWriteCalls, MetricTCPWriteMsgs,
 	MetricEgressFlushFull, MetricEgressFlushDrain,
 	MetricEgressFlushLinger, MetricEgressFlushClose,
+	MetricLocRegistered, MetricLocRefreshed, MetricLocExpired,
+	MetricLocDeregistered,
+	MetricAuthCacheHits, MetricAuthCacheMisses, MetricAuthCacheEvictions,
 }
 
 var standardTimers = []string{
 	MetricIPCTime, MetricIdleScanTime, MetricLockWaitTime,
-	MetricTimerLockWait, MetricTxnLockWait,
+	MetricTimerLockWait, MetricTxnLockWait, MetricLocLockWait,
 	MetricSupervisorWork, MetricProcessTime, MetricSendTime, MetricDBLookupTime,
 }
 

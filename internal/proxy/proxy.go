@@ -330,11 +330,9 @@ func (e *Engine) route(m *sipmsg.Message, dialogRouted bool) (location.Binding, 
 		}
 		return location.Binding{}, false
 	}
-	bindings, err := e.loc.Lookup(m.RequestURI.AOR(), time.Now())
-	if err != nil {
-		return location.Binding{}, false
-	}
-	return bindings[0], true
+	// Freshest binding only, resolved without materializing the AOR key:
+	// this runs once per routed request, so it must not allocate.
+	return e.loc.LookupOne(m.RequestURI, time.Now())
 }
 
 // forwardStateful implements the paper's §2 invite/bye sequence on the

@@ -260,7 +260,7 @@ func TestRegisterFlow(t *testing.T) {
 	if len(origins) != 1 || origins[0].msg.StatusCode != sipmsg.StatusOK {
 		t.Fatalf("register response: %+v", origins)
 	}
-	if _, err := v.loc.Lookup(userdb.UserName(2)+"@test.dom", time.Now()); err != nil {
+	if _, err := v.loc.Lookup(userdb.UserName(2)+"@test.dom", time.Now(), nil); err != nil {
 		t.Errorf("binding not installed: %v", err)
 	}
 }

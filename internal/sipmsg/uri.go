@@ -181,6 +181,10 @@ func appendParams(buf []byte, params map[string]string) []byte {
 	return buf
 }
 
+// AppendTo appends the canonical URI form to buf — the same bytes as
+// String(), without the builder allocations.
+func (u URI) AppendTo(buf []byte) []byte { return u.appendTo(buf) }
+
 // String renders the URI in canonical form.
 func (u URI) String() string {
 	var b strings.Builder

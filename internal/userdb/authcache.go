@@ -1,0 +1,169 @@
+package userdb
+
+import (
+	"sync"
+	"time"
+
+	"gosip/internal/metrics"
+)
+
+// CacheConfig bounds the credential cache in front of the backend. The
+// zero value disables caching, leaving baseline behaviour unchanged.
+type CacheConfig struct {
+	// Entries caps the cached credential records across all shards
+	// (0 = cache disabled).
+	Entries int
+	// TTL is how long a cached record stays valid (0 = DefaultCacheTTL).
+	TTL time.Duration
+	// Shards is the cache shard count, rounded up to a power of two
+	// (0 = 8).
+	Shards int
+}
+
+// DefaultCacheTTL is the credential-record lifetime when CacheConfig.TTL
+// is zero: long enough to absorb an avalanche's re-REGISTER storm, short
+// enough that a re-provisioned password propagates within a minute.
+const DefaultCacheTTL = 60 * time.Second
+
+// authCache is a sharded, TTL- and size-bounded cache of credential
+// records keyed "username@domain". Digest verdicts themselves are not
+// cacheable — every request carries a fresh nonce — but the credential
+// record is what the verdict check needs, and fetching it is the simulated
+// DB round-trip worth skipping.
+type authCache struct {
+	shards      []authShard
+	mask        uint32
+	ttlNs       int64
+	perShardCap int
+
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	evictions *metrics.Counter
+}
+
+type authShard struct {
+	mu sync.Mutex
+	m  map[string]cacheEntry
+	// pad keeps neighbouring shards' mutexes off one cache line.
+	_ [40]byte
+}
+
+type cacheEntry struct {
+	u         User
+	expiresNs int64
+}
+
+func newAuthCache(cfg CacheConfig, profile *metrics.Profile) *authCache {
+	if cfg.Entries <= 0 {
+		return nil
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = 8
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	n = p
+	ttl := int64(cfg.TTL)
+	if ttl <= 0 {
+		ttl = int64(DefaultCacheTTL)
+	}
+	perShard := (cfg.Entries + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &authCache{
+		shards:      make([]authShard, n),
+		mask:        uint32(n - 1),
+		ttlNs:       ttl,
+		perShardCap: perShard,
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]cacheEntry, perShard)
+	}
+	if profile != nil {
+		c.hits = profile.Counter(metrics.MetricAuthCacheHits)
+		c.misses = profile.Counter(metrics.MetricAuthCacheMisses)
+		c.evictions = profile.Counter(metrics.MetricAuthCacheEvictions)
+	}
+	return c
+}
+
+func (c *authCache) shardFor(key []byte) *authShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h&c.mask]
+}
+
+// get probes the cache with a stack-assembled key; the probe runs over the
+// bytes in place, so a hit allocates nothing.
+func (c *authCache) get(key []byte, nowNs int64) (User, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.m[string(key)] // compiler-elided conversion
+	if ok && e.expiresNs > nowNs {
+		sh.mu.Unlock()
+		c.hits.Inc()
+		return e.u, true
+	}
+	if ok {
+		// Lapsed: reclaim the slot now so it doesn't occupy capacity.
+		delete(sh.m, string(key))
+	}
+	sh.mu.Unlock()
+	c.misses.Inc()
+	return User{}, false
+}
+
+// put inserts a freshly fetched record, evicting an arbitrary resident
+// entry when the shard is at capacity (random replacement is within a
+// small factor of LRU for this access pattern and needs no list upkeep).
+func (c *authCache) put(key string, u User, nowNs int64) {
+	sh := c.shardFor([]byte(key))
+	sh.mu.Lock()
+	if _, exists := sh.m[key]; !exists && len(sh.m) >= c.perShardCap {
+		for k := range sh.m {
+			delete(sh.m, k)
+			c.evictions.Inc()
+			break
+		}
+	}
+	sh.m[key] = cacheEntry{u: u, expiresNs: nowNs + c.ttlNs}
+	sh.mu.Unlock()
+}
+
+// invalidate drops one key, so a re-provisioned credential takes effect
+// immediately rather than after the TTL.
+func (c *authCache) invalidate(key string) {
+	sh := c.shardFor([]byte(key))
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
+}
+
+// flush empties the cache (bulk provisioning).
+func (c *authCache) flush() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		clear(sh.m)
+		sh.mu.Unlock()
+	}
+}
+
+// len reports resident entries (tests and gauges).
+func (c *authCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,35 @@
+package userdb
+
+import (
+	"testing"
+
+	"gosip/internal/metrics"
+)
+
+// BenchmarkUserLookup compares the credential path with and without the auth
+// cache, with the modelled query latency zeroed so the benchmark measures
+// code-path cost (pool round-trip + backend fetch vs. cache hit), not the
+// simulated disk. Both paths must stay allocation-free.
+func BenchmarkUserLookup(b *testing.B) {
+	run := func(b *testing.B, cfg Config) {
+		db := New(cfg, metrics.NewProfile())
+		db.ProvisionN(1024, "bench.gosip")
+		users := make([]string, 1024)
+		for i := range users {
+			users[i] = UserName(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Lookup(users[i%len(users)], "bench.gosip"); err != nil {
+				b.Fatal("provisioned user missing")
+			}
+		}
+	}
+	b.Run("cache=off", func(b *testing.B) {
+		run(b, Config{})
+	})
+	b.Run("cache=on", func(b *testing.B) {
+		run(b, Config{Cache: CacheConfig{Entries: 4096}})
+	})
+}

@@ -1,15 +1,16 @@
 // Package userdb is the persistent-storage substrate standing in for the
-// MySQL instance the paper's testbed used. It is an in-memory user store
-// with a configurable per-lookup latency and a bounded connection pool, so
-// the proxy exercises the same "possibly involving a database lookup" path
-// (Ram et al. §3) without an external dependency. The paper's experiments
-// exclude registration traffic from measurement and do not stress the
-// database, so a latency-modelled store preserves the relevant behaviour.
+// MySQL instance the paper's testbed used. Storage is pluggable through
+// the Backend interface — an in-memory table by default, a latency-modelled
+// "SQL" driver for experiments — fronted by a bounded connection pool and
+// an optional credential cache, so the proxy exercises the same "possibly
+// involving a database lookup" path (Ram et al. §3) without an external
+// dependency. The in-memory lookup path allocates nothing: the
+// "username@domain" key is assembled in a stack buffer and probed in
+// place, never materialized per call.
 package userdb
 
 import (
 	"errors"
-	"sync"
 	"time"
 
 	"gosip/internal/metrics"
@@ -19,8 +20,8 @@ import (
 type User struct {
 	Username string
 	Domain   string
-	// Password would back digest authentication; the paper's workloads run
-	// without authentication, so it is stored but unused by the proxy.
+	// Password backs digest authentication when the proxy runs with auth
+	// enabled; unauthenticated workloads store but never read it.
 	Password string
 }
 
@@ -34,27 +35,48 @@ type Config struct {
 	// PoolSize bounds concurrent queries, like a SQL connection pool
 	// (0 = unbounded).
 	PoolSize int
+	// Backend is the storage driver (nil = a fresh MemoryBackend).
+	Backend Backend
+	// Cache bounds the credential cache in front of the backend; the zero
+	// value disables it.
+	Cache CacheConfig
 }
 
 // DB is the user store.
 type DB struct {
-	mu    sync.RWMutex
-	users map[string]User // key: username@domain
+	backend Backend
+	// mem short-circuits the interface when the backend is the in-memory
+	// driver: the map is probed straight from the stack key buffer, which
+	// an interface call cannot do (passing string(buf) through Fetch would
+	// heap-allocate the key).
+	mem *MemoryBackend
 
-	cfg  Config
-	pool chan struct{}
+	cfg   Config
+	pool  chan struct{}
+	cache *authCache
 
 	lookupTime *metrics.Timer
+	queueHist  *metrics.Histogram
 	lookupHist *metrics.Histogram
 }
 
-// New creates an empty store.
+// New creates a store over cfg.Backend (a fresh in-memory backend when
+// nil).
 func New(cfg Config, profile *metrics.Profile) *DB {
+	be := cfg.Backend
+	if be == nil {
+		be = NewMemoryBackend()
+	}
 	db := &DB{
-		users:      make(map[string]User),
+		backend:    be,
 		cfg:        cfg,
+		cache:      newAuthCache(cfg.Cache, profile),
 		lookupTime: profile.Timer(metrics.MetricDBLookupTime),
+		queueHist:  profile.Histogram(metrics.StageDBQueue),
 		lookupHist: profile.Histogram(metrics.StageDBLookup),
+	}
+	if mem, ok := be.(*MemoryBackend); ok {
+		db.mem = mem
 	}
 	if cfg.PoolSize > 0 {
 		db.pool = make(chan struct{}, cfg.PoolSize)
@@ -62,21 +84,25 @@ func New(cfg Config, profile *metrics.Profile) *DB {
 	return db
 }
 
-// Provision inserts or updates a user.
+// Provision inserts or updates a user, invalidating any cached credential
+// so the change takes effect immediately.
 func (db *DB) Provision(u User) {
-	db.mu.Lock()
-	db.users[u.Username+"@"+u.Domain] = u
-	db.mu.Unlock()
+	key := u.Username + "@" + u.Domain
+	db.backend.Store(key, u)
+	if db.cache != nil {
+		db.cache.invalidate(key)
+	}
 }
 
 // ProvisionN bulk-creates n users "user<i>@domain", as the benchmark
 // manager does before an experiment.
 func (db *DB) ProvisionN(n int, domain string) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	for i := 0; i < n; i++ {
 		name := userName(i)
-		db.users[name+"@"+domain] = User{Username: name, Domain: domain, Password: PasswordFor(name)}
+		db.backend.Store(name+"@"+domain, User{Username: name, Domain: domain, Password: PasswordFor(name)})
+	}
+	if db.cache != nil {
+		db.cache.flush()
 	}
 }
 
@@ -104,27 +130,56 @@ func UserName(i int) string { return userName(i) }
 // phones (as a real deployment's SIM credentials would be).
 func PasswordFor(username string) string { return "secret-" + username }
 
-// Lookup fetches a user, paying the configured latency and pool slot.
+// Lookup fetches a user. A credential-cache hit returns immediately —
+// skipping the pool slot and the simulated round-trip entirely. A miss
+// pays the full path: pool-slot wait (recorded as stage.db_queue), then
+// the query itself (stage.db_lookup; the userdb.lookup timer carries the
+// sum, which is what the caller experienced).
 func (db *DB) Lookup(username, domain string) (User, error) {
-	start := time.Now()
-	defer func() {
-		d := time.Since(start)
-		db.lookupTime.AddDuration(d)
-		db.lookupHist.Record(d)
-	}()
+	var stack [96]byte
+	key := stack[:0]
+	if len(username)+1+len(domain) > len(stack) {
+		key = make([]byte, 0, len(username)+1+len(domain))
+	}
+	key = append(key, username...)
+	key = append(key, '@')
+	key = append(key, domain...)
 
+	if db.cache != nil {
+		if u, ok := db.cache.get(key, time.Now().UnixNano()); ok {
+			return u, nil
+		}
+	}
+
+	start := time.Now()
 	if db.pool != nil {
 		db.pool <- struct{}{}
-		defer func() { <-db.pool }()
 	}
+	queued := time.Now()
+	db.queueHist.Record(queued.Sub(start))
 	if db.cfg.LookupLatency > 0 {
 		time.Sleep(db.cfg.LookupLatency)
 	}
-	db.mu.RLock()
-	u, ok := db.users[username+"@"+domain]
-	db.mu.RUnlock()
+	var (
+		u  User
+		ok bool
+	)
+	if db.mem != nil {
+		u, ok = db.mem.get(key)
+	} else {
+		u, ok = db.backend.Fetch(string(key))
+	}
+	end := time.Now()
+	db.lookupHist.Record(end.Sub(queued))
+	db.lookupTime.AddDuration(end.Sub(start))
+	if db.pool != nil {
+		<-db.pool
+	}
 	if !ok {
 		return User{}, ErrNotFound
+	}
+	if db.cache != nil {
+		db.cache.put(string(key), u, time.Now().UnixNano())
 	}
 	return u, nil
 }
@@ -136,8 +191,12 @@ func (db *DB) Exists(username, domain string) bool {
 }
 
 // Len returns the number of provisioned users.
-func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.users)
+func (db *DB) Len() int { return db.backend.Len() }
+
+// CacheLen reports resident credential-cache entries (0 when disabled).
+func (db *DB) CacheLen() int {
+	if db.cache == nil {
+		return 0
+	}
+	return db.cache.len()
 }
