@@ -34,17 +34,21 @@ import (
 	"gosip/internal/metrics"
 	"gosip/internal/overload"
 	"gosip/internal/timerlist"
+	"gosip/internal/trace"
 	"gosip/internal/userdb"
 )
 
-// startMetrics binds addr and serves the introspection mux on it. The
-// bound address is returned so callers (and tests) can use ":0".
-func startMetrics(addr string, prof *metrics.Profile) (*http.Server, net.Addr, error) {
+// startMetrics binds addr and serves the introspection mux on it, with the
+// flight recorder's /trace and /trace.json mounted alongside. The bound
+// address is returned so callers (and tests) can use ":0".
+func startMetrics(addr string, prof *metrics.Profile, rec *trace.Recorder) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	hs := &http.Server{Handler: metrics.NewServeMux(prof)}
+	mux := metrics.NewServeMux(prof)
+	trace.Register(mux, rec)
+	hs := &http.Server{Handler: mux}
 	go hs.Serve(ln)
 	return hs, ln.Addr(), nil
 }
@@ -95,6 +99,9 @@ func main() {
 		dropRx       = flag.Float64("drop-rx", 0, "UDP inbound datagram loss probability (fault injection)")
 		dropTx       = flag.Float64("drop-tx", 0, "UDP outbound datagram loss probability (fault injection)")
 		metricsAddr  = flag.String("metrics-addr", "", "HTTP address for /metrics, /profile, and /debug/pprof (empty = disabled)")
+		traceSample  = flag.Float64("trace-sample", 0, "head-sample rate for per-call traces (0 = only slow/failed calls; needs -trace-slow or itself > 0 to enable tracing)")
+		traceSlow    = flag.Duration("trace-slow", 0, "retain any call whose end-to-end latency reaches this (0 = no slow threshold)")
+		traceRing    = flag.Int("trace-ring", 0, "flight-recorder capacity in retained traces (0 = 256)")
 	)
 	flag.Parse()
 
@@ -169,6 +176,7 @@ func main() {
 	}
 	cfg.Routes = routes
 	cfg.Faults = core.FaultConfig{DropRx: *dropRx, DropTx: *dropTx}
+	cfg.Trace = trace.Config{Sample: *traceSample, Slow: *traceSlow, Ring: *traceRing}
 
 	srv, err := core.New(cfg)
 	if err != nil {
@@ -205,14 +213,19 @@ func main() {
 		}
 	}
 
+	if cfg.Trace.Enabled() {
+		fmt.Printf("sipproxyd: tracing: sample=%g slow=%v ring=%d\n",
+			*traceSample, *traceSlow, *traceRing)
+	}
+
 	if *metricsAddr != "" {
-		hs, bound, err := startMetrics(*metricsAddr, srv.Profile())
+		hs, bound, err := startMetrics(*metricsAddr, srv.Profile(), srv.Tracer())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sipproxyd: metrics listener: %v\n", err)
 			os.Exit(1)
 		}
 		defer hs.Close()
-		fmt.Printf("sipproxyd: metrics on http://%s/metrics (also /profile, /debug/pprof/)\n", bound)
+		fmt.Printf("sipproxyd: metrics on http://%s/metrics (also /profile, /trace, /debug/pprof/)\n", bound)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 
 	"gosip/internal/core"
 	"gosip/internal/loadgen"
+	"gosip/internal/trace"
 	"gosip/internal/transport"
 )
 
@@ -26,6 +28,8 @@ func TestMetricsEndpointSmoke(t *testing.T) {
 		Workers:  2,
 		Stateful: true,
 		Domain:   "metrics.gosip",
+		// Head-sample every call so /trace.json has traces to serve.
+		Trace: trace.Config{Sample: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -33,7 +37,7 @@ func TestMetricsEndpointSmoke(t *testing.T) {
 	defer srv.Close()
 	srv.DB().ProvisionN(8, "metrics.gosip")
 
-	hs, bound, err := startMetrics("127.0.0.1:0", srv.Profile())
+	hs, bound, err := startMetrics("127.0.0.1:0", srv.Profile(), srv.Tracer())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,6 +67,10 @@ func TestMetricsEndpointSmoke(t *testing.T) {
 		"gosip_fdcache_hits_total 0",
 		"gosip_udp_resolve_hits_total",
 		"gosip_goroutines",
+		"gosip_build_info{",
+		"gosip_process_start_time_seconds",
+		"gosip_trace_retained_total",
+		"gosip_trace_dropped_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -83,6 +91,37 @@ func TestMetricsEndpointSmoke(t *testing.T) {
 	pprofIdx := mustGet(t, base+"/debug/pprof/")
 	if !strings.Contains(pprofIdx, "goroutine") {
 		t.Errorf("/debug/pprof/ index looks wrong: %.80s", pprofIdx)
+	}
+
+	// The flight recorder rides the same mux: the human view names the
+	// recorder, and /trace.json parses with at least one retained trace
+	// (every call is head-sampled above) whose spans are populated.
+	traceTxt := mustGet(t, base+"/trace")
+	if !strings.Contains(traceTxt, "flight recorder:") {
+		t.Errorf("/trace missing header: %.120s", traceTxt)
+	}
+	var tj struct {
+		Enabled bool `json:"enabled"`
+		Count   int  `json:"count"`
+		Traces  []struct {
+			CallID string `json:"call_id"`
+			Method string `json:"method"`
+			E2E    int64  `json:"e2e_ns"`
+			Spans  []struct {
+				Stage string `json:"stage"`
+				DurNs int64  `json:"dur_ns"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(mustGet(t, base+"/trace.json")), &tj); err != nil {
+		t.Fatalf("/trace.json: %v", err)
+	}
+	if !tj.Enabled || tj.Count == 0 || len(tj.Traces) == 0 {
+		t.Fatalf("/trace.json has no traces: enabled=%v count=%d", tj.Enabled, tj.Count)
+	}
+	tr := tj.Traces[0]
+	if tr.CallID == "" || tr.Method == "" || tr.E2E <= 0 || len(tr.Spans) == 0 {
+		t.Errorf("retained trace looks empty: %+v", tr)
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"gosip/internal/proxy"
 	"gosip/internal/sipmsg"
 	"gosip/internal/timerlist"
+	"gosip/internal/trace"
 	"gosip/internal/transaction"
 	"gosip/internal/transport"
 	"gosip/internal/userdb"
@@ -144,6 +145,10 @@ type Config struct {
 	// Overload configures the admission controller consulted before any
 	// per-request work (see package overload).
 	Overload overload.Config
+
+	// Trace configures per-call tracing and the tail-sampling flight
+	// recorder (see package trace). The zero value disables tracing.
+	Trace trace.Config
 
 	// TimerInterval is the timer process's check period.
 	TimerInterval time.Duration
@@ -264,6 +269,8 @@ type Server interface {
 	DB() *userdb.DB
 	// Timers exposes the timer scheduler (experiments poll its population).
 	Timers() timerlist.Scheduler
+	// Tracer exposes the flight recorder (nil when tracing is disabled).
+	Tracer() *trace.Recorder
 	// Close shuts the server down and releases all resources.
 	Close() error
 }
@@ -298,13 +305,14 @@ type substrate struct {
 	timers timerlist.Scheduler
 	txns   *transaction.Table
 	ctrl   *overload.Controller
+	rec    *trace.Recorder
 	// obsBusy caches ctrl.NeedsObserve so the per-message path skips two
 	// time.Now calls for policies that ignore busy time.
 	obsBusy bool
 
 	parseHist    *metrics.Histogram
 	parseErrs    *metrics.Counter
-	observeParse func(time.Duration) // bound once; avoids a closure per message
+	observeParse func(*sipmsg.Message, time.Duration) // bound once; avoids a closure per message
 
 	// tcpWriteCalls/tcpWriteMsgs instrument every stream connection's write
 	// side; with coalescing on, calls < msgs is the measured amortization.
@@ -346,10 +354,23 @@ func newSubstrate(cfg Config) *substrate {
 		tcpWriteCalls: prof.Counter(metrics.MetricTCPWriteCalls),
 		tcpWriteMsgs:  prof.Counter(metrics.MetricTCPWriteMsgs),
 	}
-	s.observeParse = s.parseHist.Record
+	s.rec = trace.NewRecorder(cfg.Trace, prof)
+	s.observeParse = s.observeParsed
 	s.ctrl = overload.New(cfg.Overload, cfg.Workers, s.txns.Pending, prof)
 	s.obsBusy = s.ctrl.NeedsObserve()
 	return s
+}
+
+// observeParsed is the stream-reader parse observer: the shared parse
+// histogram plus, for requests, the start of the per-call trace timeline.
+// The timeline's origin is backdated by the parse duration so the parse
+// span sits at offset zero and end-to-end latency covers it.
+func (s *substrate) observeParsed(m *sipmsg.Message, d time.Duration) {
+	s.parseHist.Record(d)
+	if s.rec != nil && m.IsRequest {
+		t0 := time.Now().Add(-d)
+		s.rec.Start(m, t0).Add(trace.StageParse, t0, d)
+	}
 }
 
 func (s *substrate) close() {
@@ -424,10 +445,14 @@ func (s *substrate) dialStream(hostport string) (*transport.StreamConn, error) {
 func (s *substrate) parseOrCount(data []byte) (*sipmsg.Message, bool) {
 	t0 := time.Now()
 	m, err := sipmsg.Parse(data)
-	s.parseHist.Record(time.Since(t0))
+	d := time.Since(t0)
+	s.parseHist.Record(d)
 	if err != nil {
 		s.parseErrs.Inc()
 		return nil, false
+	}
+	if s.rec != nil && m.IsRequest {
+		s.rec.Start(m, t0).Add(trace.StageParse, t0, d)
 	}
 	return m, true
 }
@@ -448,6 +473,8 @@ func (s *substrate) admit(send proxy.Sender, m *sipmsg.Message, origin any, queu
 	if m.IsResponse() || (m.Method != sipmsg.INVITE && m.Method != sipmsg.REGISTER) {
 		return true
 	}
+	tc := trace.Of(m)
+	tA := time.Now()
 	ok, ra := s.ctrl.Decide(queued)
 	if !ok {
 		if key, err := m.TransactionKey(); err == nil && s.txns.Match(key) != nil {
@@ -456,12 +483,15 @@ func (s *substrate) admit(send proxy.Sender, m *sipmsg.Message, origin any, queu
 	}
 	if ok {
 		s.ctrl.CountAdmit()
+		tc.Span(trace.StageAdmission, tA)
 		return true
 	}
 	s.ctrl.CountReject(ra)
 	resp := sipmsg.NewResponse(m, sipmsg.StatusServiceUnavail, sipmsg.NewTag())
 	resp.Add("Retry-After", strconv.Itoa(overload.RetryAfterSeconds(ra)))
 	_ = send.ToOrigin(origin, resp)
+	tc.Span(trace.StageAdmission, tA)
+	tc.Finish(sipmsg.StatusServiceUnavail)
 	return false
 }
 

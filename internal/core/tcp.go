@@ -16,6 +16,7 @@ import (
 	"gosip/internal/proxy"
 	"gosip/internal/sipmsg"
 	"gosip/internal/timerlist"
+	"gosip/internal/trace"
 	"gosip/internal/transport"
 	"gosip/internal/userdb"
 )
@@ -357,7 +358,11 @@ func (w *tcpWorker) handleEvent(ev workerEvent) {
 		ev.m.Release()
 		return // message raced with our idle return; drop as OpenSER would
 	}
-	c.Touch(time.Now(), w.srv.sub.cfg.IdleTimeout)
+	now := time.Now()
+	// The time between the reader's parse and this worker picking the event
+	// up is queue wait — the gap a traced timeline must account for.
+	trace.Of(ev.m).Gap(trace.StageQueue, now)
+	c.Touch(now, w.srv.sub.cfg.IdleTimeout)
 	w.localMgr.Touch(c)
 	// Admission control runs before transaction and database work; the
 	// queue depth doubles as the threshold policy's per-worker load signal.
@@ -454,7 +459,9 @@ func (ts *tcpSender) sendOnConn(c *conn.TCPConn, m *sipmsg.Message) error {
 		return nil
 	}
 	if w.cache != nil {
+		tFd := time.Now()
 		if h := w.cache.Get(c.ID()); h != nil {
+			trace.Of(m).Span(trace.StageFDCache, tFd)
 			if err := h.Send(m); err == nil {
 				c.Touch(time.Now(), w.srv.sub.cfg.IdleTimeout)
 				return nil
@@ -462,7 +469,9 @@ func (ts *tcpSender) sendOnConn(c *conn.TCPConn, m *sipmsg.Message) error {
 			w.cache.Invalidate(c.ID())
 		}
 	}
+	tIPC := time.Now()
 	h, err := w.srv.fabric.RequestFD(w.id, c)
+	trace.Of(m).Span(trace.StageFDIPC, tIPC)
 	if err != nil {
 		return err
 	}
@@ -485,6 +494,7 @@ func (s *tcpServer) Profile() *metrics.Profile   { return s.sub.prof }
 func (s *tcpServer) Location() *location.Service { return s.sub.loc }
 func (s *tcpServer) DB() *userdb.DB              { return s.sub.db }
 func (s *tcpServer) Timers() timerlist.Scheduler { return s.sub.timers }
+func (s *tcpServer) Tracer() *trace.Recorder     { return s.sub.rec }
 
 // ConnCount reports live connection objects (exported for tests and the
 // experiment harness via type assertion).

@@ -14,6 +14,7 @@ import (
 	"gosip/internal/proxy"
 	"gosip/internal/sipmsg"
 	"gosip/internal/timerlist"
+	"gosip/internal/trace"
 	"gosip/internal/transport"
 	"gosip/internal/userdb"
 )
@@ -218,7 +219,10 @@ func (w *threadedWorker) handleEvent(ev workerEvent) {
 		ev.m.Release()
 		return
 	}
-	c.Touch(time.Now(), w.srv.sub.cfg.IdleTimeout)
+	now := time.Now()
+	// Reader-to-worker queue wait, accounted on the traced timeline.
+	trace.Of(ev.m).Gap(trace.StageQueue, now)
+	c.Touch(now, w.srv.sub.cfg.IdleTimeout)
 	w.localMgr.Touch(c)
 	if !w.srv.sub.admit(w.sender, ev.m, c, len(w.events)) {
 		ev.m.Release()
@@ -311,6 +315,7 @@ func (s *threadedServer) Profile() *metrics.Profile   { return s.sub.prof }
 func (s *threadedServer) Location() *location.Service { return s.sub.loc }
 func (s *threadedServer) DB() *userdb.DB              { return s.sub.db }
 func (s *threadedServer) Timers() timerlist.Scheduler { return s.sub.timers }
+func (s *threadedServer) Tracer() *trace.Recorder     { return s.sub.rec }
 
 // ConnCount reports live connection objects.
 func (s *threadedServer) ConnCount() int { return s.table.Len() }

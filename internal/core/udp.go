@@ -11,6 +11,7 @@ import (
 	"gosip/internal/proxy"
 	"gosip/internal/sipmsg"
 	"gosip/internal/timerlist"
+	"gosip/internal/trace"
 	"gosip/internal/transport"
 	"gosip/internal/userdb"
 )
@@ -309,6 +310,7 @@ func (s *udpServer) Profile() *metrics.Profile   { return s.sub.prof }
 func (s *udpServer) Location() *location.Service { return s.sub.loc }
 func (s *udpServer) DB() *userdb.DB              { return s.sub.db }
 func (s *udpServer) Timers() timerlist.Scheduler { return s.sub.timers }
+func (s *udpServer) Tracer() *trace.Recorder     { return s.sub.rec }
 
 // BufferSizes reports the effective socket buffer sizes of the first shard
 // (all shards are configured identically). Exposed for startup logging via

@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunOutliersSmoke runs the tail-explanation experiment at a tiny
+// scale and checks the property the figure exists to demonstrate: every
+// cell retains at least one slow call whose span timeline accounts for its
+// end-to-end latency.
+func TestRunOutliersSmoke(t *testing.T) {
+	sc := OutlierScale{
+		Pairs:           4,
+		CallsPerCaller:  4,
+		Workers:         2,
+		LookupLatency:   3 * time.Millisecond,
+		DBPool:          1,
+		SlowThreshold:   8 * time.Millisecond,
+		Sample:          0.05,
+		Ring:            128,
+		ResponseTimeout: 2 * time.Second,
+		MaxRetries:      3,
+	}
+	rep, err := RunOutliers(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != len(outlierCells) {
+		t.Fatalf("got %d cells, want %d", len(rep.Cells), len(outlierCells))
+	}
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		name := string(c.Transport) + "/" + string(c.Arch)
+		if c.Result.CallsCompleted == 0 {
+			t.Errorf("%s: no calls completed: %+v", name, c.Result)
+		}
+		if c.Retained == 0 || c.SlowRetained == 0 {
+			t.Errorf("%s: recorder retained=%d slow=%d, want both > 0", name, c.Retained, c.SlowRetained)
+		}
+		if c.Exemplar == nil {
+			t.Errorf("%s: no exemplar trace", name)
+			continue
+		}
+		if c.Exemplar.Reason() != "slow" {
+			t.Errorf("%s: exemplar reason = %s, want slow", name, c.Exemplar.Reason())
+		}
+		if !Consistent(c.Exemplar) {
+			t.Errorf("%s: exemplar timeline inconsistent: e2e=%v accounted=%v",
+				name, c.Exemplar.E2E, c.Exemplar.Coverage())
+		}
+		if c.HandlesLeaked != 0 || c.GoroutineDelta > 0 {
+			t.Errorf("%s: leaks: fd=%d goroutines=%d", name, c.HandlesLeaked, c.GoroutineDelta)
+		}
+	}
+	out := rep.Table()
+	for _, want := range []string{"Explaining the tail", "exemplar", "accounted="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	md := rep.Markdown()
+	for _, want := range []string{"| transport |", "Slowest exemplar"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

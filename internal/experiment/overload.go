@@ -11,6 +11,7 @@ import (
 	"gosip/internal/loadgen"
 	"gosip/internal/metrics"
 	"gosip/internal/overload"
+	"gosip/internal/testutil"
 	"gosip/internal/transport"
 	"gosip/internal/userdb"
 )
@@ -234,19 +235,9 @@ func runOverloadCell(sc OverloadScale, policy overload.Policy, kind transport.Ki
 	}
 	closed = true
 	cell.IPCTimeouts = srv.Profile().Counter(metrics.MetricIPCTimeouts).Value()
-	issued := srv.Profile().Counter(metrics.MetricIPCHandlesIssued).Value()
-	hClosed := srv.Profile().Counter(metrics.MetricIPCHandlesClosed).Value()
+	issued, hClosed := testutil.HandleLedger(srv.Profile())
 	cell.HandlesLeaked = issued - hClosed
-	for deadline := time.Now().Add(2 * time.Second); ; {
-		cell.GoroutineDelta = runtime.NumGoroutine() - goroBefore
-		if cell.GoroutineDelta <= 0 || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	if cell.GoroutineDelta < 0 {
-		cell.GoroutineDelta = 0
-	}
+	cell.GoroutineDelta = testutil.SettleGoroutines(goroBefore)
 	return cell, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"gosip/internal/conn"
 	"gosip/internal/ipc"
 	"gosip/internal/metrics"
+	"gosip/internal/testutil"
 	"gosip/internal/transport"
 )
 
@@ -244,14 +245,10 @@ func TestHandleLeakBalance(t *testing.T) {
 	}
 	cache.Close()
 
-	issued := fx.prof.Counter(metrics.MetricIPCHandlesIssued).Value()
-	closed := fx.prof.Counter(metrics.MetricIPCHandlesClosed).Value()
-	if issued == 0 {
+	if issued, _ := testutil.HandleLedger(fx.prof); issued == 0 {
 		t.Fatal("no handles issued; test exercised nothing")
 	}
-	if issued != closed {
-		t.Errorf("handle leak: issued=%d closed=%d", issued, closed)
-	}
+	testutil.CheckHandleLedger(t, fx.prof)
 }
 
 func TestCapacityInvariantProperty(t *testing.T) {

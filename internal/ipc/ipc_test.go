@@ -11,6 +11,7 @@ import (
 	"gosip/internal/conn"
 	"gosip/internal/metrics"
 	"gosip/internal/sipmsg"
+	"gosip/internal/testutil"
 	"gosip/internal/transport"
 )
 
@@ -461,9 +462,7 @@ func TestUnixStaleResponseDrained(t *testing.T) {
 	// Only the handle actually delivered to a worker counts as issued; the
 	// stale response's fd was closed during the drain, so the ledger reads
 	// one issued, one closed — no leak.
-	issued := prof.Counter(metrics.MetricIPCHandlesIssued).Value()
-	closed := prof.Counter(metrics.MetricIPCHandlesClosed).Value()
-	if issued != 1 || closed != 1 {
+	if issued, closed := testutil.HandleLedger(prof); issued != 1 || closed != 1 {
 		t.Errorf("handle ledger issued=%d closed=%d, want 1/1", issued, closed)
 	}
 }
@@ -483,8 +482,7 @@ func TestHandleLedgerBalances(t *testing.T) {
 				h.Close()
 				h.Close() // idempotent: must not inflate handles_closed
 			}
-			issued := env.prof.Counter(metrics.MetricIPCHandlesIssued).Value()
-			closed := env.prof.Counter(metrics.MetricIPCHandlesClosed).Value()
+			issued, closed := testutil.HandleLedger(env.prof)
 			if issued != n || closed != n {
 				t.Errorf("handle ledger issued=%d closed=%d, want %d/%d", issued, closed, n, n)
 			}

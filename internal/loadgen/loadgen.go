@@ -91,6 +91,15 @@ type Result struct {
 	// CallsCompleted and CallsFailed partition the attempts.
 	CallsCompleted int
 	CallsFailed    int
+	// The Failed* counters break CallsFailed down by terminal reason
+	// (they sum to it): no final response within the retransmission
+	// budget, a final 503, any other non-2xx status, or a socket-level
+	// failure. Under overload these tell UDP collapse (timeouts) apart
+	// from TCP collapse (resets) and from deliberate shedding (503s).
+	FailedTimeout   int
+	FailedRejected  int
+	FailedStatus    int
+	FailedTransport int
 	// Retransmits counts UDP client retransmissions.
 	Retransmits int
 	// Reconnects counts TCP connection re-establishments.
@@ -142,11 +151,21 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 
 // String renders the result as one report line.
 func (r Result) String() string {
-	return fmt.Sprintf("%8.0f ops/s  (%d ops in %v; %d calls ok, %d failed, %d rej, %d rtx, %d reconn; lat p50=%v p99=%v max=%v)",
+	return fmt.Sprintf("%8.0f ops/s  (%d ops in %v; %d calls ok, %d failed%s, %d rej, %d rtx, %d reconn; lat p50=%v p99=%v max=%v)",
 		r.Throughput, r.Ops, r.Duration.Round(time.Millisecond),
-		r.CallsCompleted, r.CallsFailed, r.Rejected, r.Retransmits, r.Reconnects,
+		r.CallsCompleted, r.CallsFailed, r.failureBreakdown(), r.Rejected, r.Retransmits, r.Reconnects,
 		r.P50CallLatency.Round(time.Microsecond), r.P99CallLatency.Round(time.Microsecond),
 		r.MaxCallLatency.Round(time.Microsecond))
+}
+
+// failureBreakdown renders the per-reason failure split, or "" when no
+// call failed (the common case — keep the healthy report line short).
+func (r Result) failureBreakdown() string {
+	if r.CallsFailed == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" [%d timeout/%d 503/%d status/%d transport]",
+		r.FailedTimeout, r.FailedRejected, r.FailedStatus, r.FailedTransport)
 }
 
 // CallerUser and CalleeUser name the i-th pair's users.
@@ -284,6 +303,10 @@ func Run(cfg Config) (Result, error) {
 		res.Ops += st.Ops
 		res.CallsCompleted += st.CallsCompleted
 		res.CallsFailed += st.CallsFailed
+		res.FailedTimeout += st.FailedTimeout
+		res.FailedRejected += st.FailedRejected
+		res.FailedStatus += st.FailedStatus
+		res.FailedTransport += st.FailedTransport
 		res.Retransmits += st.Retransmits
 		res.Reconnects += st.Reconnects
 		res.Rejected += st.Rejected

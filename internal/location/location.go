@@ -24,6 +24,7 @@ import (
 
 	"gosip/internal/metrics"
 	"gosip/internal/sipmsg"
+	"gosip/internal/trace"
 )
 
 // Binding is one registered contact for an AOR.
@@ -570,6 +571,9 @@ func (s *Service) Purge(now time.Time) int {
 // response to send. source is the network address the request arrived
 // from; transport is "UDP" or "TCP".
 func (s *Service) HandleRegister(req *sipmsg.Message, source, transport string, now time.Time) *sipmsg.Message {
+	// Registrar work is the REGISTER request's location stage.
+	t0 := time.Now()
+	defer trace.Of(req).Span(trace.StageLocation, t0)
 	toVal, ok := req.Get("To")
 	if !ok {
 		return sipmsg.NewResponse(req, sipmsg.StatusBadRequest, "")

@@ -105,6 +105,11 @@ func NewProfile() *Profile {
 	}
 }
 
+// StartedAt returns the profile's creation instant — the run's start time,
+// exported as gosip_process_start_time_seconds so scrapes spanning a long
+// sweep can detect restarts.
+func (p *Profile) StartedAt() time.Time { return p.started }
+
 // Counter returns the named counter, creating it on first use.
 func (p *Profile) Counter(name string) *Counter {
 	p.mu.Lock()
@@ -328,6 +333,15 @@ const (
 	MetricAuthCacheHits      = "authcache.hits"
 	MetricAuthCacheMisses    = "authcache.misses"
 	MetricAuthCacheEvictions = "authcache.evictions"
+
+	// Flight-recorder counters (internal/trace): timelines kept by the
+	// tail-sampling decision, timelines lost (overwritten in the ring, or
+	// never reaching a terminal response), calls whose span array
+	// overflowed, and calls traced but not retained.
+	MetricTraceRetained   = "trace.retained"
+	MetricTraceDropped    = "trace.dropped"
+	MetricTraceTruncated  = "trace.truncated"
+	MetricTraceSampledOut = "trace.sampled_out"
 )
 
 // GaugeOpenConns is the snapshot-time size of the shared connection table
@@ -404,6 +418,8 @@ var standardCounters = []string{
 	MetricLocRegistered, MetricLocRefreshed, MetricLocExpired,
 	MetricLocDeregistered,
 	MetricAuthCacheHits, MetricAuthCacheMisses, MetricAuthCacheEvictions,
+	MetricTraceRetained, MetricTraceDropped, MetricTraceTruncated,
+	MetricTraceSampledOut,
 }
 
 var standardTimers = []string{

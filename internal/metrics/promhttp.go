@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -121,12 +122,36 @@ func runtimeGauges(w io.Writer) {
 	fmt.Fprintf(w, "gosip_gc_pause_seconds_total %g\n", time.Duration(ms.PauseTotalNs).Seconds())
 }
 
+// buildInfoGauges emits the immutable facts of the running binary —
+// module version, Go toolchain, GOMAXPROCS — as a constant-1 info metric,
+// plus the profile's start instant. Together they let a scrape from a long
+// sweep detect both restarts and binary changes.
+func buildInfoGauges(w io.Writer, p *Profile) {
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				version = s.Value[:12]
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP gosip_build_info Build facts of the running binary (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE gosip_build_info gauge\n")
+	fmt.Fprintf(w, "gosip_build_info{version=%q,goversion=%q,gomaxprocs=\"%d\"} 1\n",
+		version, runtime.Version(), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "# HELP gosip_process_start_time_seconds Unix time the profile (server run) started.\n")
+	fmt.Fprintf(w, "# TYPE gosip_process_start_time_seconds gauge\n")
+	fmt.Fprintf(w, "gosip_process_start_time_seconds %g\n", float64(p.StartedAt().UnixNano())/1e9)
+}
+
 // Handler serves the profile as Prometheus text at every request.
 func Handler(p *Profile) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WritePrometheus(w, p.Snapshot())
 		runtimeGauges(w)
+		buildInfoGauges(w, p)
 	})
 }
 

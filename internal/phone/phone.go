@@ -86,9 +86,19 @@ type Stats struct {
 	CallsAttempted int
 	CallsCompleted int
 	CallsFailed    int
-	Ops            int // completed transactions (INVITE or BYE), the paper's unit
-	Retransmits    int
-	Reconnects     int
+	// The Failed* counters partition CallsFailed by terminal reason, so a
+	// collapsing experiment can say *how* calls died, not just how many:
+	// FailedTimeout — no final response inside the retransmission budget;
+	// FailedRejected — a final 503 ended the call (overload shedding);
+	// FailedStatus — any other non-2xx final status;
+	// FailedTransport — socket-level failure (dial, write, reset).
+	FailedTimeout   int
+	FailedRejected  int
+	FailedStatus    int
+	FailedTransport int
+	Ops             int // completed transactions (INVITE or BYE), the paper's unit
+	Retransmits     int
+	Reconnects      int
 	// AuthRetries counts requests re-sent with credentials after a digest
 	// challenge.
 	AuthRetries int
@@ -114,6 +124,12 @@ type Stats struct {
 var (
 	ErrCallFailed = errors.New("phone: call failed")
 	ErrClosed     = errors.New("phone: closed")
+	// ErrTimeout marks a transaction that never saw a final response
+	// within the retransmission budget; ErrTransport marks socket-level
+	// failures. Both are wrapped under ErrCallFailed when a call dies on
+	// them, so errors.Is works for either level of specificity.
+	ErrTimeout   = errors.New("phone: transaction timeout")
+	ErrTransport = errors.New("phone: transport failure")
 )
 
 // Phone is one simulated SIP endpoint.
@@ -271,8 +287,8 @@ func (p *Phone) Call(callee string) error {
 	})
 	finalInvite, err := p.request(invite, sipmsg.INVITE)
 	if err != nil {
-		p.stats.CallsFailed++
-		return fmt.Errorf("%w: invite: %v", ErrCallFailed, err)
+		p.failCall(0, err)
+		return fmt.Errorf("%w: invite: %w", ErrCallFailed, err)
 	}
 	// An overload rejection (503 + Retry-After) is not a terminal failure:
 	// the phone backs off as instructed — capped so experiment schedules
@@ -294,22 +310,23 @@ func (p *Phone) Call(callee string) error {
 		time.Sleep(ra)
 		invite = p.reoffer(invite)
 		if finalInvite, err = p.request(invite, sipmsg.INVITE); err != nil {
-			p.stats.CallsFailed++
-			return fmt.Errorf("%w: invite: %v", ErrCallFailed, err)
+			p.failCall(0, err)
+			return fmt.Errorf("%w: invite: %w", ErrCallFailed, err)
 		}
 	}
 	if finalInvite.StatusCode == 302 {
 		// A redirection server (§2) answered: the INVITE transaction at the
 		// server is complete (one operation); contact the callee directly.
 		p.stats.Ops++
+		// completeRedirected classifies its own failures (it knows whether
+		// the direct leg died on a status, a timeout, or the socket).
 		if err := p.completeRedirected(invite, finalInvite, callStart); err != nil {
-			p.stats.CallsFailed++
 			return err
 		}
 		return nil
 	}
 	if finalInvite.StatusCode != sipmsg.StatusOK {
-		p.stats.CallsFailed++
+		p.failCall(finalInvite.StatusCode, nil)
 		return fmt.Errorf("%w: invite rejected: %d", ErrCallFailed, finalInvite.StatusCode)
 	}
 	p.stats.Ops++ // invite transaction complete
@@ -323,8 +340,8 @@ func (p *Phone) Call(callee string) error {
 	ack := sipmsg.NewAck(invite, finalInvite, p.via())
 	applyRouteSet(ack, routeSet, remoteTarget)
 	if err := p.send(ack); err != nil {
-		p.stats.CallsFailed++
-		return fmt.Errorf("%w: ack: %v", ErrCallFailed, err)
+		p.failCall(0, err)
+		return fmt.Errorf("%w: ack: %w", ErrCallFailed, err)
 	}
 
 	bye := sipmsg.NewRequest(sipmsg.RequestSpec{
@@ -339,11 +356,11 @@ func (p *Phone) Call(callee string) error {
 	applyRouteSet(bye, routeSet, remoteTarget)
 	finalBye, err := p.request(bye, sipmsg.BYE)
 	if err != nil {
-		p.stats.CallsFailed++
-		return fmt.Errorf("%w: bye: %v", ErrCallFailed, err)
+		p.failCall(0, err)
+		return fmt.Errorf("%w: bye: %w", ErrCallFailed, err)
 	}
 	if finalBye.StatusCode != sipmsg.StatusOK {
-		p.stats.CallsFailed++
+		p.failCall(finalBye.StatusCode, nil)
 		return fmt.Errorf("%w: bye rejected: %d", ErrCallFailed, finalBye.StatusCode)
 	}
 	p.stats.Ops++ // bye transaction complete
@@ -435,6 +452,25 @@ func (p *Phone) reoffer(req *sipmsg.Message) *sipmsg.Message {
 	return r
 }
 
+// failCall counts a terminal call failure under its reason. status is the
+// final status code when the call died on a response (0 when it died on
+// the wire), err the transport-layer error in the latter case. Every
+// failure lands in exactly one Failed* bucket, so the buckets always sum
+// to CallsFailed.
+func (p *Phone) failCall(status int, err error) {
+	p.stats.CallsFailed++
+	switch {
+	case status == sipmsg.StatusServiceUnavail:
+		p.stats.FailedRejected++
+	case status > 0:
+		p.stats.FailedStatus++
+	case errors.Is(err, ErrTimeout):
+		p.stats.FailedTimeout++
+	default:
+		p.stats.FailedTransport++
+	}
+}
+
 // retryAfterDelay reports whether resp is an overload rejection — a 503
 // carrying Retry-After delta-seconds (RFC 3261 §20.33) — and the
 // advertised delay.
@@ -465,15 +501,18 @@ func retryAfterDelay(resp *sipmsg.Message) (time.Duration, bool) {
 func (p *Phone) completeRedirected(invite, redirect *sipmsg.Message, callStart time.Time) error {
 	contactVal, ok := redirect.Get("Contact")
 	if !ok {
+		p.failCall(redirect.StatusCode, nil)
 		return fmt.Errorf("%w: 302 without Contact", ErrCallFailed)
 	}
 	contact, err := sipmsg.ParseNameAddr(contactVal)
 	if err != nil {
+		p.failCall(redirect.StatusCode, nil)
 		return fmt.Errorf("%w: 302 Contact %q: %v", ErrCallFailed, contactVal, err)
 	}
 	target := contact.URI.HostPort()
 	leg, err := p.directLeg(target)
 	if err != nil {
+		p.failCall(0, err)
 		return fmt.Errorf("%w: dial redirect target %s: %v", ErrCallFailed, target, err)
 	}
 	defer leg.close()
@@ -489,13 +528,16 @@ func (p *Phone) completeRedirected(invite, redirect *sipmsg.Message, callStart t
 	seq, _, _ := invite.CSeq()
 	final, err := leg.request(direct, sipmsg.INVITE, &p.stats)
 	if err != nil {
-		return fmt.Errorf("%w: redirected invite: %v", ErrCallFailed, err)
+		p.failCall(0, err)
+		return fmt.Errorf("%w: redirected invite: %w", ErrCallFailed, err)
 	}
 	if final.StatusCode != sipmsg.StatusOK {
+		p.failCall(final.StatusCode, nil)
 		return fmt.Errorf("%w: redirected invite rejected: %d", ErrCallFailed, final.StatusCode)
 	}
 	if err := leg.send(sipmsg.NewAck(direct, final, p.via())); err != nil {
-		return fmt.Errorf("%w: redirected ack: %v", ErrCallFailed, err)
+		p.failCall(0, err)
+		return fmt.Errorf("%w: redirected ack: %w", ErrCallFailed, err)
 	}
 	bye := direct.Clone()
 	bye.Method = sipmsg.BYE
@@ -510,8 +552,13 @@ func (p *Phone) completeRedirected(invite, redirect *sipmsg.Message, callStart t
 		bye.Prepend("Via", via.String())
 	}
 	finalBye, err := leg.request(bye, sipmsg.BYE, &p.stats)
-	if err != nil || finalBye.StatusCode != sipmsg.StatusOK {
-		return fmt.Errorf("%w: redirected bye failed: %v", ErrCallFailed, err)
+	if err != nil {
+		p.failCall(0, err)
+		return fmt.Errorf("%w: redirected bye failed: %w", ErrCallFailed, err)
+	}
+	if finalBye.StatusCode != sipmsg.StatusOK {
+		p.failCall(finalBye.StatusCode, nil)
+		return fmt.Errorf("%w: redirected bye rejected: %d", ErrCallFailed, finalBye.StatusCode)
 	}
 	p.stats.CallsCompleted++
 	p.recordLatency(time.Since(callStart))

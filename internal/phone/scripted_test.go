@@ -1,6 +1,7 @@
 package phone
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -216,6 +217,9 @@ func TestPhonePlain503StaysTerminal(t *testing.T) {
 	if st.Rejected != 0 || st.CallsFailed != 1 {
 		t.Errorf("stats = %+v, want no rejections and 1 failed call", st)
 	}
+	if st.FailedRejected != 1 || st.FailedTimeout+st.FailedStatus+st.FailedTransport != 0 {
+		t.Errorf("failure reasons = %+v, want exactly 1 rejected", st)
+	}
 }
 
 // TestPhoneAnswersDigestChallenge: the fake proxy challenges every fresh
@@ -303,6 +307,44 @@ func TestPhoneRejectedCallCounted(t *testing.T) {
 	st := caller.Stats()
 	if st.CallsFailed != 1 || st.CallsCompleted != 0 || st.Ops != 0 {
 		t.Errorf("stats = %+v", st)
+	}
+	if st.FailedStatus != 1 || st.FailedTimeout+st.FailedRejected+st.FailedTransport != 0 {
+		t.Errorf("failure reasons = %+v, want exactly 1 status failure", st)
+	}
+}
+
+// TestPhoneTimeoutClassified: a proxy that never answers exhausts the
+// retransmission budget; the failure is classified as a timeout and the
+// error chain carries both sentinels.
+func TestPhoneTimeoutClassified(t *testing.T) {
+	srv := newScriptedServer(t, func(req *sipmsg.Message) []*sipmsg.Message {
+		return nil // dead air
+	})
+	p, err := New(Config{
+		Transport:       transport.UDP,
+		ProxyAddr:       srv.addr(),
+		Domain:          "scripted.dom",
+		User:            "alice",
+		ResponseTimeout: 20 * time.Millisecond,
+		MaxRetries:      1,
+	}, Caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	callErr := p.Call("bob")
+	if callErr == nil {
+		t.Fatal("call against dead air succeeded")
+	}
+	if !errors.Is(callErr, ErrCallFailed) || !errors.Is(callErr, ErrTimeout) {
+		t.Errorf("error %v does not wrap ErrCallFailed and ErrTimeout", callErr)
+	}
+	st := p.Stats()
+	if st.FailedTimeout != 1 || st.FailedRejected+st.FailedStatus+st.FailedTransport != 0 {
+		t.Errorf("failure reasons = %+v, want exactly 1 timeout", st)
+	}
+	if st.CallsFailed != st.FailedTimeout+st.FailedRejected+st.FailedStatus+st.FailedTransport {
+		t.Errorf("reason buckets do not sum to CallsFailed: %+v", st)
 	}
 }
 

@@ -1,8 +1,10 @@
 package phone
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -144,7 +146,13 @@ func (e *tcpEndpoint) request(req *sipmsg.Message, method sipmsg.Method, stats *
 		e.completedOp()
 		return final, nil
 	}
-	return nil, fmt.Errorf("tcp transaction failed: %v", lastErr)
+	// A read-deadline expiry means the proxy went silent (the TCP analogue
+	// of the UDP retransmission budget running out); anything else is a
+	// genuine transport fault.
+	if errors.Is(lastErr, os.ErrDeadlineExceeded) {
+		return nil, fmt.Errorf("%w: tcp transaction: %v", ErrTimeout, lastErr)
+	}
+	return nil, fmt.Errorf("%w: tcp transaction: %v", ErrTransport, lastErr)
 }
 
 func (e *tcpEndpoint) awaitFinal(sc *transport.StreamConn, callID string, seq uint32, method sipmsg.Method, deadline time.Time) (*sipmsg.Message, error) {

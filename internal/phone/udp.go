@@ -126,7 +126,7 @@ func (e *udpEndpoint) requestTo(req *sipmsg.Message, method sipmsg.Method, stats
 			deadline = time.Now().Add(e.cfg.ResponseTimeout)
 		}
 	}
-	return nil, fmt.Errorf("no final response after %d attempts: %v", e.cfg.MaxRetries+1, lastErr)
+	return nil, fmt.Errorf("%w: no final response after %d attempts: %v", ErrTimeout, e.cfg.MaxRetries+1, lastErr)
 }
 
 func (e *udpEndpoint) readResponse(deadline time.Time) (*sipmsg.Message, error) {

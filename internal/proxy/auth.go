@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"gosip/internal/sipmsg"
+	"gosip/internal/trace"
 )
 
 // Digest authentication (RFC 2617 as profiled by RFC 3261 §22), the
@@ -160,7 +161,7 @@ func (e *Engine) authorized(m *sipmsg.Message) bool {
 	if creds.Nonce != DigestNonce(m.CallID()) {
 		return false
 	}
-	user, err := e.db.Lookup(creds.Username, e.cfg.Domain)
+	user, err := e.db.LookupTraced(trace.Of(m), creds.Username, e.cfg.Domain)
 	if err != nil {
 		return false
 	}
@@ -182,6 +183,9 @@ func (e *Engine) challenge(s Sender, m *sipmsg.Message, origin any) {
 	resp.Add(header, FormatChallenge(e.cfg.Domain, DigestNonce(m.CallID())))
 	e.authChallenges.Inc()
 	e.sendToOrigin(s, origin, resp)
+	// A challenge terminates this request's timeline. 401/407 is the normal
+	// first round of digest auth, so Finish does not count it as a failure.
+	trace.Of(m).Finish(code)
 }
 
 // requireAuth gates a request when authentication is enabled: it reports

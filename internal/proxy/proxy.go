@@ -19,9 +19,27 @@ import (
 	"gosip/internal/location"
 	"gosip/internal/metrics"
 	"gosip/internal/sipmsg"
+	"gosip/internal/trace"
 	"gosip/internal/transaction"
 	"gosip/internal/userdb"
 )
+
+// borrowTrace threads the traced request's context onto a derived message
+// (a response or forwarded clone) so spans recorded further down the send
+// path — serialization, fd-cache hits, supervisor IPC — land on the
+// originating call's timeline. The derived message only borrows the
+// context: ownership (and pool recycling) stays with the request. Derived
+// messages never outlive the request's context — responses stored in a
+// transaction share its lifetime with the retained request — and records
+// after Finish are no-ops, so a stale borrow can never corrupt a recycled
+// timeline.
+func borrowTrace(dst, src *sipmsg.Message) *trace.Context {
+	tc := trace.Of(src)
+	if tc != nil {
+		dst.BorrowTrace(tc)
+	}
+	return tc
+}
 
 // Sender delivers messages on behalf of the engine. Architectures
 // implement it: the UDP server writes datagrams; the TCP server resolves
@@ -206,7 +224,7 @@ func (e *Engine) handleRequest(s Sender, m *sipmsg.Message, origin any) {
 // contact, removing this server from the rest of the transaction (§2's
 // redirection server).
 func (e *Engine) redirect(s Sender, m *sipmsg.Message, origin any) {
-	binding, ok := e.route(m, false)
+	binding, ok := e.routeTraced(m, false)
 	if !ok {
 		e.reply(s, m, origin, sipmsg.StatusNotFound)
 		return
@@ -214,7 +232,9 @@ func (e *Engine) redirect(s Sender, m *sipmsg.Message, origin any) {
 	resp := sipmsg.NewResponse(m, 302, sipmsg.NewTag())
 	resp.Reason = "Moved Temporarily"
 	resp.Add("Contact", sipmsg.NameAddr{URI: binding.Contact}.String())
+	tc := borrowTrace(resp, m)
 	e.sendToOrigin(s, origin, resp)
+	tc.Finish(302)
 }
 
 // handleCancel implements RFC 3261 §9.2 for the stateful proxy: the CANCEL
@@ -239,8 +259,10 @@ func (e *Engine) handleCancel(s Sender, m *sipmsg.Message, origin any) {
 	e.reply(s, m, origin, sipmsg.StatusOK)
 	resp := sipmsg.NewResponse(tx.Request(), 487, sipmsg.NewTag())
 	resp.Reason = "Request Terminated"
+	txc := borrowTrace(resp, tx.Request())
 	if e.txns.Complete(tx, resp) {
 		e.sendToOrigin(s, tx.Origin, resp)
+		txc.Finish(487)
 		// Best-effort downstream CANCEL so the callee stops ringing.
 		if fwd := tx.Forwarded(); fwd != nil {
 			if binding, ok := e.route(tx.Request(), false); ok {
@@ -260,7 +282,7 @@ func (e *Engine) handleRegister(s Sender, m *sipmsg.Message, origin any) {
 	// as OpenSER does on registration.
 	if to, ok := m.Get("To"); ok {
 		if na, err := sipmsg.ParseNameAddr(to); err == nil && e.db != nil {
-			if !e.db.Exists(na.URI.User, na.URI.Host) {
+			if _, err := e.db.LookupTraced(trace.Of(m), na.URI.User, na.URI.Host); err != nil {
 				e.reply(s, m, origin, sipmsg.StatusNotFound)
 				return
 			}
@@ -271,7 +293,9 @@ func (e *Engine) handleRegister(s Sender, m *sipmsg.Message, origin any) {
 		source = src.String()
 	}
 	resp := e.loc.HandleRegister(m, source, e.cfg.ViaTransport, time.Now())
+	tc := borrowTrace(resp, m)
 	e.sendToOrigin(s, origin, resp)
+	tc.Finish(resp.StatusCode)
 }
 
 // ownRouteURI is the Record-Route entry this proxy inserts.
@@ -335,6 +359,15 @@ func (e *Engine) route(m *sipmsg.Message, dialogRouted bool) (location.Binding, 
 	return e.loc.LookupOne(m.RequestURI, time.Now())
 }
 
+// routeTraced is route with the resolution recorded as the request's
+// location span.
+func (e *Engine) routeTraced(m *sipmsg.Message, dialogRouted bool) (location.Binding, bool) {
+	t0 := time.Now()
+	b, ok := e.route(m, dialogRouted)
+	trace.Of(m).Span(trace.StageLocation, t0)
+	return b, ok
+}
+
 // forwardStateful implements the paper's §2 invite/bye sequence on the
 // proxy side.
 func (e *Engine) forwardStateful(s Sender, m *sipmsg.Message, origin any) {
@@ -343,16 +376,24 @@ func (e *Engine) forwardStateful(s Sender, m *sipmsg.Message, origin any) {
 		e.reply(s, m, origin, sipmsg.StatusBadRequest)
 		return
 	}
+	tc := trace.Of(m)
 	t0 := time.Now()
 	tx, isRetransmit := e.txns.Create(key, m, origin)
-	e.txnHist.Record(time.Since(t0))
+	d := time.Since(t0)
+	e.txnHist.Record(d)
+	tc.Add(trace.StageTxn, t0, d)
 	if isRetransmit {
 		// Absorb: replay the last response if we have one (the state
 		// maintenance that "decreases the amount of retransmitted messages
 		// the server must process").
+		status := 0
 		if last := tx.LastResponse(); last != nil {
 			e.sendToOrigin(s, tx.Origin, last)
+			status = last.StatusCode
 		}
+		// The duplicate's own timeline ends here; the original request's
+		// context keeps tracking the transaction.
+		tc.Finish(status)
 		return
 	}
 
@@ -360,6 +401,7 @@ func (e *Engine) forwardStateful(s Sender, m *sipmsg.Message, origin any) {
 	if m.Method == sipmsg.INVITE {
 		trying := sipmsg.NewResponse(m, sipmsg.StatusTrying, "")
 		tx.RecordUpstreamResponse(trying)
+		borrowTrace(trying, m)
 		e.sendToOrigin(s, origin, trying)
 	}
 
@@ -369,7 +411,7 @@ func (e *Engine) forwardStateful(s Sender, m *sipmsg.Message, origin any) {
 	}
 
 	dialogRouted := e.popOwnRoute(m)
-	binding, ok := e.route(m, dialogRouted)
+	binding, ok := e.routeTraced(m, dialogRouted)
 	if !ok {
 		e.finalizeLocal(s, tx, sipmsg.StatusNotFound)
 		return
@@ -377,6 +419,7 @@ func (e *Engine) forwardStateful(s Sender, m *sipmsg.Message, origin any) {
 
 	// Build the forwarded request: decrement Max-Forwards, push our Via.
 	fwd := m.Clone()
+	borrowTrace(fwd, m)
 	fwd.Set("Max-Forwards", strconv.Itoa(m.MaxForwards(70)-1))
 	via, _ := e.ownVia()
 	fwd.Prepend("Via", via.String())
@@ -401,9 +444,15 @@ func (e *Engine) forwardStateful(s Sender, m *sipmsg.Message, origin any) {
 		ts := e.timerSender
 		e.txns.ArmRetransmit(tx,
 			func(msg *sipmsg.Message) {
+				// Close out the downstream wait before the retransmit span so
+				// waiting time keeps accumulating across retransmissions.
+				now := time.Now()
+				tc.Gap(trace.StageWaitDown, now)
 				_ = ts.ToBinding(binding, msg)
+				tc.Span(trace.StageRetransmit, now)
 			},
 			func() {
+				tc.Gap(trace.StageWaitDown, time.Now())
 				e.finalizeLocalVia(ts, tx, sipmsg.StatusRequestTimeout)
 			})
 	}
@@ -413,17 +462,21 @@ func (e *Engine) forwardStateful(s Sender, m *sipmsg.Message, origin any) {
 // response sent upstream through the worker's sender.
 func (e *Engine) finalizeLocal(s Sender, tx *transaction.Transaction, code int) {
 	resp := e.localFinal(tx, code)
+	tc := borrowTrace(resp, tx.Request())
 	if e.txns.Complete(tx, resp) {
 		e.sendToOrigin(s, tx.Origin, resp)
 	}
+	tc.Finish(code)
 }
 
 // finalizeLocalVia is finalizeLocal for timer-goroutine contexts.
 func (e *Engine) finalizeLocalVia(s Sender, tx *transaction.Transaction, code int) {
 	resp := e.localFinal(tx, code)
+	tc := borrowTrace(resp, tx.Request())
 	if e.txns.Complete(tx, resp) {
 		e.sendToOrigin(s, tx.Origin, resp)
 	}
+	tc.Finish(code)
 }
 
 // localFinal builds a locally generated final response, adding Retry-After
@@ -444,17 +497,22 @@ func (e *Engine) localFinal(tx *transaction.Transaction, code int) *sipmsg.Messa
 // forwardStateless forwards a request with no transaction state: the
 // caller retains responsibility for reliability (§2's stateless proxy).
 func (e *Engine) forwardStateless(s Sender, m *sipmsg.Message) {
+	// The proxy's involvement ends when the forward leaves (or is dropped):
+	// finish the timeline unconditionally. Status 0 = no local response.
+	tc := trace.Of(m)
+	defer tc.Finish(0)
 	if mf := m.MaxForwards(70); mf <= 0 {
 		e.drops.Inc()
 		return
 	}
 	dialogRouted := e.popOwnRoute(m)
-	binding, ok := e.route(m, dialogRouted)
+	binding, ok := e.routeTraced(m, dialogRouted)
 	if !ok {
 		e.drops.Inc()
 		return
 	}
 	fwd := m.Clone()
+	borrowTrace(fwd, m)
 	fwd.Set("Max-Forwards", strconv.Itoa(m.MaxForwards(70)-1))
 	via, _ := e.ownVia()
 	fwd.Prepend("Via", via.String())
@@ -500,11 +558,21 @@ func (e *Engine) handleResponse(s Sender, m *sipmsg.Message) {
 	// key string the old path allocated is gone from the hot path entirely.
 	t0 := time.Now()
 	tx := e.txns.MatchParts(top.Branch(), method)
-	e.txnHist.Record(time.Since(t0))
+	d := time.Since(t0)
+	e.txnHist.Record(d)
 	if tx == nil {
 		// Late or duplicate final response after linger: drop.
 		e.drops.Inc()
 		return
+	}
+	// The response continues its request's timeline: the gap since the last
+	// recorded span (forward send or retransmit) is the downstream wait, and
+	// it must land before the match span so the two don't overlap.
+	tc := trace.Of(tx.Request())
+	tc.Gap(trace.StageWaitDown, t0)
+	tc.Add(trace.StageTxn, t0, d)
+	if tc != nil {
+		fwd.BorrowTrace(tc)
 	}
 	if fwd.StatusCode >= 200 {
 		if !e.txns.Complete(tx, fwd) {
@@ -515,6 +583,9 @@ func (e *Engine) handleResponse(s Sender, m *sipmsg.Message) {
 		tx.RecordUpstreamResponse(fwd)
 	}
 	e.sendToOrigin(s, tx.Origin, fwd)
+	if fwd.StatusCode >= 200 {
+		tc.Finish(fwd.StatusCode)
+	}
 }
 
 // reply sends a locally generated response for a request outside any
@@ -524,7 +595,12 @@ func (e *Engine) reply(s Sender, req *sipmsg.Message, origin any, code int) {
 	if code != sipmsg.StatusTrying {
 		tag = sipmsg.NewTag()
 	}
-	e.sendToOrigin(s, origin, sipmsg.NewResponse(req, code, tag))
+	resp := sipmsg.NewResponse(req, code, tag)
+	tc := borrowTrace(resp, req)
+	e.sendToOrigin(s, origin, resp)
+	// reply is only used for locally terminated requests, so the local
+	// response ends the timeline.
+	tc.Finish(code)
 }
 
 func (e *Engine) sendToOrigin(s Sender, origin any, m *sipmsg.Message) {
@@ -533,6 +609,7 @@ func (e *Engine) sendToOrigin(s Sender, origin any, m *sipmsg.Message) {
 	d := time.Since(start)
 	e.sendTime.AddDuration(d)
 	e.sendHist.Record(d)
+	trace.Of(m).Add(trace.StageSend, start, d)
 	if err != nil {
 		e.drops.Inc()
 	}
@@ -544,6 +621,7 @@ func (e *Engine) sendToBinding(s Sender, b location.Binding, m *sipmsg.Message) 
 	d := time.Since(start)
 	e.sendTime.AddDuration(d)
 	e.sendHist.Record(d)
+	trace.Of(m).Add(trace.StageSend, start, d)
 	return err
 }
 
@@ -553,6 +631,7 @@ func (e *Engine) sendToAddr(s Sender, transport, hostport string, m *sipmsg.Mess
 	d := time.Since(start)
 	e.sendTime.AddDuration(d)
 	e.sendHist.Record(d)
+	trace.Of(m).Add(trace.StageSend, start, d)
 	return err
 }
 

@@ -152,7 +152,36 @@ type Message struct {
 	// message is a no-op, so built messages need no lifecycle discipline.
 	pooled bool
 	refs   atomic.Int32
+
+	// trace is an opaque per-call tracing context riding the message (see
+	// internal/trace; stored as any to keep this package stdlib-only).
+	// traceOwned marks the message as the context's owner: owned contexts
+	// are handed to TraceRelease when the last reference drops, borrowed
+	// ones (a forwarded copy sharing its original's context) are not.
+	trace      any
+	traceOwned bool
 }
+
+// TraceRelease, when set (by internal/trace), recycles an owned tracing
+// context as its message returns to the pool.
+var TraceRelease func(any)
+
+// AttachTrace stores a tracing context the message owns: it is released
+// through TraceRelease when the message's last reference drops.
+func (m *Message) AttachTrace(v any) {
+	m.trace = v
+	m.traceOwned = true
+}
+
+// BorrowTrace stores a tracing context owned by another message, so send
+// paths handling a derived copy can still reach the original's timeline.
+func (m *Message) BorrowTrace(v any) {
+	m.trace = v
+	m.traceOwned = false
+}
+
+// TraceContext returns the riding tracing context, or nil.
+func (m *Message) TraceContext() any { return m.trace }
 
 // Buffers larger than these are dropped at Release instead of being
 // retained by the pool, so one oversized message cannot pin memory.
@@ -221,6 +250,13 @@ func (m *Message) reset() {
 		m.bodyBuf = nil
 	}
 	m.raw = ""
+	if m.trace != nil {
+		if m.traceOwned && TraceRelease != nil {
+			TraceRelease(m.trace)
+		}
+		m.trace = nil
+		m.traceOwned = false
+	}
 	// With no references left, no caller can still hold the cached wire
 	// slice, so its capacity is safe to reuse.
 	if cap(m.wire) > maxPooledBuffer {

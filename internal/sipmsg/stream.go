@@ -86,7 +86,7 @@ type Reader struct {
 	r     *bufio.Reader
 	sp    StreamParser
 	chunk []byte // reusable read buffer
-	obs   func(time.Duration)
+	obs   func(*Message, time.Duration)
 }
 
 // NewReader wraps r for SIP message framing.
@@ -94,11 +94,13 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 8<<10)}
 }
 
-// SetParseObserver registers fn to receive the CPU-side framing/parsing
-// time of each delivered message — the time inside StreamParser.Next,
-// excluding blocked socket reads. nil disables. Not safe to call
-// concurrently with ReadMessage.
-func (r *Reader) SetParseObserver(fn func(time.Duration)) { r.obs = fn }
+// SetParseObserver registers fn to receive each delivered message along
+// with its CPU-side framing/parsing time — the time inside
+// StreamParser.Next, excluding blocked socket reads. The message is passed
+// so per-call instrumentation (tracing) can attach state before the
+// receive loop sees it. nil disables. Not safe to call concurrently with
+// ReadMessage.
+func (r *Reader) SetParseObserver(fn func(*Message, time.Duration)) { r.obs = fn }
 
 // ReadMessage blocks until a complete SIP message arrives or the underlying
 // reader fails.
@@ -115,7 +117,7 @@ func (r *Reader) ReadMessage() (*Message, error) {
 		}
 		if err == nil {
 			if r.obs != nil {
-				r.obs(spent)
+				r.obs(m, spent)
 			}
 			return m, nil
 		}

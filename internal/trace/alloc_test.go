@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+}
+
+// TestSampledOutCycleAllocs pins the promise the package doc makes: a call
+// that is traced but not retained — started, recorded, finished, recycled —
+// allocates nothing. This is the steady state of a proxy running with
+// -trace-slow against healthy traffic, so a single allocation here is a
+// per-message regression in every benchmark.
+func TestSampledOutCycleAllocs(t *testing.T) {
+	skipIfRace(t)
+	r, _ := newRecorder(t, Config{Slow: time.Hour, Ring: 8, Shards: 1})
+	m := parseMsg(t)
+	defer m.Release()
+
+	// Warm the context pool so the first Get's miss is not counted.
+	tc := r.Start(m, time.Now())
+	tc.Finish(200)
+	r.release(tc)
+
+	got := testing.AllocsPerRun(1000, func() {
+		t0 := time.Now()
+		tc := r.Start(m, t0)
+		tc.Add(StageParse, t0, time.Microsecond)
+		tc.Gap(StageQueue, time.Now())
+		tc.Span(StageAdmission, t0)
+		tc.Span(StageTxn, t0)
+		tc.Span(StageSend, t0)
+		tc.Finish(200)
+		r.release(tc)
+	})
+	if got != 0 {
+		t.Errorf("sampled-out trace cycle allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestRecordAllocs pins span recording on a live context at zero
+// allocations, including the saturated (truncating) regime.
+func TestRecordAllocs(t *testing.T) {
+	skipIfRace(t)
+	r, _ := newRecorder(t, Config{Sample: 1, Ring: 8, Shards: 1})
+	m := parseMsg(t)
+	defer m.Release()
+	tc := r.Start(m, time.Now())
+	start := time.Now()
+	got := testing.AllocsPerRun(1000, func() {
+		tc.Span(StageSend, start)
+		tc.Add(StageFDIPC, start, time.Microsecond)
+		tc.Gap(StageWaitDown, time.Now())
+	})
+	if got != 0 {
+		t.Errorf("span recording allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestSnapshotReadAllocs bounds the read side loosely: Snapshot allocates
+// only the result slice, never per-trace copies.
+func TestSnapshotReadAllocs(t *testing.T) {
+	skipIfRace(t)
+	r, _ := newRecorder(t, Config{Sample: 1, Ring: 4, Shards: 1})
+	for i := 0; i < 4; i++ {
+		m := parseMsg(t)
+		r.Start(m, time.Now()).Finish(200)
+		m.Release()
+	}
+	got := testing.AllocsPerRun(100, func() {
+		sinkTrace = r.Snapshot()[0]
+	})
+	// Result-slice growth plus sort.Slice's closure machinery; the point is
+	// that nothing scales with span counts or ring size beyond the slice.
+	if got > 6 {
+		t.Errorf("Snapshot allocates %.1f/op, want <= 6 (result slice + sort only)", got)
+	}
+}

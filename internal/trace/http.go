@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler serves the flight recorder as human-readable text:
+//
+//	/trace?n=50&min=10ms&sort=e2e
+//
+// n bounds the trace count (default 50), min filters on end-to-end
+// latency, sort=e2e orders slowest-first instead of newest-first. A nil
+// recorder serves an explicit "tracing disabled" page rather than a 404,
+// so the endpoint's presence doesn't depend on flag settings.
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if r == nil {
+			fmt.Fprintln(w, "tracing disabled (enable with -trace-sample or -trace-slow)")
+			return
+		}
+		traces := filter(r.Snapshot(), req)
+		cfg := r.Config()
+		fmt.Fprintf(w, "flight recorder: %d trace(s) (sample=%g slow=%v ring=%d)\n",
+			len(traces), cfg.Sample, cfg.Slow, cfg.Ring)
+		for _, t := range traces {
+			fmt.Fprintf(w, "\n#%d %s %s → %d  [%s]  e2e=%v  accounted=%v (%.0f%%)",
+				t.Seq, t.Method, t.CallID, t.Status, t.Reason(),
+				t.E2E.Round(time.Microsecond), t.Coverage().Round(time.Microsecond),
+				100*float64(t.Coverage())/float64(max(t.E2E, 1)))
+			if t.Truncated > 0 {
+				fmt.Fprintf(w, "  (+%d spans truncated)", t.Truncated)
+			}
+			fmt.Fprintln(w)
+			for _, sp := range t.Spans {
+				fmt.Fprintf(w, "    %-14s @%-10v %-10v %5.1f%%\n",
+					sp.Stage, sp.Start.Round(time.Microsecond),
+					sp.Dur.Round(time.Microsecond),
+					100*float64(sp.Dur)/float64(max(t.E2E, 1)))
+			}
+		}
+	})
+}
+
+// jsonTrace is the wire shape of one trace in /trace.json.
+type jsonTrace struct {
+	Seq       uint64     `json:"seq"`
+	CallID    string     `json:"call_id"`
+	Method    string     `json:"method"`
+	Status    int        `json:"status"`
+	Reason    string     `json:"reason"`
+	Start     time.Time  `json:"start"`
+	E2ENanos  int64      `json:"e2e_ns"`
+	Truncated int        `json:"truncated_spans,omitempty"`
+	Spans     []jsonSpan `json:"spans"`
+}
+
+type jsonSpan struct {
+	Stage    string `json:"stage"`
+	StartNs  int64  `json:"start_ns"`
+	DurNanos int64  `json:"dur_ns"`
+}
+
+// JSONHandler serves the flight recorder as JSON. The trace list is always
+// present (possibly empty), so scrapers can assert well-formedness without
+// caring whether tracing is enabled; the same n/min/sort query parameters
+// apply.
+func JSONHandler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var traces []*Trace
+		if r != nil {
+			traces = filter(r.Snapshot(), req)
+		}
+		out := struct {
+			Enabled bool        `json:"enabled"`
+			Count   int         `json:"count"`
+			Traces  []jsonTrace `json:"traces"`
+		}{Enabled: r != nil, Count: len(traces), Traces: make([]jsonTrace, 0, len(traces))}
+		for _, t := range traces {
+			jt := jsonTrace{
+				Seq: t.Seq, CallID: t.CallID, Method: t.Method,
+				Status: t.Status, Reason: t.Reason(), Start: t.Start,
+				E2ENanos: int64(t.E2E), Truncated: t.Truncated,
+				Spans: make([]jsonSpan, 0, len(t.Spans)),
+			}
+			for _, sp := range t.Spans {
+				jt.Spans = append(jt.Spans, jsonSpan{
+					Stage: sp.Stage.String(), StartNs: int64(sp.Start), DurNanos: int64(sp.Dur),
+				})
+			}
+			out.Traces = append(out.Traces, jt)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+}
+
+// Register mounts both views on a mux (the daemon's introspection mux from
+// metrics.NewServeMux).
+func Register(mux *http.ServeMux, r *Recorder) {
+	mux.Handle("/trace", Handler(r))
+	mux.Handle("/trace.json", JSONHandler(r))
+}
+
+// filter applies the shared n/min/sort query parameters to a snapshot.
+func filter(traces []*Trace, req *http.Request) []*Trace {
+	q := req.URL.Query()
+	if v := q.Get("min"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			kept := traces[:0]
+			for _, t := range traces {
+				if t.E2E >= d {
+					kept = append(kept, t)
+				}
+			}
+			traces = kept
+		}
+	}
+	if strings.EqualFold(q.Get("sort"), "e2e") {
+		sort.Slice(traces, func(i, j int) bool { return traces[i].E2E > traces[j].E2E })
+	}
+	n := 50
+	if v := q.Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			n = parsed
+		}
+	}
+	if len(traces) > n {
+		traces = traces[:n]
+	}
+	return traces
+}

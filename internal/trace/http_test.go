@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get serves req against h and returns the body.
+func get(t *testing.T, h http.Handler, url string) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, rec.Code)
+	}
+	return rec.Body.String()
+}
+
+// fill retains n traces with distinct, decreasing ages so the e2e sort and
+// min filter have material to work on.
+func fill(t *testing.T, r *Recorder, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		m := parseMsg(t)
+		t0 := time.Now().Add(-time.Duration(i+1) * 10 * time.Millisecond)
+		tc := r.Start(m, t0)
+		tc.Add(StageParse, t0, time.Millisecond)
+		tc.Finish(200)
+		m.Release()
+	}
+}
+
+func TestHandlerDisabled(t *testing.T) {
+	body := get(t, Handler(nil), "/trace")
+	if !strings.Contains(body, "tracing disabled") {
+		t.Errorf("nil-recorder /trace = %q", body)
+	}
+	var out struct {
+		Enabled bool            `json:"enabled"`
+		Count   int             `json:"count"`
+		Traces  json.RawMessage `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(get(t, JSONHandler(nil), "/trace.json")), &out); err != nil {
+		t.Fatalf("nil-recorder /trace.json: %v", err)
+	}
+	if out.Enabled || out.Count != 0 || string(out.Traces) != "[]" {
+		t.Errorf("nil-recorder JSON = enabled=%v count=%d traces=%s", out.Enabled, out.Count, out.Traces)
+	}
+}
+
+func TestHandlerText(t *testing.T) {
+	r, _ := newRecorder(t, Config{Sample: 1, Slow: time.Second, Ring: 16, Shards: 1})
+	fill(t, r, 3)
+	body := get(t, Handler(r), "/trace")
+	if !strings.Contains(body, "flight recorder: 3 trace(s)") {
+		t.Errorf("/trace header wrong:\n%s", body)
+	}
+	for _, want := range []string{"INVITE", "trace-call-1@10.0.0.1", "[sampled]", "parse", "accounted="} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/trace missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerFilters(t *testing.T) {
+	r, _ := newRecorder(t, Config{Sample: 1, Ring: 16, Shards: 1})
+	fill(t, r, 10)
+
+	decode := func(url string) []jsonTrace {
+		var out struct {
+			Traces []jsonTrace `json:"traces"`
+		}
+		if err := json.Unmarshal([]byte(get(t, JSONHandler(r), url)), &out); err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+		return out.Traces
+	}
+
+	if got := decode("/trace.json?n=4"); len(got) != 4 {
+		t.Errorf("n=4 returned %d traces", len(got))
+	}
+	// Ages run 10ms..100ms: min=55ms keeps the oldest five.
+	if got := decode("/trace.json?min=55ms"); len(got) != 5 {
+		t.Errorf("min=55ms returned %d traces, want 5", len(got))
+	}
+	byE2E := decode("/trace.json?sort=e2e")
+	for i := 1; i < len(byE2E); i++ {
+		if byE2E[i].E2ENanos > byE2E[i-1].E2ENanos {
+			t.Fatalf("sort=e2e not descending at %d", i)
+		}
+	}
+	// Default order is newest (highest seq) first.
+	bySeq := decode("/trace.json")
+	for i := 1; i < len(bySeq); i++ {
+		if bySeq[i].Seq > bySeq[i-1].Seq {
+			t.Fatalf("default order not seq-descending at %d", i)
+		}
+	}
+	// Span payloads carry the stage names.
+	if got := bySeq[0].Spans; len(got) != 1 || got[0].Stage != "parse" {
+		t.Errorf("span payload = %+v", got)
+	}
+}
+
+func TestRegister(t *testing.T) {
+	r, _ := newRecorder(t, Config{Sample: 1, Ring: 4, Shards: 1})
+	fill(t, r, 1)
+	mux := http.NewServeMux()
+	Register(mux, r)
+	if body := get(t, mux, "/trace"); !strings.Contains(body, "flight recorder: 1 trace(s)") {
+		t.Errorf("mux /trace = %.120s", body)
+	}
+	if body := get(t, mux, "/trace.json"); !strings.Contains(body, "\"call_id\"") {
+		t.Errorf("mux /trace.json = %.120s", body)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package trace
+
+// raceEnabled reports whether the race detector is compiled in. The alloc
+// regression tests skip under -race: the detector's instrumentation adds
+// allocations of its own, making testing.AllocsPerRun meaningless.
+const raceEnabled = true

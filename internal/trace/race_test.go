@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gosip/internal/metrics"
+	"gosip/internal/sipmsg"
+)
+
+// TestRecorderConcurrent hammers one recorder from many goroutines —
+// writers running full call cycles, a reader snapshotting, a scraper
+// walking spans — at both extremes of the shard knob. Run under -race this
+// is the proof that the ring's uncoordinated reads and the context
+// recycling are sound; without it, it still exercises overwrite pressure
+// (writers outnumber ring slots).
+func TestRecorderConcurrent(t *testing.T) {
+	for _, shards := range []int{1, 64} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			r, prof := newRecorder(t, Config{Sample: 1, Ring: 32, Shards: shards})
+
+			const writers = 8
+			const perWriter = 200
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+
+			// Reader: snapshot continuously and touch every retained trace's
+			// spans, reasons, and coverage — the /trace handler's access
+			// pattern.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for _, tr := range r.Snapshot() {
+						_ = tr.Reason()
+						_ = tr.Coverage()
+						_ = tr.StageTotal(StageSend)
+					}
+				}
+			}()
+
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWriter; i++ {
+						m, err := sipmsg.Parse([]byte(sampleInvite))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						t0 := time.Now()
+						tc := r.Start(m, t0)
+						tc.Add(StageParse, t0, time.Microsecond)
+						tc.Span(StageTxn, t0)
+						// A "timer goroutine" racing the worker on the same
+						// context, like a retransmission firing mid-handling.
+						done := make(chan struct{})
+						go func() {
+							tc.Gap(StageWaitDown, time.Now())
+							tc.Span(StageRetransmit, t0)
+							close(done)
+						}()
+						tc.Span(StageSend, t0)
+						status := 200
+						if i%7 == 0 {
+							status = 503
+						}
+						tc.Finish(status)
+						<-done
+						m.Release()
+					}
+				}(w)
+			}
+
+			// Wait for the writers, then stop the reader.
+			wgWait := make(chan struct{})
+			go func() { wg.Wait(); close(wgWait) }()
+			deadline := time.After(30 * time.Second)
+			for {
+				if prof.Counter(metrics.MetricTraceRetained).Value() >= writers*perWriter {
+					break
+				}
+				select {
+				case <-deadline:
+					t.Fatal("writers did not finish")
+				case <-time.After(5 * time.Millisecond):
+				}
+			}
+			close(stop)
+			<-wgWait
+
+			// Every call was head-sampled: all retains counted, overwrites
+			// all counted as drops, and the ring is full but not over.
+			retained := prof.Counter(metrics.MetricTraceRetained).Value()
+			dropped := prof.Counter(metrics.MetricTraceDropped).Value()
+			if retained != writers*perWriter {
+				t.Errorf("retained = %d, want %d", retained, writers*perWriter)
+			}
+			live := len(r.Snapshot())
+			if int64(live)+dropped != retained {
+				t.Errorf("ledger: live=%d + dropped=%d != retained=%d", live, dropped, retained)
+			}
+			ringCap := len(r.shards) * len(r.shards[0].slots)
+			if live > ringCap {
+				t.Errorf("snapshot %d exceeds ring capacity %d", live, ringCap)
+			}
+		})
+	}
+}

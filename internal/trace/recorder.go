@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gosip/internal/metrics"
+	"gosip/internal/sipmsg"
+)
+
+// Config tunes the tracer. The zero value disables tracing entirely:
+// NewRecorder returns nil and every call site's nil-safe methods reduce to
+// a pointer test, which is how the default configuration stays within
+// noise of an untraced build.
+type Config struct {
+	// Sample is the head-sampling rate in [0,1]: this fraction of calls is
+	// retained regardless of outcome, giving the flight recorder a baseline
+	// of normal calls to compare outliers against.
+	Sample float64
+	// Slow retains every call whose end-to-end latency reaches this
+	// threshold (0 = no latency-based retention).
+	Slow time.Duration
+	// Ring is the flight recorder's total capacity in traces
+	// (0 = DefaultRing). Old traces are overwritten, newest-first.
+	Ring int
+	// Shards is the ring's shard count, rounded up to a power of two
+	// (0 = one per GOMAXPROCS). More shards cost memory granularity but
+	// remove cross-worker contention on the write cursor.
+	Shards int
+}
+
+// Enabled reports whether this configuration traces anything at all.
+func (c Config) Enabled() bool { return c.Sample > 0 || c.Slow > 0 }
+
+// DefaultRing is the flight recorder's default capacity.
+const DefaultRing = 256
+
+// Recorder owns the context pool and the flight-recorder ring. A nil
+// *Recorder is a valid disabled tracer: Start returns nil contexts and
+// Snapshot returns nothing.
+type Recorder struct {
+	cfg         Config
+	sampleEvery uint64 // head-sample every Nth call; 0 = none
+	seq         atomic.Uint64
+	pool        sync.Pool
+	shards      []ringShard
+	shardMask   uint64
+
+	retained   *metrics.Counter
+	dropped    *metrics.Counter
+	truncated  *metrics.Counter
+	sampledOut *metrics.Counter
+}
+
+// ringShard is one slice of the flight recorder: a lock-free overwrite
+// ring. Writers claim a slot with one atomic add and publish with one
+// atomic pointer swap; readers load pointers without coordination. The
+// cursor is padded onto its own cache line so shards don't false-share.
+type ringShard struct {
+	pos   atomic.Uint64
+	_     [56]byte
+	slots []atomic.Pointer[Trace]
+	mask  uint64
+}
+
+func init() {
+	// Give pooled Messages a way to recycle the context riding them when
+	// their own last reference drops, without sipmsg importing this package.
+	sipmsg.TraceRelease = func(v any) {
+		if c, ok := v.(*Context); ok && c != nil && c.rec != nil {
+			c.rec.release(c)
+		}
+	}
+}
+
+// NewRecorder builds a recorder for cfg, registering its retain/drop
+// counters on prof. Returns nil — a valid, disabled tracer — when the
+// configuration enables nothing.
+func NewRecorder(cfg Config, prof *metrics.Profile) *Recorder {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if prof == nil {
+		prof = metrics.NewProfile()
+	}
+	ring := cfg.Ring
+	if ring <= 0 {
+		ring = DefaultRing
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	nShards := ceilPow2(shards)
+	perShard := ceilPow2((ring + nShards - 1) / nShards)
+	r := &Recorder{
+		cfg:        cfg,
+		shards:     make([]ringShard, nShards),
+		shardMask:  uint64(nShards - 1),
+		retained:   prof.Counter(metrics.MetricTraceRetained),
+		dropped:    prof.Counter(metrics.MetricTraceDropped),
+		truncated:  prof.Counter(metrics.MetricTraceTruncated),
+		sampledOut: prof.Counter(metrics.MetricTraceSampledOut),
+	}
+	for i := range r.shards {
+		r.shards[i].slots = make([]atomic.Pointer[Trace], perShard)
+		r.shards[i].mask = uint64(perShard - 1)
+	}
+	if cfg.Sample > 0 {
+		if cfg.Sample >= 1 {
+			r.sampleEvery = 1
+		} else {
+			r.sampleEvery = uint64(math.Round(1 / cfg.Sample))
+		}
+	}
+	r.pool.New = func() any { return new(Context) }
+	return r
+}
+
+// Config returns the recorder's configuration (zero for a nil recorder).
+func (r *Recorder) Config() Config {
+	if r == nil {
+		return Config{}
+	}
+	return r.cfg
+}
+
+// Start begins a timeline for request m at t0 (the receive/parse instant)
+// and attaches it to the message, which owns it from here: the context
+// recycles when the message's last reference drops. Returns nil — and
+// records nothing anywhere — when the recorder is disabled.
+//
+// The head-sampling decision is a deterministic every-Nth counter rather
+// than a random draw: no RNG on the hot path, and a run of N calls always
+// contains exactly one baseline trace.
+func (r *Recorder) Start(m *sipmsg.Message, t0 time.Time) *Context {
+	if r == nil || m == nil {
+		return nil
+	}
+	c := r.pool.Get().(*Context)
+	c.rec = r
+	c.seq = r.seq.Add(1)
+	c.start = t0
+	c.callID = m.CallID() // aliases the immutable raw copy: no allocation
+	c.method = string(m.Method)
+	c.headSampled = r.sampleEvery != 0 && c.seq%r.sampleEvery == 0
+	m.AttachTrace(c)
+	return c
+}
+
+// release returns a context to the pool when its message recycles. A
+// context that never reached Finish — a call with no terminal response,
+// like a forwarded ACK or a request dropped mid-pipeline — counts as
+// dropped.
+func (r *Recorder) release(c *Context) {
+	c.mu.Lock()
+	fin := c.finished
+	c.mu.Unlock()
+	if !fin {
+		r.dropped.Inc()
+	}
+	c.reset()
+	r.pool.Put(c)
+}
+
+// push publishes a retained trace into the ring, overwriting the oldest
+// entry in its shard; overwrites count as dropped.
+func (r *Recorder) push(t *Trace) {
+	sh := &r.shards[t.Seq&r.shardMask]
+	i := (sh.pos.Add(1) - 1) & sh.mask
+	if old := sh.slots[i].Swap(t); old != nil {
+		r.dropped.Inc()
+	}
+	r.retained.Inc()
+}
+
+// Snapshot returns the currently retained traces, newest first. The read
+// is uncoordinated with writers: a trace published mid-snapshot may or may
+// not appear, which is the right semantics for a flight recorder.
+func (r *Recorder) Snapshot() []*Trace {
+	if r == nil {
+		return nil
+	}
+	var out []*Trace
+	for i := range r.shards {
+		sh := &r.shards[i]
+		for j := range sh.slots {
+			if t := sh.slots[j].Load(); t != nil {
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	return out
+}
+
+// Of returns the trace context riding m, or nil when m carries none
+// (tracing disabled, or m is a response/built message).
+func Of(m *sipmsg.Message) *Context {
+	if m == nil {
+		return nil
+	}
+	c, _ := m.TraceContext().(*Context)
+	return c
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,394 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gosip/internal/metrics"
+	"gosip/internal/sipmsg"
+)
+
+const sampleInvite = "INVITE sip:user1@trace.gosip SIP/2.0\r\n" +
+	"Via: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-trace-1\r\n" +
+	"Max-Forwards: 70\r\n" +
+	"From: <sip:user0@trace.gosip>;tag=abc\r\n" +
+	"To: <sip:user1@trace.gosip>\r\n" +
+	"Call-ID: trace-call-1@10.0.0.1\r\n" +
+	"CSeq: 1 INVITE\r\n" +
+	"Content-Length: 0\r\n\r\n"
+
+func parseMsg(t testing.TB) *sipmsg.Message {
+	t.Helper()
+	m, err := sipmsg.Parse([]byte(sampleInvite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// newRecorder builds an enabled recorder over a fresh profile and returns
+// both so tests can read the retain/drop counters.
+func newRecorder(t testing.TB, cfg Config) (*Recorder, *metrics.Profile) {
+	t.Helper()
+	prof := metrics.NewProfile()
+	r := NewRecorder(cfg, prof)
+	if r == nil {
+		t.Fatalf("NewRecorder(%+v) = nil, want enabled", cfg)
+	}
+	return r, prof
+}
+
+// TestDisabledRecorder pins the disabled configuration: a nil recorder,
+// nil contexts, and no-op methods all the way down.
+func TestDisabledRecorder(t *testing.T) {
+	if r := NewRecorder(Config{}, metrics.NewProfile()); r != nil {
+		t.Fatalf("zero Config must disable the recorder, got %+v", r)
+	}
+	var r *Recorder
+	m := parseMsg(t)
+	defer m.Release()
+	tc := r.Start(m, time.Now())
+	if tc != nil {
+		t.Fatal("nil recorder must return a nil context")
+	}
+	// All nil-context methods must be safe no-ops.
+	tc.Span(StageParse, time.Now())
+	tc.Add(StageSend, time.Now(), time.Millisecond)
+	tc.Gap(StageQueue, time.Now())
+	tc.Finish(200)
+	if tc.Finished() {
+		t.Fatal("nil context cannot be finished")
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil recorder Snapshot = %v, want nil", got)
+	}
+	if Of(m) != nil {
+		t.Fatal("message without a context must yield Of == nil")
+	}
+}
+
+// TestTimeline exercises the full record → finish → snapshot path and the
+// span/gap arithmetic on one call.
+func TestTimeline(t *testing.T) {
+	r, _ := newRecorder(t, Config{Sample: 1, Ring: 8, Shards: 1})
+	m := parseMsg(t)
+	defer m.Release()
+
+	t0 := time.Now().Add(-10 * time.Millisecond)
+	tc := r.Start(m, t0)
+	if tc == nil {
+		t.Fatal("Start returned nil for an enabled recorder")
+	}
+	if Of(m) != tc {
+		t.Fatal("Of(m) must return the attached context")
+	}
+	tc.Add(StageParse, t0, 2*time.Millisecond)
+	// A gap from the parse span's end to t0+5ms.
+	tc.Gap(StageQueue, t0.Add(5*time.Millisecond))
+	tc.Add(StageSend, t0.Add(5*time.Millisecond), 3*time.Millisecond)
+	tc.Finish(200)
+	if !tc.Finished() {
+		t.Fatal("Finish must mark the context finished")
+	}
+	// Post-finish records must be dropped.
+	tc.Add(StageRetransmit, time.Now(), time.Second)
+
+	traces := r.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("Snapshot returned %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Method != "INVITE" || tr.CallID != "trace-call-1@10.0.0.1" {
+		t.Errorf("trace identity = %s %s", tr.Method, tr.CallID)
+	}
+	if tr.Status != 200 || tr.Reason() != "sampled" {
+		t.Errorf("status/reason = %d/%s, want 200/sampled", tr.Status, tr.Reason())
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(tr.Spans), tr.Spans)
+	}
+	if q := tr.Spans[1]; q.Stage != StageQueue || q.Start != 2*time.Millisecond || q.Dur != 3*time.Millisecond {
+		t.Errorf("gap span = %+v, want queue @2ms for 3ms", q)
+	}
+	if got := tr.StageTotal(StageSend); got != 3*time.Millisecond {
+		t.Errorf("StageTotal(send) = %v, want 3ms", got)
+	}
+	// parse[0,2) + queue[2,5) + send[5,8): a contiguous 8ms union.
+	if got := tr.Coverage(); got != 8*time.Millisecond {
+		t.Errorf("Coverage = %v, want 8ms", got)
+	}
+	if tr.E2E < 10*time.Millisecond {
+		t.Errorf("E2E = %v, want >= backdated 10ms", tr.E2E)
+	}
+}
+
+// TestCoverageUnion pins the interval-union semantics: nested and
+// overlapping spans must not double-count.
+func TestCoverageUnion(t *testing.T) {
+	tr := &Trace{Spans: []Span{
+		{Stage: StageSend, Start: 10 * time.Millisecond, Dur: 10 * time.Millisecond},
+		{Stage: StageFDIPC, Start: 12 * time.Millisecond, Dur: 4 * time.Millisecond},     // nested in send
+		{Stage: StageParse, Start: 0, Dur: 2 * time.Millisecond},                         // disjoint
+		{Stage: StageWaitDown, Start: 18 * time.Millisecond, Dur: 10 * time.Millisecond}, // overlaps send's tail
+	}}
+	// [0,2) ∪ [10,28) = 2ms + 18ms.
+	if got := tr.Coverage(); got != 20*time.Millisecond {
+		t.Errorf("Coverage = %v, want 20ms", got)
+	}
+	if (&Trace{}).Coverage() != 0 {
+		t.Error("empty trace must have zero coverage")
+	}
+}
+
+// TestTailDecision covers all four Finish outcomes: slow, failed,
+// head-sampled, and sampled out — plus the 401/407 challenge exemption.
+func TestTailDecision(t *testing.T) {
+	r, prof := newRecorder(t, Config{Sample: 0.5, Slow: 5 * time.Millisecond, Ring: 32, Shards: 1})
+	finish := func(age time.Duration, status int) {
+		m := parseMsg(t)
+		defer m.Release()
+		tc := r.Start(m, time.Now().Add(-age))
+		tc.Finish(status)
+	}
+
+	// Sequence numbers drive head sampling (every 2nd call with Sample=0.5),
+	// so issue calls in pairs: odd seq = not head-sampled.
+	finish(0, 200)                   // seq 1: fast, ok, unsampled → sampled out
+	finish(0, 200)                   // seq 2: head-sampled → retained
+	finish(10*time.Millisecond, 200) // seq 3: slow → retained
+	finish(0, 503)                   // seq 4: failed (and head-sampled) → retained
+	finish(0, 401)                   // seq 5: challenge, not a failure → sampled out
+	finish(0, 487)                   // seq 6: failed → retained
+
+	byReason := map[string]int{}
+	for _, tr := range r.Snapshot() {
+		byReason[tr.Reason()]++
+	}
+	if byReason["slow"] != 1 || byReason["failed"] != 2 || byReason["sampled"] != 1 {
+		t.Errorf("retained by reason = %v, want slow=1 failed=2 sampled=1", byReason)
+	}
+	if got := prof.Counter(metrics.MetricTraceRetained).Value(); got != 4 {
+		t.Errorf("trace.retained = %d, want 4", got)
+	}
+	if got := prof.Counter(metrics.MetricTraceSampledOut).Value(); got != 2 {
+		t.Errorf("trace.sampled_out = %d, want 2", got)
+	}
+}
+
+// TestFinishIdempotent pins double-Finish: one retain, one counter bump.
+func TestFinishIdempotent(t *testing.T) {
+	r, prof := newRecorder(t, Config{Sample: 1, Ring: 8, Shards: 1})
+	m := parseMsg(t)
+	defer m.Release()
+	tc := r.Start(m, time.Now())
+	tc.Finish(200)
+	tc.Finish(500) // must be a no-op
+	if got := len(r.Snapshot()); got != 1 {
+		t.Fatalf("double Finish retained %d traces, want 1", got)
+	}
+	if got := r.Snapshot()[0].Status; got != 200 {
+		t.Errorf("status = %d, want the first Finish's 200", got)
+	}
+	if got := prof.Counter(metrics.MetricTraceRetained).Value(); got != 1 {
+		t.Errorf("trace.retained = %d, want 1", got)
+	}
+}
+
+// TestTruncation fills the span array past MaxSpans and checks the
+// truncation accounting on the retained trace and the counter.
+func TestTruncation(t *testing.T) {
+	r, prof := newRecorder(t, Config{Sample: 1, Ring: 8, Shards: 1})
+	m := parseMsg(t)
+	defer m.Release()
+	tc := r.Start(m, time.Now())
+	for i := 0; i < MaxSpans+5; i++ {
+		tc.Add(StageRetransmit, time.Now(), time.Microsecond)
+	}
+	tc.Finish(200)
+	tr := r.Snapshot()[0]
+	if len(tr.Spans) != MaxSpans || tr.Truncated != 5 {
+		t.Errorf("spans=%d truncated=%d, want %d/5", len(tr.Spans), tr.Truncated, MaxSpans)
+	}
+	if got := prof.Counter(metrics.MetricTraceTruncated).Value(); got != 1 {
+		t.Errorf("trace.truncated = %d, want 1", got)
+	}
+}
+
+// TestMessageRecycleReleasesContext proves the sipmsg.TraceRelease hookup:
+// a message's last Release recycles its owned context, and a context that
+// never reached Finish counts as dropped.
+func TestMessageRecycleReleasesContext(t *testing.T) {
+	r, prof := newRecorder(t, Config{Sample: 1, Ring: 8, Shards: 1})
+
+	m := parseMsg(t)
+	r.Start(m, time.Now()) // never finished
+	m.Release()
+	if got := prof.Counter(metrics.MetricTraceDropped).Value(); got != 1 {
+		t.Fatalf("unfinished context not counted dropped: %d", got)
+	}
+
+	// A finished context recycles silently.
+	m = parseMsg(t)
+	r.Start(m, time.Now()).Finish(200)
+	m.Release()
+	if got := prof.Counter(metrics.MetricTraceDropped).Value(); got != 1 {
+		t.Fatalf("finished context counted dropped: %d", got)
+	}
+
+	// A borrowed context must NOT be recycled by the borrower: releasing the
+	// clone leaves the original's context attached and usable.
+	m = parseMsg(t)
+	defer m.Release()
+	tc := r.Start(m, time.Now())
+	clone := m.Clone()
+	clone.BorrowTrace(tc)
+	clone.Release() // non-pooled: no-op, and must not release tc
+	if Of(m) != tc || tc.Finished() {
+		t.Fatal("borrowing clone corrupted the owner's context")
+	}
+	tc.Finish(200)
+}
+
+// TestRingOverwrite pins the overwrite-oldest policy and its drop
+// accounting on a deliberately tiny single-shard ring.
+func TestRingOverwrite(t *testing.T) {
+	const ring = 4
+	r, prof := newRecorder(t, Config{Sample: 1, Ring: ring, Shards: 1})
+	const calls = 10
+	for i := 0; i < calls; i++ {
+		m := parseMsg(t)
+		r.Start(m, time.Now()).Finish(200)
+		m.Release()
+	}
+	traces := r.Snapshot()
+	if len(traces) != ring {
+		t.Fatalf("ring holds %d traces, want %d", len(traces), ring)
+	}
+	// Newest first, and exactly the last `ring` sequence numbers survive.
+	for i, tr := range traces {
+		if want := uint64(calls - i); tr.Seq != want {
+			t.Errorf("trace[%d].Seq = %d, want %d", i, tr.Seq, want)
+		}
+	}
+	if got := prof.Counter(metrics.MetricTraceDropped).Value(); got != calls-ring {
+		t.Errorf("trace.dropped = %d, want %d overwrites", got, calls-ring)
+	}
+	if got := prof.Counter(metrics.MetricTraceRetained).Value(); got != calls {
+		t.Errorf("trace.retained = %d, want %d", got, calls)
+	}
+}
+
+// TestHeadSampleEvery pins the deterministic every-Nth head sampler.
+func TestHeadSampleEvery(t *testing.T) {
+	for _, tt := range []struct {
+		sample float64
+		every  uint64
+	}{{1, 1}, {0.5, 2}, {0.1, 10}, {0.001, 1000}} {
+		r := NewRecorder(Config{Sample: tt.sample}, metrics.NewProfile())
+		if r.sampleEvery != tt.every {
+			t.Errorf("Sample=%g: sampleEvery=%d, want %d", tt.sample, r.sampleEvery, tt.every)
+		}
+	}
+	// Slow-only config never head-samples.
+	r := NewRecorder(Config{Slow: time.Second}, metrics.NewProfile())
+	if r.sampleEvery != 0 {
+		t.Errorf("slow-only config sampleEvery=%d, want 0", r.sampleEvery)
+	}
+}
+
+// TestStageNames ensures every stage has a distinct printable name (the
+// JSON schema key space).
+func TestStageNames(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Stage(0); s < numStages; s++ {
+		name := s.String()
+		if name == "" || name == "unknown" || seen[name] {
+			t.Errorf("stage %d has bad or duplicate name %q", s, name)
+		}
+		seen[name] = true
+	}
+	if Stage(200).String() != "unknown" {
+		t.Error("out-of-range stage must print unknown")
+	}
+}
+
+// TestShardSizing pins the ring geometry arithmetic.
+func TestShardSizing(t *testing.T) {
+	r := NewRecorder(Config{Sample: 1, Ring: 100, Shards: 3}, metrics.NewProfile())
+	if len(r.shards) != 4 {
+		t.Errorf("shards = %d, want 4 (ceil pow2 of 3)", len(r.shards))
+	}
+	for i := range r.shards {
+		if got := len(r.shards[i].slots); got != 32 {
+			t.Errorf("shard %d has %d slots, want 32 (ceil pow2 of 100/4)", i, got)
+		}
+	}
+	for _, tt := range []struct{ in, out int }{{0, 1}, {1, 1}, {2, 2}, {3, 4}, {64, 64}, {65, 128}} {
+		if got := ceilPow2(tt.in); got != tt.out {
+			t.Errorf("ceilPow2(%d) = %d, want %d", tt.in, got, tt.out)
+		}
+	}
+}
+
+// TestGapRequiresProgress ensures Gap never records a non-positive span
+// (a clock running backwards relative to the last span's end).
+func TestGapRequiresProgress(t *testing.T) {
+	r, _ := newRecorder(t, Config{Sample: 1, Ring: 8, Shards: 1})
+	m := parseMsg(t)
+	defer m.Release()
+	t0 := time.Now()
+	tc := r.Start(m, t0)
+	tc.Add(StageParse, t0, 5*time.Millisecond)
+	tc.Gap(StageQueue, t0.Add(2*time.Millisecond)) // before parse's end: no span
+	tc.Finish(200)
+	if tr := r.Snapshot()[0]; len(tr.Spans) != 1 {
+		t.Errorf("regressive gap recorded: %+v", tr.Spans)
+	}
+}
+
+var sinkTrace *Trace
+
+// BenchmarkRecordSpan measures the per-span cost on the hot path.
+func BenchmarkRecordSpan(b *testing.B) {
+	r, _ := newRecorder(b, Config{Sample: 1, Ring: 8})
+	m := parseMsg(b)
+	defer m.Release()
+	tc := r.Start(m, time.Now())
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.mu.Lock()
+		tc.n = 0 // keep the array from saturating without Finish in the loop
+		tc.mu.Unlock()
+		tc.Span(StageSend, start)
+	}
+}
+
+// BenchmarkSampledOutCycle measures the full per-call tracer overhead for
+// a call that is not retained — the common case that must stay invisible
+// in the figure-3/4/5 benchmarks.
+func BenchmarkSampledOutCycle(b *testing.B) {
+	r, _ := newRecorder(b, Config{Slow: time.Hour, Ring: 8})
+	m := parseMsg(b)
+	defer m.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		tc := r.Start(m, t0)
+		tc.Add(StageParse, t0, time.Microsecond)
+		tc.Span(StageSend, t0)
+		tc.Finish(200)
+		r.release(tc)
+	}
+}
+
+func ExampleTrace_Reason() {
+	fmt.Println((&Trace{Failed: true, Slow: true}).Reason())
+	fmt.Println((&Trace{Slow: true}).Reason())
+	fmt.Println((&Trace{Sampled: true}).Reason())
+	// Output:
+	// failed
+	// slow
+	// sampled
+}

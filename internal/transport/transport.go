@@ -285,10 +285,10 @@ func (c *StreamConn) InstrumentWrites(calls, msgs *metrics.Counter) {
 // connection is shared between goroutines.
 func (c *StreamConn) EnableCoalesce() { c.coalesce = true }
 
-// SetParseObserver forwards fn to the framing reader: it receives the
-// parse-only time of each delivered message (blocked socket reads
+// SetParseObserver forwards fn to the framing reader: it receives each
+// delivered message and its parse-only time (blocked socket reads
 // excluded). Set it before the connection's reader goroutine starts.
-func (c *StreamConn) SetParseObserver(fn func(time.Duration)) {
+func (c *StreamConn) SetParseObserver(fn func(*sipmsg.Message, time.Duration)) {
 	c.rd.SetParseObserver(fn)
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gosip/internal/metrics"
+	"gosip/internal/trace"
 )
 
 // User is a provisioned subscriber.
@@ -136,6 +137,14 @@ func PasswordFor(username string) string { return "secret-" + username }
 // the query itself (stage.db_lookup; the userdb.lookup timer carries the
 // sum, which is what the caller experienced).
 func (db *DB) Lookup(username, domain string) (User, error) {
+	return db.LookupTraced(nil, username, domain)
+}
+
+// LookupTraced is Lookup with per-call span attribution: the pool-slot
+// wait and the query land on tc's timeline as db_queue and db_lookup in
+// addition to the aggregate histograms. A nil tc (tracing disabled or the
+// call sampled out) costs nothing extra.
+func (db *DB) LookupTraced(tc *trace.Context, username, domain string) (User, error) {
 	var stack [96]byte
 	key := stack[:0]
 	if len(username)+1+len(domain) > len(stack) {
@@ -157,6 +166,7 @@ func (db *DB) Lookup(username, domain string) (User, error) {
 	}
 	queued := time.Now()
 	db.queueHist.Record(queued.Sub(start))
+	tc.Add(trace.StageDBQueue, start, queued.Sub(start))
 	if db.cfg.LookupLatency > 0 {
 		time.Sleep(db.cfg.LookupLatency)
 	}
@@ -172,6 +182,7 @@ func (db *DB) Lookup(username, domain string) (User, error) {
 	end := time.Now()
 	db.lookupHist.Record(end.Sub(queued))
 	db.lookupTime.AddDuration(end.Sub(start))
+	tc.Add(trace.StageDBLookup, queued, end.Sub(queued))
 	if db.pool != nil {
 		<-db.pool
 	}
