@@ -88,6 +88,12 @@ func main() {
 		timerImpl    = flag.String("timer-impl", "heap", "timer data structure: heap (paper-faithful) or wheel (sharded timing wheel)")
 		timerShards  = flag.Int("timer-shards", 0, "timing-wheel shard count (0 = GOMAXPROCS; heap ignores this)")
 		txnShards    = flag.Int("txn-shards", 0, "transaction-table shards, rounded to a power of two (0 = max(16, 4x GOMAXPROCS))")
+		txnT1        = flag.Duration("t1", 0, "RFC 3261 T1 round-trip estimate: base retransmit interval for Timers A/E/G (0 = 500ms)")
+		txnT2        = flag.Duration("t2", 0, "RFC 3261 T2 retransmit-interval cap for Timers E/G (0 = 4s)")
+		txnTimerB    = flag.Duration("timer-b", 0, "client transaction timeout, Timers B/F (0 = 64*T1)")
+		txnTimerD    = flag.Duration("timer-d", 0, "completed non-2xx INVITE transaction lifetime, Timer D (0 = 32s)")
+		txnTimerH    = flag.Duration("timer-h", 0, "ACK wait after a non-2xx INVITE final, Timer H (0 = 64*T1)")
+		txnLinger    = flag.Duration("txn-linger", 0, "completed-transaction absorb window for non-INVITE and 2xx finals, Timers J/K (0 = 2s)")
 		dispatch     = flag.String("dispatch", "rr", "threaded connection dispatch: rr (round-robin) or affinity (peer-hash worker pinning)")
 		dbLatency    = flag.Duration("db-latency", 0, "simulated user-database lookup latency")
 		dbBackend    = flag.String("db-backend", "memory", "user-database driver: memory or sql (latency-modelled; uses -db-latency per query)")
@@ -161,6 +167,12 @@ func main() {
 		},
 	}
 	cfg.Txn.Shards = *txnShards
+	cfg.Txn.T1 = *txnT1
+	cfg.Txn.T2 = *txnT2
+	cfg.Txn.TimerB = *txnTimerB
+	cfg.Txn.TimerD = *txnTimerD
+	cfg.Txn.TimerH = *txnTimerH
+	cfg.Txn.Linger = *txnLinger
 	cfg.LocShards = *locShards
 	cfg.DB.PoolSize = *dbPool
 	cfg.DB.Cache = userdb.CacheConfig{Entries: *authCache, TTL: *authCacheTTL}

@@ -274,17 +274,20 @@ const (
 	MetricMsgsProcessed  = "proxy.messages"
 	MetricTxnCreated     = "txn.created"
 	MetricRetransmits    = "txn.retransmits"
-	MetricLockWaitTime   = "lock.conn_table"   // time waiting on the shared connection table lock
-	MetricTimerLockWait  = "lock.timers"       // contended wait on the timer subsystem's lock(s)
-	MetricTxnLockWait    = "lock.txn_shards"   // contended wait on transaction-table shard locks
-	MetricSupervisorWork = "supervisor.handle" // time the supervisor spends handling requests
-	MetricProcessTime    = "worker.process"    // time workers spend processing SIP messages
-	MetricSendTime       = "worker.send"       // time workers spend sending (incl. fd acquisition)
-	MetricDBLookupTime   = "userdb.lookup"
-	MetricLocLockWait    = "lock.location" // contended wait on location-service shard locks
-	MetricParseErrors    = "proxy.parse_errors"
-	MetricResolveHit     = "udp.resolve_hits"   // UDP destination-address resolve cache hits
-	MetricResolveMiss    = "udp.resolve_misses" // UDP destination-address resolve cache misses
+	// MetricFinalRetransmits counts Timer G retransmissions of a non-2xx
+	// INVITE final while the server transaction waits for its ACK.
+	MetricFinalRetransmits = "txn.final_retransmits"
+	MetricLockWaitTime     = "lock.conn_table"   // time waiting on the shared connection table lock
+	MetricTimerLockWait    = "lock.timers"       // contended wait on the timer subsystem's lock(s)
+	MetricTxnLockWait      = "lock.txn_shards"   // contended wait on transaction-table shard locks
+	MetricSupervisorWork   = "supervisor.handle" // time the supervisor spends handling requests
+	MetricProcessTime      = "worker.process"    // time workers spend processing SIP messages
+	MetricSendTime         = "worker.send"       // time workers spend sending (incl. fd acquisition)
+	MetricDBLookupTime     = "userdb.lookup"
+	MetricLocLockWait      = "lock.location" // contended wait on location-service shard locks
+	MetricParseErrors      = "proxy.parse_errors"
+	MetricResolveHit       = "udp.resolve_hits"   // UDP destination-address resolve cache hits
+	MetricResolveMiss      = "udp.resolve_misses" // UDP destination-address resolve cache misses
 
 	// Overload-control counters (internal/overload): every new INVITE the
 	// admission controller saw, the split into admitted vs rejected-with-503,
@@ -405,7 +408,8 @@ var StageNames = []string{
 var standardCounters = []string{
 	MetricIPCCount, MetricFDCacheHit, MetricFDCacheMiss, MetricIdleScanVisits,
 	MetricConnsAccepted, MetricConnsClosed, MetricMsgsProcessed,
-	MetricTxnCreated, MetricRetransmits, MetricParseErrors,
+	MetricTxnCreated, MetricRetransmits, MetricFinalRetransmits,
+	MetricParseErrors,
 	MetricResolveHit, MetricResolveMiss,
 	MetricOverloadOffered, MetricOverloadAdmitted, MetricOverloadRejected,
 	MetricOverloadPauses, MetricIPCTimeouts,

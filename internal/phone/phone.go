@@ -303,6 +303,11 @@ func (p *Phone) Call(callee string) error {
 		if attempt >= p.cfg.RejectRetries {
 			break
 		}
+		// Acknowledge the rejected final before abandoning its transaction,
+		// so a stateful proxy's INVITE server transaction confirms instead
+		// of retransmitting the 503 on Timer G. The terminal final (reject
+		// retries exhausted, or any other non-2xx) is ACKed below.
+		p.ackNon2xx(invite, finalInvite)
 		if ra > p.cfg.BackoffCap {
 			ra = p.cfg.BackoffCap
 		}
@@ -314,6 +319,9 @@ func (p *Phone) Call(callee string) error {
 			return fmt.Errorf("%w: invite: %w", ErrCallFailed, err)
 		}
 	}
+	// RFC 3261 §17.1.1.3: every non-2xx INVITE final gets an ACK on the
+	// INVITE's own branch, confirming the server transaction upstream.
+	p.ackNon2xx(invite, finalInvite)
 	if finalInvite.StatusCode == 302 {
 		// A redirection server (§2) answered: the INVITE transaction at the
 		// server is complete (one operation); contact the callee directly.
@@ -367,6 +375,19 @@ func (p *Phone) Call(callee string) error {
 	p.stats.CallsCompleted++
 	p.recordLatency(time.Since(callStart))
 	return nil
+}
+
+// ackNon2xx acknowledges a non-2xx INVITE final (RFC 3261 §17.1.1.3).
+// NewAck reuses the INVITE's branch for status ≥ 300, so the ACK lands in
+// the proxy's INVITE server transaction, moving it Completed → Confirmed
+// and stopping the Timer G final-response retransmission cycle.
+// Best-effort and fire-and-forget: the transaction above gives up on
+// Timer H regardless, and a duplicate ACK is absorbed in Confirmed.
+func (p *Phone) ackNon2xx(invite, resp *sipmsg.Message) {
+	if resp == nil || resp.StatusCode < 300 {
+		return
+	}
+	_ = p.send(sipmsg.NewAck(invite, resp, p.via()))
 }
 
 func (p *Phone) recordLatency(elapsed time.Duration) {

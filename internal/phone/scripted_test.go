@@ -86,6 +86,11 @@ func TestPhoneFollowsRedirect(t *testing.T) {
 	contact := callee.Contact()
 
 	srv := newScriptedServer(t, func(req *sipmsg.Message) []*sipmsg.Message {
+		if req.Method == sipmsg.ACK {
+			// The caller ACKs the 302 final (§17.1.1.3); absorb it like a
+			// real redirect server.
+			return nil
+		}
 		if req.Method != sipmsg.INVITE {
 			t.Errorf("redirect server got %s", req.Method)
 			return nil

@@ -1,6 +1,7 @@
 package phone
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -147,6 +148,39 @@ func (e *udpEndpoint) readResponse(deadline time.Time) (*sipmsg.Message, error) 
 	}
 }
 
+// pending2xx is an INVITE 200 still waiting for its ACK. RFC 3261
+// §13.3.1.4 puts 2xx retransmission on the UAS core, not the transaction
+// layer — the proxy absorbs retransmitted INVITEs instead of relaying
+// them, so a 200 lost between callee and proxy is only ever recovered by
+// the callee resending it on a doubling schedule until the ACK lands.
+type pending2xx struct {
+	callID   string
+	wire     []byte
+	dst      *net.UDPAddr
+	deadline time.Time
+	interval time.Duration
+	tries    int
+}
+
+// uas2xxTries bounds the retransmission schedule: with doubling intervals
+// this spans roughly 64*T1, the RFC's give-up horizon.
+const uas2xxTries = 8
+
+// uas2xxInterval picks the base retransmission interval: half the
+// configured per-attempt patience so a lost 200 is resent before the
+// caller burns a retry, defaulting to the RFC's T1.
+func (e *udpEndpoint) uas2xxInterval() time.Duration {
+	if e.cfg.ResponseTimeout > 0 {
+		return e.cfg.ResponseTimeout / 2
+	}
+	return 500 * time.Millisecond
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // startAnswering runs the callee loop: answer every incoming request.
 // Safe to call more than once (a callee re-registering must not spawn a
 // second loop).
@@ -159,12 +193,43 @@ func (e *udpEndpoint) startAnswering() {
 	e.answering.Add(1)
 	go func() {
 		defer e.answering.Done()
+		var pending []pending2xx
 		for {
-			if err := e.sock.SetReadDeadline(time.Time{}); err != nil {
+			// Block until traffic arrives, or until the next unacknowledged
+			// 200 is due for retransmission.
+			deadline := time.Time{}
+			for _, p := range pending {
+				if deadline.IsZero() || p.deadline.Before(deadline) {
+					deadline = p.deadline
+				}
+			}
+			if err := e.sock.SetReadDeadline(deadline); err != nil {
 				return
 			}
 			pkt, err := e.sock.ReadPacket()
 			if err != nil {
+				if isTimeout(err) && len(pending) > 0 {
+					now := time.Now()
+					kept := pending[:0]
+					for _, p := range pending {
+						if !p.deadline.After(now) {
+							if e.sock.WriteTo(p.wire, p.dst) != nil {
+								return
+							}
+							p.tries++
+							p.interval *= 2
+							if p.interval > 4*time.Second {
+								p.interval = 4 * time.Second
+							}
+							p.deadline = now.Add(p.interval)
+						}
+						if p.tries < uas2xxTries {
+							kept = append(kept, p)
+						}
+					}
+					pending = kept
+					continue
+				}
 				select {
 				case <-e.done:
 					return
@@ -182,15 +247,40 @@ func (e *udpEndpoint) startAnswering() {
 				m.Release()
 				continue
 			}
+			if m.Method == sipmsg.ACK {
+				// The ACK confirms our 200: stop retransmitting it.
+				callID := m.CallID()
+				kept := pending[:0]
+				for _, p := range pending {
+					if p.callID != callID {
+						kept = append(kept, p)
+					}
+				}
+				pending = kept
+			}
 			// All responses to one request leave in a single batch: the
 			// provisional and final share one sendmmsg where available.
 			e.dgs = e.dgs[:0]
+			var final *sipmsg.Message
 			for _, resp := range answer(m, e.cfg.User, sipmsg.URI{User: e.cfg.User, Host: "127.0.0.1", Port: e.sock.LocalAddr().Port}) {
 				e.dgs = append(e.dgs, transport.Datagram{Data: resp.Serialize(), Dst: src})
+				if resp.StatusCode >= 200 {
+					final = resp
+				}
 			}
 			if err := e.sock.WriteBatch(e.bw, e.dgs); err != nil {
 				m.Release()
 				return
+			}
+			if m.Method == sipmsg.INVITE && final != nil && final.StatusCode < 300 {
+				iv := e.uas2xxInterval()
+				pending = append(pending, pending2xx{
+					callID:   m.CallID(),
+					wire:     final.Serialize(),
+					dst:      src,
+					deadline: time.Now().Add(iv),
+					interval: iv,
+				})
 			}
 			m.Release()
 		}

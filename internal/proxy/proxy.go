@@ -6,6 +6,12 @@
 // request or response, absorb retransmissions, and — over unreliable
 // transports — arm retransmission timers via the transaction layer.
 //
+// The engine is the TU (transaction user) of RFC 3261 §17: every stateful
+// request runs through the transaction layer's server/client machine pair,
+// and what the engine does with a message is dictated by the typed
+// disposition the machines return — absorb, replay, pass up, ACK — never
+// re-derived from the message alone.
+//
 // The engine is shared by all workers; per-worker state (such as the fd
 // cache) lives behind the Sender interface each architecture supplies.
 package proxy
@@ -32,12 +38,12 @@ import (
 // messages never outlive the request's context — responses stored in a
 // transaction share its lifetime with the retained request — and records
 // after Finish are no-ops, so a stale borrow can never corrupt a recycled
-// timeline.
+// timeline. trace.Of returns nil for untraced (sampled-out) messages, but
+// every Context method is nil-safe and a borrowed nil is inert, so no call
+// site needs a nil check.
 func borrowTrace(dst, src *sipmsg.Message) *trace.Context {
 	tc := trace.Of(src)
-	if tc != nil {
-		dst.BorrowTrace(tc)
-	}
+	dst.BorrowTrace(tc)
 	return tc
 }
 
@@ -125,6 +131,7 @@ type Engine struct {
 
 	msgs           *metrics.Counter
 	drops          *metrics.Counter
+	absorbed       *metrics.Counter
 	authChallenges *metrics.Counter
 	dialogRouted   *metrics.Counter
 	procTime       *metrics.Timer
@@ -143,6 +150,7 @@ func NewEngine(cfg Config, loc *location.Service, db *userdb.DB, txns *transacti
 		txns:           txns,
 		msgs:           profile.Counter(metrics.MetricMsgsProcessed),
 		drops:          profile.Counter("proxy.drops"),
+		absorbed:       profile.Counter("proxy.absorbed"),
 		authChallenges: profile.Counter("proxy.auth_challenges"),
 		dialogRouted:   profile.Counter("proxy.dialog_routed"),
 		procTime:       profile.Timer(metrics.MetricProcessTime),
@@ -201,8 +209,7 @@ func (e *Engine) handleRequest(s Sender, m *sipmsg.Message, origin any) {
 			// The ACK for our 3xx terminates the redirected transaction.
 			return
 		}
-		// ACKs for 2xx are end-to-end: forwarded statelessly.
-		e.forwardStateless(s, m)
+		e.handleAck(s, m)
 	case sipmsg.CANCEL:
 		e.handleCancel(s, m, origin)
 	case sipmsg.INVITE, sipmsg.BYE, sipmsg.OPTIONS:
@@ -218,6 +225,29 @@ func (e *Engine) handleRequest(s Sender, m *sipmsg.Message, origin any) {
 	default:
 		e.reply(s, m, origin, sipmsg.StatusNotImplemented)
 	}
+}
+
+// handleAck routes an ACK through the INVITE server machine. An ACK whose
+// branch matches an INVITE transaction we answered with a non-2xx final is
+// the transaction layer's own traffic (§17.2.1): it confirms the final,
+// stops the Timer G retransmission cycle, and goes no further. An ACK for
+// a 2xx is end-to-end and is forwarded statelessly, as is any ACK with no
+// matching transaction (e.g. after the absorb window closed).
+func (e *Engine) handleAck(s Sender, m *sipmsg.Message) {
+	if e.cfg.Stateful && e.txns != nil {
+		if top, err := m.TopVia(); err == nil && top.Branch() != "" {
+			if tx := e.txns.MatchParts(top.Branch(), sipmsg.ACK); tx != nil {
+				if e.txns.OnAck(tx) == transaction.AckAbsorbed {
+					e.absorbed.Inc()
+					tc := trace.Of(m)
+					tc.Span(trace.StageState, time.Now())
+					tc.Finish(0)
+					return
+				}
+			}
+		}
+	}
+	e.forwardStateless(s, m)
 }
 
 // redirect answers a request with 302 Moved Temporarily and the registered
@@ -237,44 +267,64 @@ func (e *Engine) redirect(s Sender, m *sipmsg.Message, origin any) {
 	tc.Finish(302)
 }
 
-// handleCancel implements RFC 3261 §9.2 for the stateful proxy: the CANCEL
-// itself is answered 200 immediately; if the matching INVITE transaction
+// handleCancel implements RFC 3261 §9.2 for the stateful proxy. The CANCEL
+// is its own server transaction (§17.2.3) keyed branch|CANCEL, answered
+// 200 whenever it matches an INVITE transaction — even one that already
+// answered, where the CANCEL then has no further effect. While the INVITE
 // is still proceeding, the proxy completes it upstream with 487 Request
-// Terminated and propagates the CANCEL downstream on a best-effort basis.
+// Terminated and propagates the CANCEL downstream; if the CANCEL raced in
+// before the INVITE left the proxy, RequestCancel defers the downstream
+// leg to the forwarding worker (or suppresses the forward entirely), so
+// the cancel is never silently lost.
 func (e *Engine) handleCancel(s Sender, m *sipmsg.Message, origin any) {
 	if !e.cfg.Stateful || e.txns == nil {
 		e.reply(s, m, origin, sipmsg.StatusNotImplemented)
 		return
 	}
-	key, err := m.TransactionKey() // CANCEL maps onto the INVITE key
+	top, err := m.TopVia()
+	if err != nil || top.Branch() == "" {
+		e.reply(s, m, origin, sipmsg.StatusBadRequest)
+		return
+	}
+	key, err := m.TransactionKey()
 	if err != nil {
 		e.reply(s, m, origin, sipmsg.StatusBadRequest)
 		return
 	}
-	tx := e.txns.Match(key)
-	if tx == nil {
-		e.reply(s, m, origin, sipmsg.StatusTransactionNotFound)
+	ctx, isRetransmit := e.txns.Create(key, m, origin)
+	if isRetransmit {
+		status := 0
+		if last := e.txns.OnRetransmit(ctx); last != nil {
+			e.sendToOrigin(s, ctx.Origin, last)
+			status = last.StatusCode
+		}
+		trace.Of(m).Finish(status)
 		return
 	}
-	e.reply(s, m, origin, sipmsg.StatusOK)
-	resp := sipmsg.NewResponse(tx.Request(), 487, sipmsg.NewTag())
-	resp.Reason = "Request Terminated"
-	txc := borrowTrace(resp, tx.Request())
-	if e.txns.Complete(tx, resp) {
-		e.sendToOrigin(s, tx.Origin, resp)
-		txc.Finish(487)
-		// Best-effort downstream CANCEL so the callee stops ringing.
-		if fwd := tx.Forwarded(); fwd != nil {
-			if binding, ok := e.route(tx.Request(), false); ok {
-				cancel := fwd.Clone()
-				cancel.Method = sipmsg.CANCEL
-				seq, _, _ := fwd.CSeq()
-				cancel.Set("CSeq", fmt.Sprintf("%d %s", seq, sipmsg.CANCEL))
-				cancel.Body = nil
-				_ = e.sendToBinding(s, binding, cancel)
-			}
-		}
+	inv := e.txns.MatchParts(top.Branch(), sipmsg.INVITE)
+	if inv == nil {
+		e.finalizeLocal(s, ctx, sipmsg.StatusTransactionNotFound)
+		return
 	}
+	// §9.2: the CANCEL transaction answers 200 regardless of whether there
+	// is anything left to cancel.
+	e.finalizeLocal(s, ctx, sipmsg.StatusOK)
+	fwd, deferred, alreadyFinal := inv.RequestCancel()
+	if alreadyFinal {
+		return
+	}
+	resp := sipmsg.NewResponse(inv.Request(), sipmsg.StatusRequestTerminated, sipmsg.NewTag())
+	txc := borrowTrace(resp, inv.Request())
+	if e.completeUpstream(s, inv, resp) {
+		txc.Finish(sipmsg.StatusRequestTerminated)
+	}
+	if deferred || fwd == nil {
+		// The INVITE is not on the wire yet: MarkForwardSent hands the
+		// downstream CANCEL to the forwarding worker (or the forward is
+		// suppressed altogether now that the transaction has its final).
+		return
+	}
+	e.cancelDownstream(s, inv, fwd)
 }
 
 func (e *Engine) handleRegister(s Sender, m *sipmsg.Message, origin any) {
@@ -383,11 +433,11 @@ func (e *Engine) forwardStateful(s Sender, m *sipmsg.Message, origin any) {
 	e.txnHist.Record(d)
 	tc.Add(trace.StageTxn, t0, d)
 	if isRetransmit {
-		// Absorb: replay the last response if we have one (the state
-		// maintenance that "decreases the amount of retransmitted messages
-		// the server must process").
+		// Absorb through the server machine: replay the last response if
+		// the machine says so (the state maintenance that "decreases the
+		// amount of retransmitted messages the server must process").
 		status := 0
-		if last := tx.LastResponse(); last != nil {
+		if last := e.txns.OnRetransmit(tx); last != nil {
 			e.sendToOrigin(s, tx.Origin, last)
 			status = last.StatusCode
 		}
@@ -417,6 +467,14 @@ func (e *Engine) forwardStateful(s Sender, m *sipmsg.Message, origin any) {
 		return
 	}
 
+	// A CANCEL that raced in during routing has already answered the
+	// transaction upstream with 487: suppress the forward entirely — the
+	// cleanest resolution of the CANCEL/forward race.
+	if tx.State() != transaction.StateProceeding {
+		tc.Finish(0)
+		return
+	}
+
 	// Build the forwarded request: decrement Max-Forwards, push our Via.
 	fwd := m.Clone()
 	borrowTrace(fwd, m)
@@ -431,18 +489,26 @@ func (e *Engine) forwardStateful(s Sender, m *sipmsg.Message, origin any) {
 		e.finalizeLocal(s, tx, sipmsg.StatusServerError)
 		return
 	}
-	e.txns.SetForwarded(tx, downKey, fwd)
+	e.txns.SetForwarded(tx, downKey, fwd, binding)
 
 	if err := e.sendToBinding(s, binding, fwd); err != nil {
 		e.finalizeLocal(s, tx, sipmsg.StatusServiceUnavail)
 		return
 	}
 
+	// The forward is on the wire. If a CANCEL raced in mid-send, we own
+	// the downstream CANCEL now — this ordering guarantees the CANCEL is
+	// never sent before the INVITE it cancels.
+	if tx.MarkForwardSent() {
+		e.cancelDownstream(s, tx, fwd)
+	}
+
 	// Step 2 makes the proxy responsible for delivery: retransmit over
-	// unreliable transports until a response arrives.
+	// unreliable transports until a response arrives (Timer A/E), failing
+	// upstream with 408 when Timer B/F fires.
 	if !e.cfg.Reliable && e.timerSender != nil {
 		ts := e.timerSender
-		e.txns.ArmRetransmit(tx,
+		e.txns.ArmClientTimers(tx,
 			func(msg *sipmsg.Message) {
 				// Close out the downstream wait before the retransmit span so
 				// waiting time keeps accumulating across retransmissions.
@@ -453,30 +519,94 @@ func (e *Engine) forwardStateful(s Sender, m *sipmsg.Message, origin any) {
 			},
 			func() {
 				tc.Gap(trace.StageWaitDown, time.Now())
-				e.finalizeLocalVia(ts, tx, sipmsg.StatusRequestTimeout)
+				e.finalizeLocal(ts, tx, sipmsg.StatusRequestTimeout)
 			})
 	}
 }
 
 // finalizeLocal completes the transaction with a locally generated final
-// response sent upstream through the worker's sender.
+// response sent upstream through the given sender (a worker's sender, or
+// the timer sender from timer-goroutine contexts).
 func (e *Engine) finalizeLocal(s Sender, tx *transaction.Transaction, code int) {
 	resp := e.localFinal(tx, code)
 	tc := borrowTrace(resp, tx.Request())
-	if e.txns.Complete(tx, resp) {
-		e.sendToOrigin(s, tx.Origin, resp)
-	}
+	e.completeUpstream(s, tx, resp)
 	tc.Finish(code)
 }
 
-// finalizeLocalVia is finalizeLocal for timer-goroutine contexts.
-func (e *Engine) finalizeLocalVia(s Sender, tx *transaction.Transaction, code int) {
-	resp := e.localFinal(tx, code)
-	tc := borrowTrace(resp, tx.Request())
-	if e.txns.Complete(tx, resp) {
-		e.sendToOrigin(s, tx.Origin, resp)
+// completeUpstream pushes a final response through the server machine and
+// upstream. For a non-2xx INVITE final over an unreliable transport the
+// transaction enters the §17.2.1 ACK wait: the final is retransmitted on
+// Timer G via the timer sender until the ACK confirms it or Timer H gives
+// up. Returns false when the transaction already answered — the duplicate
+// final is absorbed, which the state span records on the call's timeline.
+func (e *Engine) completeUpstream(s Sender, tx *transaction.Transaction, resp *sipmsg.Message) bool {
+	var replay func(*sipmsg.Message)
+	if !e.cfg.Reliable && e.timerSender != nil &&
+		tx.Request().Method == sipmsg.INVITE && resp.StatusCode >= 300 {
+		ts := e.timerSender
+		origin := tx.Origin
+		tc := trace.Of(tx.Request())
+		replay = func(final *sipmsg.Message) {
+			now := time.Now()
+			e.sendToOrigin(ts, origin, final)
+			tc.Span(trace.StageRetransmit, now)
+		}
 	}
-	tc.Finish(code)
+	t0 := time.Now()
+	ok := e.txns.SendFinal(tx, resp, replay)
+	trace.Of(tx.Request()).Span(trace.StageState, t0)
+	if !ok {
+		e.absorbed.Inc()
+		return false
+	}
+	e.sendToOrigin(s, tx.Origin, resp)
+	return true
+}
+
+// ackDownstream acknowledges a downstream non-2xx INVITE final on the
+// transaction layer's behalf (§17.1.1.3): the ACK reuses the forwarded
+// INVITE's branch (same transaction) and follows the same route.
+func (e *Engine) ackDownstream(s Sender, tx *transaction.Transaction, resp *sipmsg.Message) {
+	fwd := tx.Forwarded()
+	if fwd == nil {
+		return
+	}
+	binding, ok := tx.DownRoute().(location.Binding)
+	if !ok {
+		return
+	}
+	via, _ := e.ownVia()
+	ack := sipmsg.NewAck(fwd, resp, via)
+	borrowTrace(ack, tx.Request())
+	_ = e.sendToBinding(s, binding, ack)
+}
+
+// cancelDownstream derives a CANCEL from the forwarded INVITE per §9.1 —
+// same Request-URI, From, To, Call-ID, CSeq number, and top Via (same
+// branch: the CANCEL targets the INVITE's transaction at the next hop) —
+// and sends it along the INVITE's route. A CANCEL must not carry a body,
+// body-describing headers, or the INVITE's Record-Route, and it is a
+// single-hop request, so only our own Via survives the clone.
+func (e *Engine) cancelDownstream(s Sender, tx *transaction.Transaction, fwd *sipmsg.Message) {
+	binding, ok := tx.DownRoute().(location.Binding)
+	if !ok {
+		return
+	}
+	cancel := fwd.Clone()
+	cancel.Method = sipmsg.CANCEL
+	seq, _, _ := fwd.CSeq()
+	cancel.Set("CSeq", fmt.Sprintf("%d %s", seq, sipmsg.CANCEL))
+	cancel.Body = nil
+	cancel.Del("Content-Type")
+	cancel.Del("Content-Length")
+	cancel.Del("Record-Route")
+	if top, err := fwd.TopVia(); err == nil {
+		cancel.Del("Via")
+		cancel.Add("Via", top.String())
+	}
+	borrowTrace(cancel, tx.Request())
+	_ = e.sendToBinding(s, binding, cancel)
 }
 
 // localFinal builds a locally generated final response, adding Retry-After
@@ -521,7 +651,10 @@ func (e *Engine) forwardStateless(s Sender, m *sipmsg.Message) {
 	}
 }
 
-// handleResponse pops our Via and forwards the response upstream.
+// handleResponse pops our Via and forwards the response upstream — or
+// absorbs it, as the client machine directs: downstream 100s are hop-by-hop
+// (§16.7), retransmitted finals were already answered, and non-2xx INVITE
+// finals are ACKed downstream by the transaction layer itself.
 func (e *Engine) handleResponse(s Sender, m *sipmsg.Message) {
 	top, err := m.TopVia()
 	if err != nil || top.Branch() == "" {
@@ -535,14 +668,13 @@ func (e *Engine) handleResponse(s Sender, m *sipmsg.Message) {
 		return
 	}
 
-	fwd := m.Clone()
-	if !fwd.RemoveFirst("Via") {
-		e.drops.Inc()
-		return
-	}
-
 	if !e.cfg.Stateful || e.txns == nil {
 		// Stateless: relay toward the next Via's sent-by.
+		fwd := m.Clone()
+		if !fwd.RemoveFirst("Via") {
+			e.drops.Inc()
+			return
+		}
 		next, err := fwd.TopVia()
 		if err != nil {
 			e.drops.Inc()
@@ -551,6 +683,15 @@ func (e *Engine) handleResponse(s Sender, m *sipmsg.Message) {
 		if err := e.sendToAddr(s, next.Transport, next.SentBy(), fwd); err != nil {
 			e.drops.Inc()
 		}
+		return
+	}
+
+	if method == sipmsg.CANCEL {
+		// The response to our own downstream CANCEL. The CANCEL leg is
+		// fire-and-forget (§9.1: a failed CANCEL changes nothing) and its
+		// transaction is the next hop's, not ours: consume it here so it
+		// can never complete the INVITE transaction it shares a branch with.
+		e.absorbed.Inc()
 		return
 	}
 
@@ -571,20 +712,38 @@ func (e *Engine) handleResponse(s Sender, m *sipmsg.Message) {
 	tc := trace.Of(tx.Request())
 	tc.Gap(trace.StageWaitDown, t0)
 	tc.Add(trace.StageTxn, t0, d)
-	if tc != nil {
-		fwd.BorrowTrace(tc)
+
+	fwd := m.Clone()
+	if !fwd.RemoveFirst("Via") {
+		e.drops.Inc()
+		return
 	}
-	if fwd.StatusCode >= 200 {
-		if !e.txns.Complete(tx, fwd) {
-			e.drops.Inc() // duplicate final
-			return
+	// Unconditional: trace.Of is nil for sampled-out requests, but Context
+	// methods are nil-safe and borrowing a nil is inert (see borrowTrace).
+	fwd.BorrowTrace(tc)
+
+	disp := e.txns.OnClientResponse(tx, fwd)
+	switch disp {
+	case transaction.RespAbsorb100:
+		// §16.7: 100 Trying is hop-by-hop; we answered upstream with our
+		// own. It stays recorded as lastResp for retransmit replay.
+		e.absorbed.Inc()
+	case transaction.RespPassProvisional:
+		e.sendToOrigin(s, tx.Origin, fwd)
+	case transaction.RespPassFinal, transaction.RespPassFinalAck:
+		if disp == transaction.RespPassFinalAck {
+			e.ackDownstream(s, tx, fwd)
 		}
-	} else {
-		tx.RecordUpstreamResponse(fwd)
-	}
-	e.sendToOrigin(s, tx.Origin, fwd)
-	if fwd.StatusCode >= 200 {
-		tc.Finish(fwd.StatusCode)
+		if e.completeUpstream(s, tx, fwd) {
+			tc.Finish(fwd.StatusCode)
+		}
+	case transaction.RespDupFinalAck:
+		// A retransmitted non-2xx INVITE final: our ACK was lost — re-ACK,
+		// but the upstream replay is Timer G's job, not this response's.
+		e.ackDownstream(s, tx, fwd)
+		e.absorbed.Inc()
+	default: // RespAbsorb
+		e.absorbed.Inc()
 	}
 }
 

@@ -512,3 +512,261 @@ func TestDescribe(t *testing.T) {
 		t.Error("empty description")
 	}
 }
+
+// TestDownstream100Absorbed pins §16.7: a downstream 100 Trying is
+// hop-by-hop and must not be relayed upstream, but it still refreshes the
+// transaction's replay response so absorbed retransmits answer with the
+// freshest status. Later provisionals relay normally.
+func TestDownstream100Absorbed(t *testing.T) {
+	v := newEnv(t, true, false)
+	v.registerUser(1, "10.0.0.2", 5072)
+	s := &fakeSender{}
+	req := invite(0, 1)
+	v.engine.Handle(s, req, "o")
+	fwd := s.addrMsgs()[0].msg
+	upBefore := len(s.originMsgs())
+	absorbedBefore := v.prof.Counter("proxy.absorbed").Value()
+
+	v.engine.Handle(s, sipmsg.NewResponse(fwd, sipmsg.StatusTrying, ""), nil)
+	if got := len(s.originMsgs()); got != upBefore {
+		t.Fatalf("downstream 100 relayed upstream (%d -> %d messages)", upBefore, got)
+	}
+	if v.prof.Counter("proxy.absorbed").Value() != absorbedBefore+1 {
+		t.Error("absorbed 100 not counted")
+	}
+
+	// A 180 after the absorbed 100 still relays.
+	v.engine.Handle(s, sipmsg.NewResponse(fwd, sipmsg.StatusRinging, "callee"), nil)
+	origins := s.originMsgs()
+	if origins[len(origins)-1].msg.StatusCode != sipmsg.StatusRinging {
+		t.Error("180 after absorbed 100 not relayed")
+	}
+	// And a retransmitted INVITE replays the freshest provisional.
+	v.engine.Handle(s, req, "o")
+	origins = s.originMsgs()
+	if origins[len(origins)-1].msg.StatusCode != sipmsg.StatusRinging {
+		t.Errorf("retransmit replayed %d, want 180", origins[len(origins)-1].msg.StatusCode)
+	}
+}
+
+// TestAckForNon2xxAbsorbed pins the §17.2.1 tentpole behavior: the ACK for
+// a locally generated non-2xx INVITE final belongs to our server
+// transaction and is absorbed, never forwarded.
+func TestAckForNon2xxAbsorbed(t *testing.T) {
+	v := newEnv(t, true, false)
+	s := &fakeSender{}
+	req := invite(0, 7) // provisioned but unregistered: 404
+	v.engine.Handle(s, req, "o")
+	origins := s.originMsgs()
+	if origins[len(origins)-1].msg.StatusCode != sipmsg.StatusNotFound {
+		t.Fatalf("setup: want 404, got %d", origins[len(origins)-1].msg.StatusCode)
+	}
+
+	ack := req.Clone() // §17.1.1.3: ACK for a non-2xx reuses the INVITE branch
+	ack.Method = sipmsg.ACK
+	ack.Set("CSeq", "1 ACK")
+	ack.Body = nil
+	absorbedBefore := v.prof.Counter("proxy.absorbed").Value()
+	v.engine.Handle(s, ack, "o")
+	if len(s.addrMsgs()) != 0 {
+		t.Error("ACK for our 404 was forwarded downstream")
+	}
+	if v.prof.Counter("proxy.absorbed").Value() != absorbedBefore+1 {
+		t.Error("absorbed ACK not counted")
+	}
+}
+
+// TestAckFor200ForwardedAfterNon2xxFlow pairs with the absorb test: an ACK
+// for a 2xx carries a fresh branch (its own "transaction" end-to-end) and
+// must pass through statelessly even while other transactions are
+// absorbing their ACKs.
+func TestAckFor200ForwardedAfterNon2xxFlow(t *testing.T) {
+	v := newEnv(t, true, false)
+	v.registerUser(1, "10.0.0.2", 5072)
+	s := &fakeSender{}
+
+	// Complete a call with a 200.
+	req := invite(0, 1)
+	v.engine.Handle(s, req, "o")
+	fwd := s.addrMsgs()[0].msg
+	v.engine.Handle(s, sipmsg.NewResponse(fwd, sipmsg.StatusOK, "g"), nil)
+
+	// The dialog-layer ACK uses a new branch (invite() generates one).
+	ack := invite(0, 1)
+	ack.Method = sipmsg.ACK
+	ack.Set("CSeq", "1 ACK")
+	downBefore := len(s.addrMsgs())
+	v.engine.Handle(s, ack, "o")
+	addrs := s.addrMsgs()
+	if len(addrs) != downBefore+1 || addrs[len(addrs)-1].msg.Method != sipmsg.ACK {
+		t.Fatal("ACK for 2xx not forwarded downstream")
+	}
+}
+
+// TestTimerGRetransmitsLocalFinal counts messages end to end: a non-2xx
+// INVITE final over UDP is retransmitted on Timer G until the ACK arrives,
+// after which the cycle stops — the §17.2.1 ACK wait observed at the wire.
+func TestTimerGRetransmitsLocalFinal(t *testing.T) {
+	v := newEnv(t, true, false)
+	timer := &fakeSender{}
+	v.engine.SetTimerSender(timer)
+	s := &fakeSender{}
+	req := invite(0, 7) // unregistered: the proxy answers 404 itself
+	v.engine.Handle(s, req, "o")
+
+	count404 := func(msgs []sentMsg) int {
+		n := 0
+		for _, sm := range msgs {
+			if sm.msg.StatusCode == sipmsg.StatusNotFound {
+				n++
+			}
+		}
+		return n
+	}
+	if count404(s.originMsgs()) != 1 {
+		t.Fatal("setup: no 404 sent")
+	}
+
+	// Timer G fires at T1 then doubles: 10ms, 30ms, 70ms with T1=10ms.
+	base := time.Now()
+	v.timers.CheckNow(base.Add(15 * time.Millisecond))
+	v.timers.CheckNow(base.Add(35 * time.Millisecond))
+	v.timers.CheckNow(base.Add(75 * time.Millisecond))
+	retrans := count404(timer.originMsgs())
+	if retrans < 2 {
+		t.Fatalf("Timer G retransmitted the 404 %d times, want >= 2", retrans)
+	}
+	if v.prof.Counter(metrics.MetricFinalRetransmits).Value() != int64(retrans) {
+		t.Errorf("final retransmit counter = %d, want %d",
+			v.prof.Counter(metrics.MetricFinalRetransmits).Value(), retrans)
+	}
+
+	// The ACK confirms the final and stops the cycle.
+	ack := req.Clone()
+	ack.Method = sipmsg.ACK
+	ack.Set("CSeq", "1 ACK")
+	v.engine.Handle(s, ack, "o")
+	v.timers.CheckNow(base.Add(500 * time.Millisecond))
+	if got := count404(timer.originMsgs()); got != retrans {
+		t.Errorf("final retransmitted after ACK (%d -> %d)", retrans, got)
+	}
+}
+
+// TestTimerHStopsUnackedFinal: with no ACK ever arriving, Timer H abandons
+// the retransmission cycle and tears the transaction down.
+func TestTimerHStopsUnackedFinal(t *testing.T) {
+	v := newEnv(t, true, false)
+	timer := &fakeSender{}
+	v.engine.SetTimerSender(timer)
+	s := &fakeSender{}
+	req := invite(0, 7)
+	v.engine.Handle(s, req, "o")
+	k, _ := req.TransactionKey()
+	if v.txns.Match(k) == nil {
+		t.Fatal("setup: no transaction")
+	}
+	// TimerH defaults to 64*T1 = 640ms with the env's T1=10ms.
+	v.timers.CheckNow(time.Now().Add(10 * time.Second))
+	if v.txns.Match(k) != nil {
+		t.Error("transaction survived Timer H")
+	}
+}
+
+// TestCancelCloneWellFormed pins the §9.1 CANCEL derivation: no body, no
+// body-describing headers, no Record-Route, a single Via with the
+// forwarded INVITE's branch, and the INVITE's CSeq number.
+func TestCancelCloneWellFormed(t *testing.T) {
+	prof := metrics.NewProfile()
+	loc := location.New()
+	db := userdb.New(userdb.Config{}, prof)
+	db.ProvisionN(10, "test.dom")
+	timers := timerlist.NewManual()
+	txns := transaction.NewTable(transaction.Config{}, timers, prof)
+	e := NewEngine(Config{
+		Stateful: true, RecordRoute: true,
+		ViaTransport: "UDP", ViaHost: "127.0.0.1", ViaPort: 5060, Domain: "test.dom",
+	}, loc, db, txns, prof)
+	loc.Register(userdb.UserName(1)+"@test.dom", location.Binding{
+		Contact:   sipmsg.URI{User: userdb.UserName(1), Host: "10.0.0.2", Port: 5072},
+		Transport: "UDP", Source: "10.0.0.2",
+	}, time.Hour, time.Now())
+	s := &fakeSender{}
+
+	req := invite(0, 1)
+	req.Body = []byte("v=0 o=sdp")
+	req.Set("Content-Type", "application/sdp")
+	e.Handle(s, req, "o")
+	fwd := s.addrMsgs()[0].msg
+	if _, ok := fwd.Get("Record-Route"); !ok {
+		t.Fatal("setup: forwarded INVITE has no Record-Route")
+	}
+
+	cancel := req.Clone()
+	cancel.Method = sipmsg.CANCEL
+	cancel.Set("CSeq", "1 CANCEL")
+	cancel.Body = nil
+	e.Handle(s, cancel, "o")
+
+	var down *sipmsg.Message
+	for _, sm := range s.addrMsgs() {
+		if sm.msg.Method == sipmsg.CANCEL {
+			down = sm.msg
+		}
+	}
+	if down == nil {
+		t.Fatal("no downstream CANCEL")
+	}
+	if len(down.Body) != 0 {
+		t.Error("CANCEL carries a body")
+	}
+	if _, ok := down.Get("Content-Type"); ok {
+		t.Error("CANCEL carries Content-Type")
+	}
+	if _, ok := down.Get("Record-Route"); ok {
+		t.Error("CANCEL carries the INVITE's Record-Route")
+	}
+	if got := len(down.GetAll("Via")); got != 1 {
+		t.Errorf("CANCEL has %d Vias, want 1", got)
+	}
+	fwdTop, _ := fwd.TopVia()
+	cTop, err := down.TopVia()
+	if err != nil || cTop.Branch() != fwdTop.Branch() {
+		t.Errorf("CANCEL branch = %q, want the forwarded INVITE's %q", cTop.Branch(), fwdTop.Branch())
+	}
+	if seq, method, _ := down.CSeq(); seq != 1 || method != sipmsg.CANCEL {
+		t.Errorf("CANCEL CSeq = %d %s, want 1 CANCEL", seq, method)
+	}
+}
+
+// TestCancelAgainstCompletedTransaction: §9.2 — the CANCEL transaction
+// still answers 200 when the INVITE already has its final, but nothing is
+// cancelled and no second final goes upstream.
+func TestCancelAgainstCompletedTransaction(t *testing.T) {
+	v := newEnv(t, true, false)
+	v.registerUser(1, "10.0.0.2", 5072)
+	s := &fakeSender{}
+	req := invite(0, 1)
+	v.engine.Handle(s, req, "o")
+	fwd := s.addrMsgs()[0].msg
+	v.engine.Handle(s, sipmsg.NewResponse(fwd, sipmsg.StatusBusyHere, "g"), nil)
+	upBefore := len(s.originMsgs())
+	downBefore := len(s.addrMsgs())
+
+	cancel := req.Clone()
+	cancel.Method = sipmsg.CANCEL
+	cancel.Set("CSeq", "1 CANCEL")
+	cancel.Body = nil
+	v.engine.Handle(s, cancel, "o")
+
+	origins := s.originMsgs()
+	if len(origins) != upBefore+1 {
+		t.Fatalf("CANCEL produced %d upstream messages, want exactly the 200", len(origins)-upBefore)
+	}
+	last := origins[len(origins)-1].msg
+	if _, method, _ := last.CSeq(); last.StatusCode != sipmsg.StatusOK || method != sipmsg.CANCEL {
+		t.Errorf("CANCEL answered %d %s, want 200 CANCEL", last.StatusCode, method)
+	}
+	if len(s.addrMsgs()) != downBefore {
+		t.Error("CANCEL propagated downstream despite completed INVITE")
+	}
+}

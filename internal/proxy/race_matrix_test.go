@@ -1,0 +1,308 @@
+package proxy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gosip/internal/location"
+	"gosip/internal/metrics"
+	"gosip/internal/sipmsg"
+	"gosip/internal/timerlist"
+	"gosip/internal/transaction"
+	"gosip/internal/userdb"
+)
+
+// This file is the CANCEL/ACK race matrix from the transaction-layer
+// rework: every scenario runs at 1 shard (maximum lock contention — every
+// transaction hits the same shard mutex) and 64 shards (the production
+// shape), and the whole matrix is meant for `go test -race`.
+
+func newRaceEnv(t *testing.T, shards int) *env {
+	t.Helper()
+	prof := metrics.NewProfile()
+	loc := location.New()
+	db := userdb.New(userdb.Config{}, prof)
+	db.ProvisionN(10, "test.dom")
+	timers := timerlist.NewManual()
+	txns := transaction.NewTable(transaction.Config{
+		T1: 10 * time.Millisecond, TimerB: 50 * time.Millisecond,
+		Linger: time.Hour, Shards: shards,
+	}, timers, prof)
+	e := NewEngine(Config{
+		Stateful:     true,
+		ViaTransport: "UDP", ViaHost: "127.0.0.1", ViaPort: 5060,
+		Domain: "test.dom",
+	}, loc, db, txns, prof)
+	v := &env{engine: e, loc: loc, db: db, txns: txns, timers: timers, prof: prof}
+	v.registerUser(1, "10.0.0.2", 5072)
+	return v
+}
+
+func eachShardCount(t *testing.T, f func(t *testing.T, shards int)) {
+	for _, shards := range []int{1, 64} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) { f(t, shards) })
+	}
+}
+
+func deriveCancel(req *sipmsg.Message) *sipmsg.Message {
+	cancel := req.Clone()
+	cancel.Method = sipmsg.CANCEL
+	cancel.Set("CSeq", "1 CANCEL")
+	cancel.Body = nil
+	return cancel
+}
+
+// TestRaceMatrixCancelVsForward drives the tentpole race: the CANCEL is
+// handled concurrently with the INVITE forward. Whatever the interleaving,
+// the invariants hold — a downstream CANCEL is only ever sent after the
+// downstream INVITE, the CANCEL transaction gets exactly one final (200 or
+// 481), and a 200-for-CANCEL implies the INVITE was answered 487.
+func TestRaceMatrixCancelVsForward(t *testing.T) {
+	eachShardCount(t, func(t *testing.T, shards int) {
+		v := newRaceEnv(t, shards)
+		for i := 0; i < 200; i++ {
+			s := &fakeSender{}
+			req := invite(0, 1)
+			cancel := deriveCancel(req)
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() { defer wg.Done(); v.engine.Handle(s, req, "caller") }()
+			go func() { defer wg.Done(); v.engine.Handle(s, cancel, "caller") }()
+			wg.Wait()
+
+			// Downstream ordering: CANCEL never precedes the INVITE it
+			// cancels (MarkForwardSent hands the racing CANCEL to the
+			// forwarding worker, which sends it after the INVITE).
+			invIdx, cancelIdx := -1, -1
+			for idx, sm := range s.addrMsgs() {
+				switch sm.msg.Method {
+				case sipmsg.INVITE:
+					invIdx = idx
+				case sipmsg.CANCEL:
+					cancelIdx = idx
+				}
+			}
+			if cancelIdx >= 0 && (invIdx < 0 || invIdx > cancelIdx) {
+				t.Fatalf("iteration %d: downstream CANCEL at %d before INVITE at %d", i, cancelIdx, invIdx)
+			}
+
+			// Upstream: exactly one final for the CANCEL transaction, and a
+			// 200 implies the INVITE was completed with 487.
+			cancelFinals, got487 := 0, false
+			cancel200 := false
+			for _, sm := range s.originMsgs() {
+				if sm.msg.StatusCode >= 200 {
+					if _, method, _ := sm.msg.CSeq(); method == sipmsg.CANCEL {
+						cancelFinals++
+						cancel200 = sm.msg.StatusCode == sipmsg.StatusOK
+					}
+				}
+				if sm.msg.StatusCode == sipmsg.StatusRequestTerminated {
+					got487 = true
+				}
+			}
+			if cancelFinals != 1 {
+				t.Fatalf("iteration %d: CANCEL got %d finals", i, cancelFinals)
+			}
+			if cancel200 && !got487 {
+				t.Fatalf("iteration %d: CANCEL answered 200 but INVITE never got its 487", i)
+			}
+			if cancel200 && invIdx >= 0 && cancelIdx < 0 {
+				t.Fatalf("iteration %d: INVITE forwarded and cancelled upstream, but no downstream CANCEL", i)
+			}
+		}
+	})
+}
+
+// TestRaceMatrixRetransmittedCancel: a CANCEL retransmission replays the
+// CANCEL transaction's 200 and has no further downstream effect, even when
+// the retransmissions arrive concurrently.
+func TestRaceMatrixRetransmittedCancel(t *testing.T) {
+	eachShardCount(t, func(t *testing.T, shards int) {
+		v := newRaceEnv(t, shards)
+		s := &fakeSender{}
+		req := invite(0, 1)
+		v.engine.Handle(s, req, "caller")
+		v.engine.Handle(s, deriveCancel(req), "caller")
+		downAfterFirst := 0
+		for _, sm := range s.addrMsgs() {
+			if sm.msg.Method == sipmsg.CANCEL {
+				downAfterFirst++
+			}
+		}
+		if downAfterFirst != 1 {
+			t.Fatalf("setup: %d downstream CANCELs", downAfterFirst)
+		}
+
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); v.engine.Handle(s, deriveCancel(req), "caller") }()
+		}
+		wg.Wait()
+		down := 0
+		for _, sm := range s.addrMsgs() {
+			if sm.msg.Method == sipmsg.CANCEL {
+				down++
+			}
+		}
+		if down != 1 {
+			t.Errorf("retransmitted CANCELs propagated downstream (%d sends)", down)
+		}
+		replays := 0
+		for _, sm := range s.originMsgs() {
+			if _, method, _ := sm.msg.CSeq(); method == sipmsg.CANCEL && sm.msg.StatusCode == sipmsg.StatusOK {
+				replays++
+			}
+		}
+		if replays < 2 {
+			t.Errorf("retransmitted CANCEL not answered (only %d 200s)", replays)
+		}
+	})
+}
+
+// TestRaceMatrixCancelAfterFinal: CANCELs arriving concurrently after the
+// INVITE completed are answered 200 and change nothing.
+func TestRaceMatrixCancelAfterFinal(t *testing.T) {
+	eachShardCount(t, func(t *testing.T, shards int) {
+		v := newRaceEnv(t, shards)
+		s := &fakeSender{}
+		req := invite(0, 1)
+		v.engine.Handle(s, req, "caller")
+		fwd := s.addrMsgs()[0].msg
+		v.engine.Handle(s, sipmsg.NewResponse(fwd, sipmsg.StatusBusyHere, "g"), nil)
+		upBefore := len(s.originMsgs())
+
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); v.engine.Handle(s, deriveCancel(req), "caller") }()
+		}
+		wg.Wait()
+		for _, sm := range s.originMsgs()[upBefore:] {
+			if _, method, _ := sm.msg.CSeq(); method != sipmsg.CANCEL {
+				t.Fatalf("late CANCEL produced a non-CANCEL response: %d %s", sm.msg.StatusCode, method)
+			}
+		}
+		for _, sm := range s.addrMsgs() {
+			if sm.msg.Method == sipmsg.CANCEL {
+				t.Fatal("late CANCEL propagated downstream")
+			}
+		}
+	})
+}
+
+// TestRaceMatrixAckAbsorbVsForward: concurrent ACKs for an absorbed 487
+// and for a forwarded 200 on two independent calls — the 487's ACKs all
+// die at the proxy, the 200's ACKs all pass through.
+func TestRaceMatrixAckAbsorbVsForward(t *testing.T) {
+	eachShardCount(t, func(t *testing.T, shards int) {
+		v := newRaceEnv(t, shards)
+		s := &fakeSender{}
+
+		// Call A: cancelled, completed upstream with 487.
+		reqA := invite(0, 1)
+		v.engine.Handle(s, reqA, "caller")
+		v.engine.Handle(s, deriveCancel(reqA), "caller")
+
+		// Call B: completed with 200.
+		reqB := invite(0, 1)
+		v.engine.Handle(s, reqB, "caller")
+		var fwdB *sipmsg.Message
+		for _, sm := range s.addrMsgs() {
+			if sm.msg.Method == sipmsg.INVITE && sm.msg.CallID() == reqB.CallID() {
+				fwdB = sm.msg
+			}
+		}
+		if fwdB == nil {
+			t.Fatal("setup: call B not forwarded")
+		}
+		v.engine.Handle(s, sipmsg.NewResponse(fwdB, sipmsg.StatusOK, "g"), nil)
+		downBefore := len(s.addrMsgs())
+
+		ackA := reqA.Clone() // non-2xx ACK: same branch as the INVITE
+		ackA.Method = sipmsg.ACK
+		ackA.Set("CSeq", "1 ACK")
+		ackA.Body = nil
+		var wg sync.WaitGroup
+		const n = 8
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); v.engine.Handle(s, ackA.Clone(), "caller") }()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ackB := invite(0, 1) // 2xx ACK: fresh branch, routed end to end
+				ackB.Method = sipmsg.ACK
+				ackB.Set("CSeq", "1 ACK")
+				v.engine.Handle(s, ackB, "caller")
+			}()
+		}
+		wg.Wait()
+
+		forwardedAcks := 0
+		for _, sm := range s.addrMsgs()[downBefore:] {
+			if sm.msg.Method != sipmsg.ACK {
+				t.Fatalf("unexpected downstream %s during ACK race", sm.msg.Method)
+			}
+			top, _ := sm.msg.TopVia()
+			reqTop, _ := reqA.TopVia()
+			if top.Branch() == reqTop.Branch() {
+				t.Fatal("ACK for the 487 leaked downstream")
+			}
+			forwardedAcks++
+		}
+		if forwardedAcks != n {
+			t.Errorf("forwarded %d 2xx ACKs, want %d", forwardedAcks, n)
+		}
+	})
+}
+
+// TestRaceMatrixLateFinalAfterTimerD: once Timer D removes the completed
+// transaction, a straggling downstream final matches nothing and is
+// dropped, not relayed upstream a second time.
+func TestRaceMatrixLateFinalAfterTimerD(t *testing.T) {
+	eachShardCount(t, func(t *testing.T, shards int) {
+		v := newRaceEnv(t, shards)
+		s := &fakeSender{}
+		req := invite(0, 1)
+		v.engine.Handle(s, req, "caller")
+		var fwd *sipmsg.Message
+		for _, sm := range s.addrMsgs() {
+			if sm.msg.Method == sipmsg.INVITE {
+				fwd = sm.msg
+			}
+		}
+		v.engine.Handle(s, deriveCancel(req), "caller") // completes upstream with 487
+		k, _ := req.TransactionKey()
+		if v.txns.Match(k) == nil {
+			t.Fatal("setup: transaction gone before Timer D")
+		}
+
+		// Timer D (32s default for a non-2xx INVITE final) removes it.
+		v.timers.CheckNow(time.Now().Add(time.Minute))
+		if v.txns.Match(k) != nil {
+			t.Fatal("transaction survived Timer D")
+		}
+
+		upBefore := len(s.originMsgs())
+		dropsBefore := v.prof.Counter("proxy.drops").Value()
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v.engine.Handle(s, sipmsg.NewResponse(fwd, sipmsg.StatusBusyHere, "late"), nil)
+			}()
+		}
+		wg.Wait()
+		if got := len(s.originMsgs()); got != upBefore {
+			t.Errorf("late final relayed after Timer D (%d upstream sends)", got-upBefore)
+		}
+		if v.prof.Counter("proxy.drops").Value() != dropsBefore+4 {
+			t.Errorf("late finals not counted as drops")
+		}
+	})
+}

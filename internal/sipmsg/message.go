@@ -51,6 +51,7 @@ const (
 	StatusLoopDetected        = 482
 	StatusTooManyHops         = 483
 	StatusBusyHere            = 486
+	StatusRequestTerminated   = 487
 	StatusServerError         = 500
 	StatusNotImplemented      = 501
 	StatusServiceUnavail      = 503
@@ -83,6 +84,8 @@ func StatusText(code int) string {
 		return "Too Many Hops"
 	case StatusBusyHere:
 		return "Busy Here"
+	case StatusRequestTerminated:
+		return "Request Terminated"
 	case StatusServerError:
 		return "Server Internal Error"
 	case StatusNotImplemented:
@@ -520,8 +523,9 @@ func tagOf(m *Message, name string) string {
 
 // TransactionKey identifies the transaction a message belongs to, following
 // the RFC 3261 §17.2.3 rule for z9hG4bK branches: top Via branch + CSeq
-// method (so that an ACK for a non-2xx response and CANCEL match their
-// INVITE's transaction, they are distinguished by the caller if needed).
+// method (so that an ACK for a non-2xx response matches its INVITE's
+// transaction; a CANCEL constructs its own server transaction and keys as
+// itself — callers cancel the INVITE by looking up branch+INVITE).
 func (m *Message) TransactionKey() (string, error) {
 	via, err := m.TopVia()
 	if err != nil {
@@ -539,10 +543,11 @@ func (m *Message) TransactionKey() (string, error) {
 }
 
 // TransactionMethod maps a CSeq method to the method its transaction is
-// keyed by: ACK for a non-2xx response and CANCEL both match their INVITE's
-// server transaction; everything else keys as itself.
+// keyed by: an ACK for a non-2xx response matches its INVITE's server
+// transaction; everything else — including CANCEL, which per §17.2.3 forms
+// its own transaction with its own response path — keys as itself.
 func TransactionMethod(method Method) Method {
-	if method == ACK || method == CANCEL {
+	if method == ACK {
 		return INVITE
 	}
 	return method

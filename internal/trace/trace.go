@@ -44,13 +44,14 @@ const (
 	StageSend                    // serialize + socket send (incl. fd acquisition)
 	StageWaitDown                // waiting on the downstream party's response
 	StageRetransmit              // one retransmission of the forwarded request
+	StageState                   // a transaction state-machine transition (absorb/ACK/final)
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"parse", "queue", "admission", "txn_match", "location",
 	"db_queue", "db_lookup", "fd_cache_hit", "fd_ipc", "send",
-	"wait_down", "retransmit",
+	"wait_down", "retransmit", "state",
 }
 
 // String returns the stage's snake_case name (matching the metrics

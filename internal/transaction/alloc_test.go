@@ -26,14 +26,18 @@ func TestMatchPartsAllocs(t *testing.T) {
 	req := inviteReq("alloc-call")
 	tx, _ := tb.Create(key(t, req), req, nil)
 	branch := "z9hG4bK-alloc-branch-0001"
-	tb.SetForwarded(tx, branch+"|INVITE", req)
+	tb.SetForwarded(tx, branch+"|INVITE", req, nil)
 
 	if got := tb.MatchParts(branch, sipmsg.INVITE); got != tx {
 		t.Fatalf("MatchParts = %v, want the forwarded transaction", got)
 	}
-	// ACK and CANCEL key to the INVITE transaction through the same path.
+	// An ACK keys to the INVITE transaction through the same path (a CANCEL
+	// keys as its own transaction per §17.2.3 and must NOT match here).
 	if got := tb.MatchParts(branch, sipmsg.ACK); got != tx {
 		t.Fatal("MatchParts(ACK) did not map to the INVITE transaction")
+	}
+	if got := tb.MatchParts(branch, sipmsg.CANCEL); got != nil {
+		t.Fatal("MatchParts(CANCEL) matched the INVITE transaction; CANCEL is its own transaction")
 	}
 
 	got := testing.AllocsPerRun(1000, func() {
@@ -80,7 +84,7 @@ func TestMatchPartsLongBranch(t *testing.T) {
 	req := inviteReq("long-call")
 	tx, _ := tb.Create(key(t, req), req, nil)
 	branch := "z9hG4bK-" + strings.Repeat("x", 200)
-	tb.SetForwarded(tx, branch+"|INVITE", req)
+	tb.SetForwarded(tx, branch+"|INVITE", req, nil)
 	if got := tb.MatchParts(branch, sipmsg.INVITE); got != tx {
 		t.Fatal("MatchParts missed the long-branch transaction")
 	}
@@ -94,7 +98,7 @@ func TestMatchPartsAgreesWithMatch(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		tx, _ := tb.Create(key(t, req)+string(rune('a'+i%26))+string(rune('0'+i%10)), req, nil)
 		branch := "z9hG4bK" + strings.Repeat(string(rune('a'+i%26)), i%13+1)
-		tb.SetForwarded(tx, branch+"|INVITE", req)
+		tb.SetForwarded(tx, branch+"|INVITE", req, nil)
 		if tb.MatchParts(branch, sipmsg.INVITE) != tb.Match(branch+"|INVITE") {
 			t.Fatalf("branch %q: MatchParts and Match disagree", branch)
 		}

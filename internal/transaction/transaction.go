@@ -3,8 +3,14 @@
 // stores every ongoing transaction in shared state, absorbs retransmitted
 // requests by replaying the last response, matches responses to the
 // forwarded branch, and — over unreliable transports — retransmits
-// unacknowledged forwards with exponential backoff (Timer A/B). Completed
-// transactions linger briefly (Timer D/K) to absorb stragglers.
+// unacknowledged forwards with exponential backoff.
+//
+// Each proxied request composes two of the four §17 machines in fsm.go: a
+// server machine facing upstream (INVITE §17.2.1 or non-INVITE §17.2.2)
+// and a client machine facing downstream (§17.1.1 or §17.1.2). The Table
+// wires their Step output to the timing wheel (timers A–K), the sharded
+// store, and the pooled messages; the proxy (the TU) only sees the typed
+// dispositions in events.go.
 //
 // The transaction table is the "shared transaction state" both the UDP and
 // TCP architectures synchronize on (Figures 1 and 2); it is sharded to
@@ -22,14 +28,15 @@ import (
 	"gosip/internal/timerlist"
 )
 
-// State is a transaction's lifecycle state.
+// State is a transaction's collapsed lifecycle state, the view the proxy
+// path and the overload controller's pending gauge key off. The full
+// per-machine states live in Transaction.srv/cli as FSMState.
 type State int32
 
-// Proxy transaction states (collapsed from the RFC 17.2 machines to the
-// three the proxy path distinguishes).
+// Collapsed proxy transaction states.
 const (
 	StateProceeding State = iota // forwarded, awaiting final response
-	StateCompleted               // final response forwarded upstream
+	StateCompleted               // final response sent upstream
 	StateTerminated              // removed from the table
 )
 
@@ -50,11 +57,24 @@ type Config struct {
 	// T1 is the RFC 3261 round-trip estimate; retransmissions start at T1
 	// and double. Default 500ms.
 	T1 time.Duration
-	// TimerB caps the retransmission phase; the transaction fails upstream
-	// with 408 when it fires. Default 64*T1.
+	// T2 caps the retransmission interval for non-INVITE requests (Timer E)
+	// and INVITE final responses (Timer G). Default 4s.
+	T2 time.Duration
+	// TimerB caps the client retransmission phase (Timer B for INVITE,
+	// Timer F for non-INVITE); the transaction fails upstream with 408 when
+	// it fires. Default 64*T1.
 	TimerB time.Duration
-	// Linger is how long a completed transaction stays matchable to absorb
-	// retransmitted requests (Timer D/K). Default 2s.
+	// TimerD is how long an INVITE server transaction that answered with a
+	// non-2xx final stays matchable, bounding the Completed/Confirmed
+	// absorb window (timers D and I collapsed onto table removal).
+	// Default 32s.
+	TimerD time.Duration
+	// TimerH caps how long the INVITE server machine retransmits a non-2xx
+	// final waiting for the ACK. Default 64*T1.
+	TimerH time.Duration
+	// Linger is how long any other completed transaction stays matchable to
+	// absorb retransmitted requests (timers J and K collapsed onto table
+	// removal). Default 2s.
 	Linger time.Duration
 	// Shards is the transaction-table shard count, rounded up to a power
 	// of two. 0 picks the next power of two at or above 4×GOMAXPROCS
@@ -80,8 +100,17 @@ func (c Config) withDefaults() Config {
 	if c.T1 <= 0 {
 		c.T1 = 500 * time.Millisecond
 	}
+	if c.T2 <= 0 {
+		c.T2 = 4 * time.Second
+	}
 	if c.TimerB <= 0 {
 		c.TimerB = 64 * c.T1
+	}
+	if c.TimerD <= 0 {
+		c.TimerD = 32 * time.Second
+	}
+	if c.TimerH <= 0 {
+		c.TimerH = 64 * c.T1
 	}
 	if c.Linger <= 0 {
 		c.Linger = 2 * time.Second
@@ -111,19 +140,54 @@ type Transaction struct {
 	// Opaque to this package.
 	Origin any
 
-	state   State
+	// downRoute is where the forwarded request went (a location.Binding),
+	// kept so the transaction layer's own messages — the ACK for a non-2xx
+	// final, a deferred CANCEL — can follow the same path. Opaque here.
+	downRoute any
+
+	srvMachine Machine
+	cliMachine Machine
+	srv        FSMState // server (upstream) machine state
+	cli        FSMState // client (downstream) machine state; FInit until forwarded
+
+	state   State // collapsed view: Proceeding/Completed/Terminated
 	created time.Time
 
-	retransTimer *timerlist.Timer
-	lingerTimer  *timerlist.Timer
-	attempts     int
+	// CANCEL/forward race protocol: RequestCancel and MarkForwardSent
+	// exchange these flags under mu so a CANCEL that arrives while the
+	// INVITE is still being forwarded is sent downstream by whichever side
+	// runs second — never dropped, never sent before the INVITE.
+	cancelRequested bool
+	forwardSent     bool
+
+	retransTimer *timerlist.Timer // Timer A/E (client), then G (server)
+	timeoutTimer *timerlist.Timer // Timer B/F (client), then H (server)
+	removeTimer  *timerlist.Timer // Timer D/I/J/K collapsed: table removal
+
+	attempts      int // client request retransmissions (Timer A/E)
+	finalAttempts int // server final retransmissions (Timer G)
 }
 
-// State returns the transaction's current state.
+// State returns the transaction's collapsed state.
 func (t *Transaction) State() State {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.state
+}
+
+// ServerState returns the upstream server machine's state.
+func (t *Transaction) ServerState() FSMState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.srv
+}
+
+// ClientState returns the downstream client machine's state (FInit before
+// the request has been forwarded).
+func (t *Transaction) ClientState() FSMState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cli
 }
 
 // Request returns the original incoming request.
@@ -136,6 +200,13 @@ func (t *Transaction) Forwarded() *sipmsg.Message {
 	return t.fwd
 }
 
+// DownRoute returns the opaque downstream route stored by SetForwarded.
+func (t *Transaction) DownRoute() any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.downRoute
+}
+
 // LastResponse returns the most recent response sent upstream, or nil.
 func (t *Transaction) LastResponse() *sipmsg.Message {
 	t.mu.Lock()
@@ -144,11 +215,58 @@ func (t *Transaction) LastResponse() *sipmsg.Message {
 }
 
 // RecordUpstreamResponse remembers a response replayed to retransmitted
-// requests (e.g. the 100 Trying or the forwarded final).
+// requests (e.g. the proxy's own 100 Trying).
 func (t *Transaction) RecordUpstreamResponse(resp *sipmsg.Message) {
 	t.mu.Lock()
 	t.lastResp = resp
 	t.mu.Unlock()
+}
+
+// Attempts returns how many client request retransmissions have been sent.
+func (t *Transaction) Attempts() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attempts
+}
+
+// FinalAttempts returns how many Timer G final-response retransmissions
+// have been sent.
+func (t *Transaction) FinalAttempts() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.finalAttempts
+}
+
+// RequestCancel records the TU's wish to cancel the downstream leg and
+// reports how to honour it. alreadyFinal means the transaction has a final
+// response and nothing may be cancelled (§9.2: the CANCEL still gets its
+// 200, but has no effect). deferred means the INVITE has not left the
+// proxy yet — the forwarding worker observes cancelRequested via
+// MarkForwardSent and sends the CANCEL itself right after the INVITE, so
+// the CANCEL can never overtake (or be dropped before) the request it
+// cancels. Otherwise fwd is the forwarded request to derive the downstream
+// CANCEL from.
+func (t *Transaction) RequestCancel() (fwd *sipmsg.Message, deferred, alreadyFinal bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateProceeding {
+		return nil, false, true
+	}
+	t.cancelRequested = true
+	if !t.forwardSent {
+		return nil, true, false
+	}
+	return t.fwd, false, false
+}
+
+// MarkForwardSent records that the forwarded request is on the wire and
+// reports whether a CANCEL raced in while it was being sent — in which
+// case the caller owns sending the downstream CANCEL now.
+func (t *Transaction) MarkForwardSent() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.forwardSent = true
+	return t.cancelRequested
 }
 
 // Table is the shared transaction store.
@@ -159,9 +277,10 @@ type Table struct {
 	shardMask uint32
 	pending   atomic.Int64
 
-	lockWait    *metrics.Timer
-	created     *metrics.Counter
-	retransmits *metrics.Counter
+	lockWait     *metrics.Timer
+	created      *metrics.Counter
+	retransmits  *metrics.Counter
+	finalRetrans *metrics.Counter
 }
 
 type txShard struct {
@@ -177,13 +296,14 @@ type txShard struct {
 func NewTable(cfg Config, timers timerlist.Scheduler, profile *metrics.Profile) *Table {
 	cfg = cfg.withDefaults()
 	tbl := &Table{
-		cfg:         cfg,
-		timers:      timers,
-		shards:      make([]txShard, cfg.Shards),
-		shardMask:   uint32(cfg.Shards - 1),
-		lockWait:    profile.Timer(metrics.MetricTxnLockWait),
-		created:     profile.Counter(metrics.MetricTxnCreated),
-		retransmits: profile.Counter(metrics.MetricRetransmits),
+		cfg:          cfg,
+		timers:       timers,
+		shards:       make([]txShard, cfg.Shards),
+		shardMask:    uint32(cfg.Shards - 1),
+		lockWait:     profile.Timer(metrics.MetricTxnLockWait),
+		created:      profile.Counter(metrics.MetricTxnCreated),
+		retransmits:  profile.Counter(metrics.MetricRetransmits),
+		finalRetrans: profile.Counter(metrics.MetricFinalRetransmits),
 	}
 	for i := range tbl.shards {
 		tbl.shards[i].m = make(map[string]*Transaction)
@@ -227,7 +347,10 @@ func (tb *Table) Config() Config { return tb.cfg }
 
 // Create registers a new transaction for an incoming request keyed by
 // upKey. If a transaction already exists the call reports a retransmission
-// and returns the existing one.
+// and returns the existing one. The server machine is chosen by method
+// (INVITE §17.2.1, everything else — including CANCEL, which is its own
+// transaction per §17.2.3 — §17.2.2); the matching client machine starts
+// only if the request is later forwarded.
 func (tb *Table) Create(upKey string, req *sipmsg.Message, origin any) (tx *Transaction, isRetransmit bool) {
 	sh := tb.shardFor(upKey)
 	tb.lock(sh)
@@ -235,6 +358,11 @@ func (tb *Table) Create(upKey string, req *sipmsg.Message, origin any) (tx *Tran
 		sh.mu.Unlock()
 		return existing, true
 	}
+	srvM, cliM := MachineNonInviteServer, MachineNonInviteClient
+	if req.Method == sipmsg.INVITE {
+		srvM, cliM = MachineInviteServer, MachineInviteClient
+	}
+	srv, _ := Init(srvM, false)
 	// The table owns a reference to the stored request so the receive loop
 	// can release its own after Handle returns. The reference is deliberately
 	// never released at Terminate: late retransmit closures and Match-then-use
@@ -242,11 +370,15 @@ func (tb *Table) Create(upKey string, req *sipmsg.Message, origin any) (tx *Tran
 	// would race; terminated transactions simply leave their request to the
 	// GC, which is cheap at transaction (not message) rates.
 	tx = &Transaction{
-		upKey:   upKey,
-		req:     req.Retain(),
-		Origin:  origin,
-		created: time.Now(),
-		state:   StateProceeding,
+		upKey:      upKey,
+		req:        req.Retain(),
+		Origin:     origin,
+		created:    time.Now(),
+		srvMachine: srvM,
+		cliMachine: cliM,
+		srv:        srv,
+		cli:        FInit,
+		state:      StateProceeding,
 	}
 	sh.m[upKey] = tx
 	sh.mu.Unlock()
@@ -255,13 +387,44 @@ func (tb *Table) Create(upKey string, req *sipmsg.Message, origin any) (tx *Tran
 	return tx, false
 }
 
+// OnRetransmit runs a retransmitted request through the server machine and
+// returns the response to replay upstream, or nil to absorb silently (a
+// non-INVITE transaction still in Trying has nothing to replay; §17.2.2).
+//
+// A 2xx INVITE final is the one departure from the machine: §17.2.1 hands
+// 2xx retransmission to the TU and terminates, but this proxy keeps the
+// entry matchable during the linger window (see SendFinal), so a
+// retransmitted INVITE still replays the recorded 200 here.
+func (tb *Table) OnRetransmit(tx *Transaction) *sipmsg.Message {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	next, act, ok := Step(tx.srvMachine, tx.srv, EvRequest, false)
+	if !ok {
+		if tx.srvMachine == MachineInviteServer && tx.srv == FTerminated &&
+			tx.state == StateCompleted && tx.lastResp != nil {
+			return tx.lastResp
+		}
+		return nil
+	}
+	tx.srv = next
+	if act&ActReplay != 0 {
+		return tx.lastResp
+	}
+	return nil
+}
+
 // SetForwarded indexes the transaction under the forwarded request's key so
-// downstream responses can be matched, and stores the forwarded message
-// for retransmission.
-func (tb *Table) SetForwarded(tx *Transaction, downKey string, fwd *sipmsg.Message) {
+// downstream responses can be matched, stores the forwarded message for
+// retransmission, and starts the client machine (Calling for INVITE,
+// Trying otherwise). downRoute is the opaque downstream destination,
+// replayed by ACK/CANCEL sends.
+func (tb *Table) SetForwarded(tx *Transaction, downKey string, fwd *sipmsg.Message, downRoute any) {
+	cli, _ := Init(tx.cliMachine, false)
 	tx.mu.Lock()
 	tx.downKey = downKey
 	tx.fwd = fwd
+	tx.downRoute = downRoute
+	tx.cli = cli
 	tx.mu.Unlock()
 	sh := tb.shardFor(downKey)
 	tb.lock(sh)
@@ -309,19 +472,47 @@ func (tb *Table) MatchParts(branch string, method sipmsg.Method) *Transaction {
 // Match returns any transaction indexed under key, or nil.
 func (tb *Table) Match(key string) *Transaction { return tb.MatchResponse(key) }
 
-// ArmRetransmit starts the Timer A/B cycle for an unreliable transport:
-// send is invoked with the forwarded request at T1, 2·T1, 4·T1, …; when the
-// cumulative wait reaches TimerB, expire is invoked once instead. Reliable
-// transports never call this — "the timer process is superfluous for TCP".
-func (tb *Table) ArmRetransmit(tx *Transaction, send func(*sipmsg.Message), expire func()) {
-	tb.armRetransmit(tx, tb.cfg.T1, tb.cfg.T1, send, expire)
-}
-
-func (tb *Table) armRetransmit(tx *Transaction, next, elapsed time.Duration, send func(*sipmsg.Message), expire func()) {
+// ArmClientTimers starts the client machine's timers for an unreliable
+// transport: the Timer A/E retransmission cycle (T1 doubling; E capped at
+// T2) invoking send with the forwarded request, and the Timer B/F
+// transaction timeout invoking expire once. Reliable transports never call
+// this — "the timer process is superfluous for TCP".
+func (tb *Table) ArmClientTimers(tx *Transaction, send func(*sipmsg.Message), expire func()) {
+	timeoutEv := EvTimerB
+	if tx.cliMachine == MachineNonInviteClient {
+		timeoutEv = EvTimerF
+	}
 	tx.mu.Lock()
-	if tx.state != StateProceeding {
+	if tx.cli == FInit || tx.cli == FTerminated || tx.state != StateProceeding {
 		tx.mu.Unlock()
 		return
+	}
+	tx.timeoutTimer = tb.timers.After(tb.cfg.TimerB, func() {
+		tx.mu.Lock()
+		if tx.state != StateProceeding {
+			tx.mu.Unlock()
+			return
+		}
+		next, act, ok := Step(tx.cliMachine, tx.cli, timeoutEv, false)
+		if !ok {
+			tx.mu.Unlock()
+			return
+		}
+		tx.cli = next
+		tx.mu.Unlock()
+		if act&ActTimeoutTU != 0 {
+			expire()
+		}
+	})
+	tb.armClientRetransLocked(tx, tb.cfg.T1, send)
+	tx.mu.Unlock()
+}
+
+// armClientRetransLocked arms one Timer A/E firing. Caller holds tx.mu.
+func (tb *Table) armClientRetransLocked(tx *Transaction, next time.Duration, send func(*sipmsg.Message)) {
+	ev := EvTimerA
+	if tx.cliMachine == MachineNonInviteClient {
+		ev = EvTimerE
 	}
 	tx.retransTimer = tb.timers.After(next, func() {
 		tx.mu.Lock()
@@ -329,50 +520,231 @@ func (tb *Table) armRetransmit(tx *Transaction, next, elapsed time.Duration, sen
 			tx.mu.Unlock()
 			return
 		}
-		if elapsed >= tb.cfg.TimerB {
+		nextState, act, ok := Step(tx.cliMachine, tx.cli, ev, false)
+		if !ok {
 			tx.mu.Unlock()
-			expire()
+			return
+		}
+		tx.cli = nextState
+		if act&ActRetransmitReq == 0 {
+			// INVITE client in Proceeding: a provisional arrived, Timer A
+			// stops firing and is not re-armed (§17.1.1.2).
+			tx.mu.Unlock()
 			return
 		}
 		fwd := tx.fwd
 		tx.attempts++
+		if act&ActArmRetrans != 0 {
+			interval := next * 2
+			if ev == EvTimerE && interval > tb.cfg.T2 {
+				interval = tb.cfg.T2
+			}
+			tb.armClientRetransLocked(tx, interval, send)
+		}
 		tx.mu.Unlock()
 		if fwd != nil {
 			tb.retransmits.Inc()
 			send(fwd)
 		}
-		tb.armRetransmit(tx, next*2, elapsed+next*2, send, expire)
 	})
-	tx.mu.Unlock()
 }
 
-// Attempts returns how many retransmissions have been sent.
-func (tx *Transaction) Attempts() int {
+// OnClientResponse runs a downstream response through the client machine
+// and classifies it for the TU. resp must be the upstream-facing message
+// (proxy Via already stripped): provisionals are recorded as lastResp here
+// so retransmitted requests replay the freshest status. Finals are NOT
+// recorded here — SendFinal owns that transition on the server machine.
+func (tb *Table) OnClientResponse(tx *Transaction, resp *sipmsg.Message) RespDisposition {
+	code := resp.StatusCode
+	ev := Ev300Plus
+	switch {
+	case code < 200:
+		ev = Ev1xx
+	case code < 300:
+		ev = Ev2xx
+	}
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
-	return tx.attempts
+	next, act, ok := Step(tx.cliMachine, tx.cli, ev, false)
+	if !ok {
+		return RespAbsorb
+	}
+	tx.cli = next
+	if ev == Ev1xx {
+		if tx.state != StateProceeding {
+			// Upstream already has a final (CANCEL/487, Timer B's 408):
+			// a straggling provisional must neither be relayed nor clobber
+			// lastResp, which Timer G is replaying.
+			return RespAbsorb
+		}
+		// Advance the server machine too: a non-INVITE transaction moves
+		// Trying → Proceeding, where retransmitted requests replay lastResp.
+		if snext, _, sok := Step(tx.srvMachine, tx.srv, Ev1xx, false); sok {
+			tx.srv = snext
+		}
+		tx.lastResp = resp
+		if code == 100 {
+			return RespAbsorb100
+		}
+		return RespPassProvisional
+	}
+	if act&ActPassUp == 0 {
+		// Completed already answered upstream; a retransmitted non-2xx
+		// INVITE final still needs its ACK re-sent (§17.1.1.3).
+		if act&ActGenACK != 0 {
+			return RespDupFinalAck
+		}
+		return RespAbsorb
+	}
+	// First final: the client leg is done retransmitting and waiting. Only
+	// touch the timer slots while the server side is still Proceeding —
+	// once SendFinal has run (the CANCEL/487 path answers upstream before
+	// the downstream final arrives) they hold Timer G/H, which this
+	// response must not stop.
+	if tx.state == StateProceeding {
+		if tx.retransTimer != nil {
+			tx.retransTimer.Cancel()
+			tx.retransTimer = nil
+		}
+		if tx.timeoutTimer != nil {
+			tx.timeoutTimer.Cancel()
+			tx.timeoutTimer = nil
+		}
+	}
+	if act&ActGenACK != 0 {
+		return RespPassFinalAck
+	}
+	return RespPassFinal
 }
 
-// Complete transitions the transaction to Completed: the final response
-// has been forwarded upstream. Retransmission stops and the transaction is
-// scheduled for removal after the linger period. Returns false if it was
-// already completed (a duplicate final response).
-func (tb *Table) Complete(tx *Transaction, finalResp *sipmsg.Message) bool {
+// OnAck runs an upstream ACK through the INVITE server machine. An ACK for
+// our non-2xx final is absorbed here — the machine moves Completed →
+// Confirmed and the Timer G/H retransmission cycle stops (§17.2.1). An ACK
+// for a 2xx (or one matching no completed non-2xx INVITE transaction)
+// belongs to the dialog layer and is forwarded.
+func (tb *Table) OnAck(tx *Transaction) AckDisposition {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.srvMachine != MachineInviteServer {
+		return AckForward
+	}
+	if tx.lastResp == nil || tx.lastResp.StatusCode < 300 {
+		return AckForward
+	}
+	if next, _, ok := Step(tx.srvMachine, tx.srv, EvAck, false); ok {
+		tx.srv = next
+	}
+	// Confirmed: stop retransmitting the final and stop waiting for the
+	// ACK. The removal timer (Timer D, doubling as Timer I's absorb
+	// window) keeps the entry matchable for straggling ACKs.
+	if tx.retransTimer != nil {
+		tx.retransTimer.Cancel()
+		tx.retransTimer = nil
+	}
+	if tx.timeoutTimer != nil {
+		tx.timeoutTimer.Cancel()
+		tx.timeoutTimer = nil
+	}
+	return AckAbsorbed
+}
+
+// SendFinal transitions the transaction to Completed: the final response
+// is about to go upstream. Client timers stop, the pending gauge drops,
+// and the entry is scheduled for removal (Timer D for a non-2xx INVITE
+// final, Linger otherwise). For a non-2xx INVITE final over an unreliable
+// transport, pass a non-nil replay to arm the §17.2.1 ACK wait: the final
+// is retransmitted via replay on Timer G (T1 doubling, capped T2) until
+// the ACK confirms the transaction or Timer H fires; pass nil over
+// reliable transports (or for non-INVITE/2xx finals, where it is ignored).
+// Returns false if a final was already sent (duplicate finals are dropped).
+//
+// Departure from a literal §17.2.1: a 2xx moves the real machine straight
+// to Terminated (the 2xx ACK is end-to-end), but the entry stays in the
+// table for the linger window so retransmitted INVITEs replay the 200
+// instead of spawning a second transaction — the absorption the paper's
+// stateful-proxy cells depend on over lossy UDP.
+func (tb *Table) SendFinal(tx *Transaction, resp *sipmsg.Message, replay func(*sipmsg.Message)) bool {
+	code := resp.StatusCode
+	ev := Ev300Plus
+	if code < 300 {
+		ev = Ev2xx
+	}
 	tx.mu.Lock()
 	if tx.state != StateProceeding {
 		tx.mu.Unlock()
 		return false
 	}
+	next, act, ok := Step(tx.srvMachine, tx.srv, ev, false)
+	if !ok {
+		tx.mu.Unlock()
+		return false
+	}
+	tx.srv = next
 	tx.state = StateCompleted
-	tx.lastResp = finalResp
+	tx.lastResp = resp
 	if tx.retransTimer != nil {
 		tx.retransTimer.Cancel()
 		tx.retransTimer = nil
 	}
-	tx.lingerTimer = tb.timers.After(tb.cfg.Linger, func() { tb.Terminate(tx) })
+	if tx.timeoutTimer != nil {
+		tx.timeoutTimer.Cancel()
+		tx.timeoutTimer = nil
+	}
+	linger := tb.cfg.Linger
+	if tx.srvMachine == MachineInviteServer && code >= 300 {
+		linger = tb.cfg.TimerD
+	}
+	tx.removeTimer = tb.timers.After(linger, func() { tb.Terminate(tx) })
+	if replay != nil && act&ActArmRetrans != 0 {
+		// §17.2.1 Completed: retransmit the final on Timer G until the ACK
+		// arrives; give up and remove the transaction when Timer H fires.
+		tx.timeoutTimer = tb.timers.After(tb.cfg.TimerH, func() {
+			tx.mu.Lock()
+			next, _, ok := Step(tx.srvMachine, tx.srv, EvTimerH, false)
+			if !ok {
+				tx.mu.Unlock()
+				return
+			}
+			tx.srv = next
+			tx.mu.Unlock()
+			tb.Terminate(tx)
+		})
+		tb.armFinalRetransLocked(tx, tb.cfg.T1, replay)
+	}
 	tx.mu.Unlock()
 	tb.pending.Add(-1)
 	return true
+}
+
+// armFinalRetransLocked arms one Timer G firing. Caller holds tx.mu.
+func (tb *Table) armFinalRetransLocked(tx *Transaction, next time.Duration, replay func(*sipmsg.Message)) {
+	tx.retransTimer = tb.timers.After(next, func() {
+		tx.mu.Lock()
+		nextState, act, ok := Step(tx.srvMachine, tx.srv, EvTimerG, false)
+		if !ok {
+			tx.mu.Unlock()
+			return
+		}
+		tx.srv = nextState
+		if act&ActRetransmitFinal == 0 {
+			tx.mu.Unlock()
+			return
+		}
+		resp := tx.lastResp
+		tx.finalAttempts++
+		if act&ActArmRetrans != 0 {
+			interval := next * 2
+			if interval > tb.cfg.T2 {
+				interval = tb.cfg.T2
+			}
+			tb.armFinalRetransLocked(tx, interval, replay)
+		}
+		tx.mu.Unlock()
+		if resp != nil {
+			tb.finalRetrans.Inc()
+			replay(resp)
+		}
+	})
 }
 
 // Terminate removes the transaction from the table immediately.
@@ -384,13 +756,19 @@ func (tb *Table) Terminate(tx *Transaction) {
 	}
 	wasProceeding := tx.state == StateProceeding
 	tx.state = StateTerminated
+	tx.srv = FTerminated
+	tx.cli = FTerminated
 	if tx.retransTimer != nil {
 		tx.retransTimer.Cancel()
 		tx.retransTimer = nil
 	}
-	if tx.lingerTimer != nil {
-		tx.lingerTimer.Cancel()
-		tx.lingerTimer = nil
+	if tx.timeoutTimer != nil {
+		tx.timeoutTimer.Cancel()
+		tx.timeoutTimer = nil
+	}
+	if tx.removeTimer != nil {
+		tx.removeTimer.Cancel()
+		tx.removeTimer = nil
 	}
 	up, down := tx.upKey, tx.downKey
 	tx.mu.Unlock()

@@ -81,11 +81,11 @@ func TestTransactionCompletesExactlyOnce(t *testing.T) {
 	req := inviteReq("c2")
 	tx, _ := tb.Create(key(t, req), req, nil)
 	final := sipmsg.NewResponse(req, sipmsg.StatusOK, "tag")
-	if !tb.Complete(tx, final) {
-		t.Fatal("first Complete failed")
+	if !tb.SendFinal(tx, final, nil) {
+		t.Fatal("first SendFinal failed")
 	}
-	if tb.Complete(tx, final) {
-		t.Fatal("second Complete succeeded; must be exactly once")
+	if tb.SendFinal(tx, final, nil) {
+		t.Fatal("second SendFinal succeeded; must be exactly once")
 	}
 	if tx.State() != StateCompleted {
 		t.Errorf("state = %v", tx.State())
@@ -103,7 +103,7 @@ func TestMatchResponseViaForwardedKey(t *testing.T) {
 	fwd := req.Clone()
 	fwd.Prepend("Via", sipmsg.Via{Transport: "UDP", Host: "proxy", Port: 5060,
 		Params: map[string]string{"branch": sipmsg.NewBranch()}}.String())
-	tb.SetForwarded(tx, key(t, fwd), fwd)
+	tb.SetForwarded(tx, key(t, fwd), fwd, nil)
 
 	if got := tb.MatchResponse(key(t, fwd)); got != tx {
 		t.Error("response did not match via forwarded key")
@@ -121,7 +121,7 @@ func TestTerminateRemovesBothKeys(t *testing.T) {
 	fwd := req.Clone()
 	fwd.Prepend("Via", sipmsg.Via{Transport: "UDP", Host: "p", Params: map[string]string{"branch": sipmsg.NewBranch()}}.String())
 	downKey := key(t, fwd)
-	tb.SetForwarded(tx, downKey, fwd)
+	tb.SetForwarded(tx, downKey, fwd, nil)
 	if tb.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", tb.Len())
 	}
@@ -139,7 +139,7 @@ func TestLingerThenRemoval(t *testing.T) {
 	tb, timers := newTestTable(Config{Linger: 50 * time.Millisecond})
 	req := inviteReq("c5")
 	tx, _ := tb.Create(key(t, req), req, nil)
-	tb.Complete(tx, sipmsg.NewResponse(req, sipmsg.StatusOK, "g"))
+	tb.SendFinal(tx, sipmsg.NewResponse(req, sipmsg.StatusOK, "g"), nil)
 
 	// Still matchable during the linger window (absorbs retransmits).
 	if tb.Match(key(t, req)) != tx {
@@ -159,13 +159,13 @@ func TestRetransmitScheduleDoubles(t *testing.T) {
 	req := inviteReq("c6")
 	tx, _ := tb.Create(key(t, req), req, nil)
 	fwd := req.Clone()
-	tb.SetForwarded(tx, "downkey|INVITE", fwd)
+	tb.SetForwarded(tx, "downkey|INVITE", fwd, nil)
 
 	var mu sync.Mutex
 	var sends []time.Duration
 	expired := false
 	base := time.Now()
-	tb.ArmRetransmit(tx,
+	tb.ArmClientTimers(tx,
 		func(m *sipmsg.Message) {
 			mu.Lock()
 			sends = append(sends, 0)
@@ -195,11 +195,11 @@ func TestCompleteStopsRetransmission(t *testing.T) {
 	tb, timers := newTestTable(Config{T1: 10 * time.Millisecond})
 	req := inviteReq("c7")
 	tx, _ := tb.Create(key(t, req), req, nil)
-	tb.SetForwarded(tx, "dk|INVITE", req.Clone())
+	tb.SetForwarded(tx, "dk|INVITE", req.Clone(), nil)
 
 	sent := 0
-	tb.ArmRetransmit(tx, func(*sipmsg.Message) { sent++ }, func() {})
-	tb.Complete(tx, sipmsg.NewResponse(req, sipmsg.StatusOK, "g"))
+	tb.ArmClientTimers(tx, func(*sipmsg.Message) { sent++ }, func() {})
+	tb.SendFinal(tx, sipmsg.NewResponse(req, sipmsg.StatusOK, "g"), nil)
 	timers.CheckNow(time.Now().Add(time.Minute))
 	if sent != 0 {
 		t.Errorf("retransmitted %d times after completion", sent)
@@ -275,6 +275,15 @@ func TestConfigDefaults(t *testing.T) {
 	if cfg.TimerB != 32*time.Second {
 		t.Errorf("TimerB = %v", cfg.TimerB)
 	}
+	if cfg.T2 != 4*time.Second {
+		t.Errorf("T2 = %v", cfg.T2)
+	}
+	if cfg.TimerD != 32*time.Second {
+		t.Errorf("TimerD = %v", cfg.TimerD)
+	}
+	if cfg.TimerH != 32*time.Second {
+		t.Errorf("TimerH = %v", cfg.TimerH)
+	}
 	if cfg.Linger != 2*time.Second {
 		t.Errorf("Linger = %v", cfg.Linger)
 	}
@@ -284,5 +293,243 @@ func TestStateString(t *testing.T) {
 	if StateProceeding.String() != "proceeding" || StateCompleted.String() != "completed" ||
 		StateTerminated.String() != "terminated" || State(9).String() != "unknown" {
 		t.Error("State.String broken")
+	}
+}
+
+func byeReq(callID string) *sipmsg.Message {
+	return sipmsg.NewRequest(sipmsg.RequestSpec{
+		Method:     sipmsg.BYE,
+		RequestURI: sipmsg.URI{User: "b", Host: "y.com"},
+		From:       sipmsg.NameAddr{URI: sipmsg.URI{User: "a", Host: "x.com"}, Params: map[string]string{"tag": "t"}},
+		To:         sipmsg.NameAddr{URI: sipmsg.URI{User: "b", Host: "y.com"}, Params: map[string]string{"tag": "u"}},
+		CallID:     callID,
+		CSeq:       2,
+		Via:        sipmsg.Via{Transport: "UDP", Host: "x.com", Port: 5071},
+	})
+}
+
+func TestMachineSelectionByMethod(t *testing.T) {
+	tb, _ := newTestTable(Config{})
+	inv, _ := tb.Create("k-inv|INVITE", inviteReq("m1"), nil)
+	if inv.ServerState() != FProceeding {
+		t.Errorf("INVITE server starts in %v, want proceeding", inv.ServerState())
+	}
+	bye, _ := tb.Create("k-bye|BYE", byeReq("m1"), nil)
+	if bye.ServerState() != FTrying {
+		t.Errorf("non-INVITE server starts in %v, want trying", bye.ServerState())
+	}
+	if inv.ClientState() != FInit || bye.ClientState() != FInit {
+		t.Error("client machines must stay uninitialised before SetForwarded")
+	}
+}
+
+func TestOnRetransmitRepliesPerMachine(t *testing.T) {
+	tb, _ := newTestTable(Config{})
+	// Non-INVITE in Trying: nothing sent upstream yet, absorb silently.
+	bye, _ := tb.Create("r-bye|BYE", byeReq("r1"), nil)
+	if got := tb.OnRetransmit(bye); got != nil {
+		t.Errorf("non-INVITE Trying retransmit replayed %v, want nil", got)
+	}
+	// INVITE in Proceeding replays the recorded 100 Trying.
+	req := inviteReq("r2")
+	inv, _ := tb.Create("r-inv|INVITE", req, nil)
+	trying := sipmsg.NewResponse(req, sipmsg.StatusTrying, "")
+	inv.RecordUpstreamResponse(trying)
+	if got := tb.OnRetransmit(inv); got != trying {
+		t.Error("INVITE Proceeding retransmit should replay the 100")
+	}
+	// Completed replays the final.
+	final := sipmsg.NewResponse(req, sipmsg.StatusOK, "g")
+	tb.SendFinal(inv, final, nil)
+	if got := tb.OnRetransmit(inv); got != final {
+		t.Error("Completed retransmit should replay the final")
+	}
+}
+
+// TestTimerGRetransmitsFinalUntilAck pins the §17.2.1 ACK wait: a non-2xx
+// INVITE final is retransmitted on Timer G with doubling intervals capped
+// at T2, and the ACK moves the machine to Confirmed, stopping the cycle.
+func TestTimerGRetransmitsFinalUntilAck(t *testing.T) {
+	tb, timers := newTestTable(Config{
+		T1: 10 * time.Millisecond, T2: 20 * time.Millisecond,
+		TimerH: 500 * time.Millisecond, TimerD: time.Hour,
+	})
+	req := inviteReq("g1")
+	tx, _ := tb.Create(key(t, req), req, nil)
+	final := sipmsg.NewResponse(req, sipmsg.StatusBusyHere, "g")
+
+	var mu sync.Mutex
+	replays := 0
+	if !tb.SendFinal(tx, final, func(m *sipmsg.Message) {
+		mu.Lock()
+		replays++
+		mu.Unlock()
+		if m != final {
+			t.Error("replayed a different message than the final")
+		}
+	}) {
+		t.Fatal("SendFinal failed")
+	}
+	if tx.ServerState() != FCompleted {
+		t.Fatalf("server state = %v, want completed", tx.ServerState())
+	}
+	// G fires at 10, then 10+20=30, then capped: 50, 70, ...
+	base := time.Now()
+	for _, at := range []time.Duration{10, 30, 50} {
+		timers.CheckNow(base.Add(at * time.Millisecond))
+	}
+	mu.Lock()
+	n := replays
+	mu.Unlock()
+	if n < 3 {
+		t.Fatalf("Timer G replays = %d, want >= 3", n)
+	}
+	if tx.FinalAttempts() != n {
+		t.Errorf("FinalAttempts = %d, replays = %d", tx.FinalAttempts(), n)
+	}
+
+	// The ACK confirms; the cycle must stop.
+	if disp := tb.OnAck(tx); disp != AckAbsorbed {
+		t.Fatalf("OnAck = %v, want absorbed", disp)
+	}
+	if tx.ServerState() != FConfirmed {
+		t.Errorf("server state after ACK = %v, want confirmed", tx.ServerState())
+	}
+	timers.CheckNow(base.Add(time.Minute))
+	mu.Lock()
+	after := replays
+	mu.Unlock()
+	if after != n {
+		t.Errorf("Timer G kept firing after ACK: %d -> %d", n, after)
+	}
+	// A duplicate ACK is absorbed in Confirmed without complaint.
+	if disp := tb.OnAck(tx); disp != AckAbsorbed {
+		t.Errorf("duplicate OnAck = %v, want absorbed", disp)
+	}
+}
+
+// TestTimerHGivesUpWithoutAck pins the other exit from Completed: no ACK
+// ever arrives and Timer H terminates the transaction.
+func TestTimerHGivesUpWithoutAck(t *testing.T) {
+	tb, timers := newTestTable(Config{
+		T1: 10 * time.Millisecond, TimerH: 50 * time.Millisecond, TimerD: time.Hour,
+	})
+	req := inviteReq("h1")
+	upKey := key(t, req)
+	tx, _ := tb.Create(upKey, req, nil)
+	final := sipmsg.NewResponse(req, sipmsg.StatusBusyHere, "g")
+	tb.SendFinal(tx, final, func(*sipmsg.Message) {})
+	timers.CheckNow(time.Now().Add(time.Minute))
+	if tx.State() != StateTerminated {
+		t.Errorf("state = %v after Timer H, want terminated", tx.State())
+	}
+	if tb.Match(upKey) != nil {
+		t.Error("transaction still matchable after Timer H")
+	}
+}
+
+func TestAckForTwoHundredForwarded(t *testing.T) {
+	tb, _ := newTestTable(Config{})
+	req := inviteReq("a1")
+	tx, _ := tb.Create(key(t, req), req, nil)
+	tb.SendFinal(tx, sipmsg.NewResponse(req, sipmsg.StatusOK, "g"), nil)
+	if disp := tb.OnAck(tx); disp != AckForward {
+		t.Errorf("ACK for 2xx final: OnAck = %v, want forward", disp)
+	}
+}
+
+func TestRequestCancelProtocol(t *testing.T) {
+	tb, _ := newTestTable(Config{})
+	req := inviteReq("cx1")
+	tx, _ := tb.Create(key(t, req), req, nil)
+
+	// CANCEL before the forward is on the wire: deferred to the forwarder.
+	fwdMsg, deferred, alreadyFinal := tx.RequestCancel()
+	if fwdMsg != nil || !deferred || alreadyFinal {
+		t.Fatalf("pre-forward RequestCancel = (%v, %v, %v), want (nil, true, false)",
+			fwdMsg, deferred, alreadyFinal)
+	}
+	// The forwarding worker finds out it owns the downstream CANCEL.
+	if !tx.MarkForwardSent() {
+		t.Fatal("MarkForwardSent must report the raced-in cancel")
+	}
+
+	// CANCEL after the forward went out: caller sends it, using fwd.
+	tx2, _ := tb.Create("cx2|INVITE", inviteReq("cx2"), nil)
+	fwd := inviteReq("cx2")
+	tb.SetForwarded(tx2, "cx2down|INVITE", fwd, nil)
+	if tx2.MarkForwardSent() {
+		t.Fatal("MarkForwardSent with no cancel pending")
+	}
+	got, deferred2, final2 := tx2.RequestCancel()
+	if got != fwd || deferred2 || final2 {
+		t.Fatalf("post-forward RequestCancel = (%v, %v, %v), want (fwd, false, false)",
+			got, deferred2, final2)
+	}
+
+	// CANCEL after the final: nothing to cancel.
+	tx3, _ := tb.Create("cx3|INVITE", inviteReq("cx3"), nil)
+	tb.SendFinal(tx3, sipmsg.NewResponse(tx3.Request(), sipmsg.StatusOK, "g"), nil)
+	if _, _, final3 := tx3.RequestCancel(); !final3 {
+		t.Error("RequestCancel after final must report alreadyFinal")
+	}
+}
+
+func TestOnClientResponseDispositions(t *testing.T) {
+	tb, _ := newTestTable(Config{})
+	req := inviteReq("d1")
+	tx, _ := tb.Create(key(t, req), req, nil)
+	fwd := req.Clone()
+	tb.SetForwarded(tx, "d1down|INVITE", fwd, nil)
+
+	hundred := sipmsg.NewResponse(req, sipmsg.StatusTrying, "")
+	if disp := tb.OnClientResponse(tx, hundred); disp != RespAbsorb100 {
+		t.Errorf("downstream 100: %v, want absorb-100", disp)
+	}
+	if tx.LastResponse() != hundred {
+		t.Error("absorbed 100 must still be recorded for retransmit replay")
+	}
+	ringing := sipmsg.NewResponse(req, sipmsg.StatusRinging, "")
+	if disp := tb.OnClientResponse(tx, ringing); disp != RespPassProvisional {
+		t.Errorf("downstream 180: %v, want pass-provisional", disp)
+	}
+	busy := sipmsg.NewResponse(req, sipmsg.StatusBusyHere, "g")
+	if disp := tb.OnClientResponse(tx, busy); disp != RespPassFinalAck {
+		t.Errorf("first non-2xx INVITE final: %v, want pass-final-ack", disp)
+	}
+	// Retransmitted final: re-ACK downstream, never pass upstream again.
+	if disp := tb.OnClientResponse(tx, busy); disp != RespDupFinalAck {
+		t.Errorf("retransmitted final: %v, want dup-final-ack", disp)
+	}
+
+	// A non-INVITE 200 passes with no ACK obligations.
+	bye, _ := tb.Create("d2|BYE", byeReq("d2"), nil)
+	tb.SetForwarded(bye, "d2down|BYE", byeReq("d2"), nil)
+	ok := sipmsg.NewResponse(bye.Request(), sipmsg.StatusOK, "g")
+	if disp := tb.OnClientResponse(bye, ok); disp != RespPassFinal {
+		t.Errorf("non-INVITE 200: %v, want pass-final", disp)
+	}
+	if disp := tb.OnClientResponse(bye, ok); disp != RespAbsorb {
+		t.Errorf("retransmitted non-INVITE 200: %v, want absorb", disp)
+	}
+}
+
+// TestLateProvisionalAfterUpstreamFinal pins the CANCEL/487 interleaving:
+// once the server side answered upstream, a straggling downstream 180 is
+// absorbed and must not clobber lastResp (Timer G replays it).
+func TestLateProvisionalAfterUpstreamFinal(t *testing.T) {
+	tb, _ := newTestTable(Config{T1: 10 * time.Millisecond})
+	req := inviteReq("lp1")
+	tx, _ := tb.Create(key(t, req), req, nil)
+	tb.SetForwarded(tx, "lp1down|INVITE", req.Clone(), nil)
+	final := sipmsg.NewResponse(req, sipmsg.StatusRequestTerminated, "g")
+	tb.SendFinal(tx, final, func(*sipmsg.Message) {})
+
+	ringing := sipmsg.NewResponse(req, sipmsg.StatusRinging, "")
+	if disp := tb.OnClientResponse(tx, ringing); disp != RespAbsorb {
+		t.Errorf("late 180 after upstream final: %v, want absorb", disp)
+	}
+	if tx.LastResponse() != final {
+		t.Error("late provisional clobbered lastResp")
 	}
 }
