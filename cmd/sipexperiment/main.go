@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which experiment: 3, 4, 5, profile, priority, arch, stages, overload, batching, locks, register, outliers, or all")
+		fig     = flag.String("fig", "all", "which experiment: 3, 4, 5, profile, priority, arch, stages, transports, overload, batching, locks, register, outliers, or all")
 		prefill = flag.Int("prefill", 0, "register sweep: pre-filled bindings in the location store (default 1000000)")
 		clients = flag.String("clients", "", "comma-separated client counts (default scale: 10,50,100)")
 		calls   = flag.Int("calls", 0, "calls per caller (default 100)")
@@ -71,7 +71,7 @@ func main() {
 
 	which := strings.Split(*fig, ",")
 	if *fig == "all" {
-		which = []string{"3", "4", "5", "profile", "priority", "arch", "scenarios", "loss", "stages", "overload", "batching", "locks", "register", "outliers"}
+		which = []string{"3", "4", "5", "profile", "priority", "arch", "scenarios", "loss", "stages", "transports", "overload", "batching", "locks", "register", "outliers"}
 	}
 	start := time.Now()
 	for _, f := range which {
@@ -155,6 +155,17 @@ func main() {
 			fmt.Println("Architecture comparison (§6 discussion, TCP persistent workload):")
 			for _, name := range []string{"TCP fixed (fdcache+pq)", "Threaded (§6)", "SCTP-sim (§6)", "UDP"} {
 				fmt.Printf("  %-24s %8.0f ops/s\n", name, out[name])
+			}
+		case "transports":
+			rep, err := experiment.RunTransports(sc, progress)
+			if err != nil {
+				fatalf("transports: %v", err)
+			}
+			fmt.Println()
+			fmt.Print(rep.Table())
+			if *md {
+				fmt.Println()
+				fmt.Print(rep.Markdown())
 			}
 		case "overload":
 			osc := experiment.DefaultOverloadScale()

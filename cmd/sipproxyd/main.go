@@ -18,6 +18,8 @@
 package main
 
 import (
+	"crypto/tls"
+	"crypto/x509"
 	"flag"
 	"fmt"
 	"net"
@@ -35,6 +37,7 @@ import (
 	"gosip/internal/overload"
 	"gosip/internal/timerlist"
 	"gosip/internal/trace"
+	"gosip/internal/transport"
 	"gosip/internal/userdb"
 )
 
@@ -104,6 +107,12 @@ func main() {
 		routesFlag   = flag.String("routes", "", "static next hops: domain=host:port[,domain=host:port...]")
 		dropRx       = flag.Float64("drop-rx", 0, "UDP inbound datagram loss probability (fault injection)")
 		dropTx       = flag.Float64("drop-tx", 0, "UDP outbound datagram loss probability (fault injection)")
+		tlsOn        = flag.Bool("tls", false, "speak TLS on the stream listener (tcp/threaded archs); self-signs a certificate unless -tls-cert/-tls-key are given")
+		tlsCert      = flag.String("tls-cert", "", "PEM certificate file for -tls (empty = runtime self-signed)")
+		tlsKey       = flag.String("tls-key", "", "PEM private-key file for -tls (empty = runtime self-signed)")
+		tlsResume    = flag.Bool("tls-resume", true, "arm the TLS client session cache so upstream redials resume")
+		tlsRotate    = flag.Duration("tls-ticket-rotate", 0, "session-ticket key rotation period (0 = crypto/tls internal rotation)")
+		tlsHsTimeout = flag.Duration("tls-handshake-timeout", 0, "per-handshake deadline (0 = 5s)")
 		metricsAddr  = flag.String("metrics-addr", "", "HTTP address for /metrics, /profile, and /debug/pprof (empty = disabled)")
 		traceSample  = flag.Float64("trace-sample", 0, "head-sample rate for per-call traces (0 = only slow/failed calls; needs -trace-slow or itself > 0 to enable tracing)")
 		traceSlow    = flag.Duration("trace-slow", 0, "retain any call whose end-to-end latency reaches this (0 = no slow threshold)")
@@ -190,6 +199,39 @@ func main() {
 	cfg.Faults = core.FaultConfig{DropRx: *dropRx, DropTx: *dropTx}
 	cfg.Trace = trace.Config{Sample: *traceSample, Slow: *traceSlow, Ring: *traceRing}
 
+	if *tlsOn {
+		var cert tls.Certificate
+		var pool *x509.CertPool
+		var err error
+		if *tlsCert != "" || *tlsKey != "" {
+			cert, err = tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sipproxyd: load TLS keypair: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			// No keypair on disk: self-sign at startup for the listen host.
+			// Nothing is written anywhere; clients need -tls-insecure or the
+			// printed fingerprint workflow of their tooling.
+			host := *addr
+			if h, _, splitErr := net.SplitHostPort(*addr); splitErr == nil && h != "" {
+				host = h
+			}
+			cert, pool, err = transport.GenerateSelfSigned(*domain, host)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sipproxyd: self-signed certificate: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		cfg.TLS = &core.TLSSettings{
+			Cert:             cert,
+			RootCAs:          pool,
+			Resume:           *tlsResume,
+			TicketRotate:     *tlsRotate,
+			HandshakeTimeout: *tlsHsTimeout,
+		}
+	}
+
 	srv, err := core.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sipproxyd: %v\n", err)
@@ -198,6 +240,13 @@ func main() {
 	srv.DB().ProvisionN(*users, *domain)
 	fmt.Printf("sipproxyd: %s listening on %s (%s), %d users provisioned\n",
 		*arch, srv.Addr(), srv.Engine().Describe(), *users)
+	if cfg.TLS != nil {
+		src := "self-signed (runtime)"
+		if *tlsCert != "" {
+			src = *tlsCert
+		}
+		fmt.Printf("sipproxyd: TLS: cert=%s resume=%v ticket-rotate=%v\n", src, *tlsResume, *tlsRotate)
+	}
 	if *udpBatch > 1 || *udpShard > 1 || *tcpCoalesce {
 		fmt.Printf("sipproxyd: batched I/O: udp-batch=%d udp-shard=%d tcp-coalesce=%v\n",
 			*udpBatch, *udpShard, *tcpCoalesce)

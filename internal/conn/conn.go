@@ -65,6 +65,12 @@ type TCPConn struct {
 	owner    atomic.Int32 // worker index that owns reads; -1 before assignment
 	deadline atomic.Int64 // idle deadline, unix nanos
 
+	// hsEnd/hsDur stash the TLS handshake measurement until the first
+	// traced request on this connection claims it (TakeHandshake), so the
+	// handshake cost appears on the timeline of the call that paid it.
+	hsEnd atomic.Int64 // unix nanos of handshake completion; 0 = none pending
+	hsDur atomic.Int64 // handshake duration, nanos
+
 	// sendMu serializes message sends across all handles to this
 	// connection — OpenSER's user-level lock for atomic sends on shared
 	// connections. (Each message is written with a single write call, but
@@ -108,6 +114,23 @@ func (c *TCPConn) Deadline() time.Time { return time.Unix(0, c.deadline.Load()) 
 
 // ExpiredAt reports whether the idle deadline has passed at now.
 func (c *TCPConn) ExpiredAt(now time.Time) bool { return now.UnixNano() >= c.deadline.Load() }
+
+// SetHandshake records a completed TLS handshake (its end instant and
+// duration) for the first traced request on this connection to claim.
+func (c *TCPConn) SetHandshake(end time.Time, d time.Duration) {
+	c.hsDur.Store(int64(d))
+	c.hsEnd.Store(end.UnixNano())
+}
+
+// TakeHandshake claims the pending handshake measurement, if any. At most
+// one caller observes ok=true per recorded handshake.
+func (c *TCPConn) TakeHandshake() (end time.Time, d time.Duration, ok bool) {
+	e := c.hsEnd.Swap(0)
+	if e == 0 {
+		return time.Time{}, 0, false
+	}
+	return time.Unix(0, e), time.Duration(c.hsDur.Load()), true
+}
 
 // MarkWorkerReturned transitions Active → WorkerReturned; the owning worker
 // has closed its descriptor. Returns false if the connection was not Active.

@@ -21,11 +21,14 @@
 package core
 
 import (
+	"crypto/tls"
+	"crypto/x509"
 	"fmt"
 	"net"
 	"strconv"
 	"time"
 
+	"gosip/internal/conn"
 	"gosip/internal/connmgr"
 	"gosip/internal/ipc"
 	"gosip/internal/location"
@@ -140,6 +143,15 @@ type Config struct {
 	// (0 = kernel default).
 	SoRcvBuf, SoSndBuf int
 
+	// --- TLS transport knobs (stream architectures only) ---
+
+	// TLS arms the TLS transport on the tcp/threaded architectures:
+	// accepted connections run a measured server-side handshake at the top
+	// of their reader, dialed connections a client-side handshake inline
+	// with the dial, and the proxy advertises TLS in its Via. Nil = plain
+	// TCP. The datagram architectures reject it.
+	TLS *TLSSettings
+
 	// --- substrate knobs ---
 
 	// Overload configures the admission controller consulted before any
@@ -201,6 +213,33 @@ const (
 	// worker-local, trading perfect balance for lock locality.
 	DispatchAffinity Dispatch = "affinity"
 )
+
+// TLSSettings configures the TLS transport (see Config.TLS). Certificates
+// are supplied by the caller — generated at runtime by tests and the
+// experiment harness (transport.GenerateSelfSigned), or loaded from disk by
+// the daemon; the repository holds no key material.
+type TLSSettings struct {
+	// Cert is presented on accepted connections.
+	Cert tls.Certificate
+	// RootCAs verifies upstream dials (next hops, callee contacts). Nil
+	// falls back to the system pool.
+	RootCAs *x509.CertPool
+	// Resume arms a client session cache so upstream redials resume with a
+	// session ticket instead of paying a full handshake.
+	Resume bool
+	// SessionCache optionally shares a client session cache with other
+	// endpoints (nil + Resume = private LRU).
+	SessionCache tls.ClientSessionCache
+	// TicketRotate rotates the server session-ticket key on this period,
+	// keeping a short key history so outstanding tickets still resume
+	// (0 = crypto/tls internal rotation).
+	TicketRotate time.Duration
+	// HandshakeTimeout bounds every handshake (0 = transport default).
+	HandshakeTimeout time.Duration
+	// InsecureSkipVerify disables upstream verification (load-generator
+	// escape hatch; never set in measured experiments).
+	InsecureSkipVerify bool
+}
 
 func (c Config) withDefaults() Config {
 	if c.Addr == "" {
@@ -284,6 +323,9 @@ func New(cfg Config) (Server, error) {
 	if cfg.TimerImpl != timerlist.ImplHeap && cfg.TimerImpl != timerlist.ImplWheel {
 		return nil, fmt.Errorf("core: unknown timer implementation %q", cfg.TimerImpl)
 	}
+	if cfg.TLS != nil && cfg.Arch != ArchTCP && cfg.Arch != ArchThreaded {
+		return nil, fmt.Errorf("core: TLS transport requires a stream architecture, not %q", cfg.Arch)
+	}
 	switch cfg.Arch {
 	case ArchUDP, ArchSCTP:
 		return newUDPServer(cfg)
@@ -306,6 +348,16 @@ type substrate struct {
 	txns   *transaction.Table
 	ctrl   *overload.Controller
 	rec    *trace.Recorder
+	// tls is non-nil when the server speaks TLS on its stream sockets. The
+	// whole stream plumbing (StreamConn framing, coalescing, backpressure,
+	// connmgr, fd cache) is unchanged — TLS is applied at the net.Conn seam
+	// in wrapStream/dialStream, so steady-state cost converges to the TCP
+	// persistent path once handshakes are amortized.
+	tls *transport.TLSContext
+	// tlsPinned counts sends that would have used the fd cache or fd-IPC
+	// fabric but were pinned to the owning worker because a *tls.Conn's
+	// crypto state lives in user space and cannot travel with the fd.
+	tlsPinned *metrics.Counter
 	// obsBusy caches ctrl.NeedsObserve so the per-message path skips two
 	// time.Now calls for policies that ignore busy time.
 	obsBusy bool
@@ -320,11 +372,28 @@ type substrate struct {
 	tcpWriteMsgs  *metrics.Counter
 }
 
-func newSubstrate(cfg Config) *substrate {
+func newSubstrate(cfg Config) (*substrate, error) {
 	prof := cfg.Profile
 	// Pre-create the full standard name set so every metric a server can
 	// emit is present in /metrics and reports from the start.
 	prof.RegisterStandard()
+	var tlsCtx *transport.TLSContext
+	if cfg.TLS != nil {
+		var err error
+		tlsCtx, err = transport.NewTLSContext(transport.TLSOptions{
+			Cert:               cfg.TLS.Cert,
+			RootCAs:            cfg.TLS.RootCAs,
+			InsecureSkipVerify: cfg.TLS.InsecureSkipVerify,
+			Resume:             cfg.TLS.Resume,
+			SessionCache:       cfg.TLS.SessionCache,
+			TicketRotate:       cfg.TLS.TicketRotate,
+			HandshakeTimeout:   cfg.TLS.HandshakeTimeout,
+			Profile:            prof,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
 	// TimerImpl was validated in New; a zero Config (tests construct
 	// substrates directly) falls back to the heap inside NewScheduler.
 	timers, err := timerlist.NewScheduler(cfg.TimerImpl, timerlist.Options{
@@ -338,8 +407,10 @@ func newSubstrate(cfg Config) *substrate {
 	prof.SetGauge(metrics.GaugeTimersPending, func() float64 { return float64(timers.Len()) })
 	prof.SetGauge(metrics.GaugeTimersCancelledResident, func() float64 { return float64(timers.CancelledResident()) })
 	s := &substrate{
-		cfg:  cfg,
-		prof: prof,
+		cfg:       cfg,
+		prof:      prof,
+		tls:       tlsCtx,
+		tlsPinned: prof.Counter(metrics.MetricTLSPinnedSends),
 		loc: location.NewService(location.Options{
 			Shards:        cfg.LocShards,
 			Profile:       prof,
@@ -358,7 +429,7 @@ func newSubstrate(cfg Config) *substrate {
 	s.observeParse = s.observeParsed
 	s.ctrl = overload.New(cfg.Overload, cfg.Workers, s.txns.Pending, prof)
 	s.obsBusy = s.ctrl.NeedsObserve()
-	return s
+	return s, nil
 }
 
 // observeParsed is the stream-reader parse observer: the shared parse
@@ -376,6 +447,16 @@ func (s *substrate) observeParsed(m *sipmsg.Message, d time.Duration) {
 func (s *substrate) close() {
 	s.timers.Close()
 	s.loc.Close()
+	s.tls.Close()
+}
+
+// streamKind names the transport spoken on the server's stream sockets —
+// what goes into Via headers and the engine's reliability decision.
+func (s *substrate) streamKind() transport.Kind {
+	if s.tls != nil {
+		return transport.TLS
+	}
+	return transport.TCP
 }
 
 // engineConfig builds the proxy engine configuration for a bound address.
@@ -396,7 +477,7 @@ func (s *substrate) engineConfig(kind transport.Kind, host string, port int) pro
 		Routes:       s.cfg.Routes,
 		RecordRoute:  s.cfg.RecordRoute,
 		Stateful:     s.cfg.Stateful,
-		Reliable:     kind == transport.TCP || s.cfg.Arch == ArchSCTP,
+		Reliable:     kind == transport.TCP || kind == transport.TLS || s.cfg.Arch == ArchSCTP,
 		ViaTransport: string(kind),
 		ViaHost:      host,
 		ViaPort:      port,
@@ -420,6 +501,14 @@ func (s *substrate) wrapStream(nc net.Conn) *transport.StreamConn {
 		if s.cfg.SoSndBuf > 0 {
 			_ = tc.SetWriteBuffer(s.cfg.SoSndBuf)
 		}
+		if s.tls != nil {
+			// Accepted connections get the TLS server layer here; the
+			// handshake itself runs later, in the owning worker's reader
+			// (handshakeAccepted), so a slow client can't stall the
+			// supervisor's accept loop. Dialed connections arrive as
+			// *tls.Conn and skip this wrap.
+			nc = s.tls.Server(tc)
+		}
 	}
 	sc := transport.NewStreamConn(nc)
 	sc.InstrumentWrites(s.tcpWriteCalls, s.tcpWriteMsgs)
@@ -431,13 +520,56 @@ func (s *substrate) wrapStream(nc net.Conn) *transport.StreamConn {
 }
 
 // dialStream establishes an outbound stream connection with the same
-// policy wrapStream applies to accepted ones.
-func (s *substrate) dialStream(hostport string) (*transport.StreamConn, error) {
+// policy wrapStream applies to accepted ones. Under TLS the handshake runs
+// inline (the dialer needs the connection usable before its first send) and
+// its duration is returned so the caller can attach a handshake span to the
+// request that paid for it; hs is 0 for plain TCP and for resumption-free
+// dials that never happened.
+func (s *substrate) dialStream(hostport string) (sc *transport.StreamConn, hs time.Duration, err error) {
 	nc, err := net.DialTimeout("tcp", hostport, 10*time.Second)
 	if err != nil {
-		return nil, fmt.Errorf("core: dial tcp %q: %w", hostport, err)
+		return nil, 0, fmt.Errorf("core: dial tcp %q: %w", hostport, err)
 	}
-	return s.wrapStream(nc), nil
+	if s.tls == nil {
+		return s.wrapStream(nc), 0, nil
+	}
+	// Socket options must land on the raw TCP socket before the TLS layer
+	// hides it behind a *tls.Conn.
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+		if s.cfg.SoRcvBuf > 0 {
+			_ = tc.SetReadBuffer(s.cfg.SoRcvBuf)
+		}
+		if s.cfg.SoSndBuf > 0 {
+			_ = tc.SetWriteBuffer(s.cfg.SoSndBuf)
+		}
+	}
+	tconn := s.tls.Client(nc, hostport)
+	hs, err = s.tls.Handshake(tconn)
+	if err != nil {
+		_ = nc.Close()
+		return nil, 0, fmt.Errorf("core: tls dial %q: %w", hostport, err)
+	}
+	return s.wrapStream(tconn), hs, nil
+}
+
+// handshakeAccepted completes the TLS handshake on an accepted connection,
+// from the owning worker's reader goroutine so handshakes run concurrently
+// and a stalled client costs one blocked reader, not the supervisor. The
+// measured duration is stashed on the connection for the first traced
+// request to claim. No-op on plain TCP.
+func (s *substrate) handshakeAccepted(c *conn.TCPConn) error {
+	if s.tls == nil {
+		return nil
+	}
+	d, err := s.tls.Handshake(c.Stream().NetConn())
+	if err != nil {
+		return err
+	}
+	if d > 0 {
+		c.SetHandshake(time.Now(), d)
+	}
+	return nil
 }
 
 // parseOrCount wraps sipmsg.Parse with stage timing and drop accounting

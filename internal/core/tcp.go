@@ -17,7 +17,6 @@ import (
 	"gosip/internal/sipmsg"
 	"gosip/internal/timerlist"
 	"gosip/internal/trace"
-	"gosip/internal/transport"
 	"gosip/internal/userdb"
 )
 
@@ -83,7 +82,11 @@ func newTCPServer(cfg Config) (Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	sub := newSubstrate(cfg)
+	sub, err := newSubstrate(cfg)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
 	fabric, err := ipc.NewFabric(cfg.IPCMode, cfg.Workers, cfg.IPCTimeout, sub.prof)
 	if err != nil {
 		ln.Close()
@@ -91,7 +94,7 @@ func newTCPServer(cfg Config) (Server, error) {
 		return nil, err
 	}
 	local := ln.Addr().(*net.TCPAddr)
-	engine := proxy.NewEngine(sub.engineConfig(transport.TCP, local.IP.String(), local.Port), sub.loc, sub.db, sub.txns, sub.prof)
+	engine := proxy.NewEngine(sub.engineConfig(sub.streamKind(), local.IP.String(), local.Port), sub.loc, sub.db, sub.txns, sub.prof)
 
 	table := conn.NewTable(sub.prof)
 	// The supervisor's baseline strategy scans the shared table under its
@@ -310,6 +313,16 @@ func (w *tcpWorker) adopt(c *conn.TCPConn) {
 // reader stops reading, unread bytes accumulate in the socket buffer, and
 // the kernel's flow control throttles the sender.
 func (w *tcpWorker) reader(c *conn.TCPConn) {
+	if err := w.srv.sub.handshakeAccepted(c); err != nil {
+		// A failed handshake takes the same exit as EOF/reset: the event
+		// loop returns the connection and the supervisor destroys it, so the
+		// fd and the connection object are reclaimed without a special path.
+		select {
+		case w.events <- workerEvent{c: c}:
+		case <-w.srv.closed:
+		}
+		return
+	}
 	ctrl := w.srv.sub.ctrl
 	pausing := ctrl.PausesReads()
 	budget := ctrl.QueueBudget()
@@ -362,6 +375,12 @@ func (w *tcpWorker) handleEvent(ev workerEvent) {
 	// The time between the reader's parse and this worker picking the event
 	// up is queue wait — the gap a traced timeline must account for.
 	trace.Of(ev.m).Gap(trace.StageQueue, now)
+	// The first traced request on a TLS connection inherits the handshake
+	// that preceded it (negative Start offset: the cost was paid before the
+	// request's first byte parsed).
+	if end, d, ok := c.TakeHandshake(); ok {
+		trace.Of(ev.m).Add(trace.StageHandshake, end.Add(-d), d)
+	}
 	c.Touch(now, w.srv.sub.cfg.IdleTimeout)
 	w.localMgr.Touch(c)
 	// Admission control runs before transaction and database work; the
@@ -430,9 +449,13 @@ func (ts *tcpSender) ToAddr(_ string, hostport string, m *sipmsg.Message) error 
 	// No usable connection: the worker establishes one (OpenSER's
 	// tcpconn_connect) and hands it to the supervisor for tracking; the
 	// dialing worker owns reads.
-	sc, err := ts.w.srv.sub.dialStream(hostport)
+	sc, hs, err := ts.w.srv.sub.dialStream(hostport)
 	if err != nil {
 		return err
+	}
+	if hs > 0 {
+		now := time.Now()
+		trace.Of(m).Add(trace.StageHandshake, now.Add(-hs), hs)
 	}
 	c := ts.w.srv.table.Insert(sc, ts.w.srv.sub.cfg.IdleTimeout)
 	ts.w.adopt(c)
@@ -456,6 +479,21 @@ func (ts *tcpSender) sendOnConn(c *conn.TCPConn, m *sipmsg.Message) error {
 		}
 		c.Touch(time.Now(), w.srv.sub.cfg.IdleTimeout)
 		w.localMgr.Touch(c)
+		return nil
+	}
+	if w.srv.sub.tls != nil {
+		// TLS breaks the fd-passing model: the record-layer crypto state
+		// (keys, sequence numbers) lives in this process's user space, so a
+		// duplicated descriptor in another worker would desynchronize the
+		// stream. Non-owner sends are pinned to the shared connection object
+		// instead of going through the fd cache or the supervisor fabric —
+		// the send lock serializes writers, and tls.pinned_sends measures how
+		// often the architecture's fd economy is bypassed.
+		w.srv.sub.tlsPinned.Inc()
+		if err := ipc.DirectHandle(c).Send(m); err != nil {
+			return err
+		}
+		c.Touch(time.Now(), w.srv.sub.cfg.IdleTimeout)
 		return nil
 	}
 	if w.cache != nil {

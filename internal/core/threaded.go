@@ -15,7 +15,6 @@ import (
 	"gosip/internal/sipmsg"
 	"gosip/internal/timerlist"
 	"gosip/internal/trace"
-	"gosip/internal/transport"
 	"gosip/internal/userdb"
 )
 
@@ -56,9 +55,13 @@ func newThreadedServer(cfg Config) (Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	sub := newSubstrate(cfg)
+	sub, err := newSubstrate(cfg)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
 	local := ln.Addr().(*net.TCPAddr)
-	engine := proxy.NewEngine(sub.engineConfig(transport.TCP, local.IP.String(), local.Port), sub.loc, sub.db, sub.txns, sub.prof)
+	engine := proxy.NewEngine(sub.engineConfig(sub.streamKind(), local.IP.String(), local.Port), sub.loc, sub.db, sub.txns, sub.prof)
 
 	srv := &threadedServer{
 		sub:    sub,
@@ -179,6 +182,16 @@ func (w *threadedWorker) adopt(c *conn.TCPConn) {
 // architecture it supports connection-level backpressure: pausing reads at
 // the queue budget lets kernel flow control throttle the peer.
 func (w *threadedWorker) reader(c *conn.TCPConn) {
+	if err := w.srv.sub.handshakeAccepted(c); err != nil {
+		// A failed handshake retires the connection through the normal
+		// reader-terminated path, so teardown (table removal, socket close)
+		// is identical to an EOF and nothing leaks.
+		select {
+		case w.events <- workerEvent{c: c}:
+		case <-w.srv.closed:
+		}
+		return
+	}
 	ctrl := w.srv.sub.ctrl
 	pausing := ctrl.PausesReads()
 	budget := ctrl.QueueBudget()
@@ -222,6 +235,12 @@ func (w *threadedWorker) handleEvent(ev workerEvent) {
 	now := time.Now()
 	// Reader-to-worker queue wait, accounted on the traced timeline.
 	trace.Of(ev.m).Gap(trace.StageQueue, now)
+	// The first traced request on a TLS connection inherits the handshake
+	// that preceded it (negative Start offset: the cost was paid before the
+	// request's first byte parsed).
+	if end, d, ok := c.TakeHandshake(); ok {
+		trace.Of(ev.m).Add(trace.StageHandshake, end.Add(-d), d)
+	}
 	c.Touch(now, w.srv.sub.cfg.IdleTimeout)
 	w.localMgr.Touch(c)
 	if !w.srv.sub.admit(w.sender, ev.m, c, len(w.events)) {
@@ -277,9 +296,13 @@ func (ts *threadedSender) ToAddr(_ string, hostport string, m *sipmsg.Message) e
 	if c := ts.w.srv.table.Lookup(hostport); c != nil && c.State() == conn.StateActive {
 		return ts.send(c, m)
 	}
-	sc, err := ts.w.srv.sub.dialStream(hostport)
+	sc, hs, err := ts.w.srv.sub.dialStream(hostport)
 	if err != nil {
 		return err
+	}
+	if hs > 0 {
+		now := time.Now()
+		trace.Of(m).Add(trace.StageHandshake, now.Add(-hs), hs)
 	}
 	srv := ts.w.srv
 	c := srv.table.Insert(sc, srv.sub.cfg.IdleTimeout)

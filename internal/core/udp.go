@@ -148,7 +148,10 @@ func (s *udpSender) ToAddr(_ string, hostport string, m *sipmsg.Message) error {
 }
 
 func newUDPServer(cfg Config) (Server, error) {
-	sub := newSubstrate(cfg)
+	sub, err := newSubstrate(cfg)
+	if err != nil {
+		return nil, err
+	}
 	nShards := cfg.UDPShards
 	if nShards < 1 {
 		nShards = 1

@@ -1,0 +1,147 @@
+package ipc
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gosip/internal/conn"
+	"gosip/internal/metrics"
+	"gosip/internal/transport"
+)
+
+// TestHandleSendRawCoalesces is the regression test for the PR 4 honest
+// null: with group commit armed on the shared StreamConn, Handle.SendRaw
+// must bypass the connection's outer send lock so concurrent senders can
+// actually reach the coalescing path. Before the fix, sendMu serialized
+// every writer and msgs/syscall stayed pinned at 1.0 no matter the flag.
+func TestHandleSendRawCoalesces(t *testing.T) {
+	// A pipe makes batching deterministic: every write blocks until the
+	// reader drains it, so while the first sender's writev is in flight the
+	// others must queue — exactly the pile-up group commit exists to flush.
+	p1, p2 := net.Pipe()
+	t.Cleanup(func() { p1.Close(); p2.Close() })
+	prof := metrics.NewProfile()
+	table := conn.NewTable(prof)
+	tcpConn := table.Insert(transport.NewStreamConn(p1), time.Minute)
+	sc := tcpConn.Stream()
+	calls := prof.Counter(metrics.MetricTCPWriteCalls)
+	msgs := prof.Counter(metrics.MetricTCPWriteMsgs)
+	sc.InstrumentWrites(calls, msgs)
+	sc.EnableCoalesce()
+
+	const senders, per = 8, 50
+	wire := testMsg(1).Serialize()
+
+	// Hold the reader back until every sender is running: the first sender
+	// to reach WriteRaw becomes the flusher and blocks in the pipe write,
+	// and — this is the point of the fix — the rest are NOT stuck behind an
+	// outer send lock, so they queue their messages and return. When the
+	// reader finally drains, the flusher commits the whole pile-up in a
+	// handful of writevs.
+	start := make(chan struct{})
+	ready := make(chan struct{}, senders)
+	read := make(chan int, 1)
+	go func() {
+		for i := 0; i < senders; i++ {
+			<-ready
+		}
+		time.Sleep(20 * time.Millisecond) // let the queue build behind the blocked flusher
+		total := 0
+		buf := make([]byte, 4096)
+		for total < senders*per*len(wire) {
+			n, err := p2.Read(buf)
+			total += n
+			if err != nil {
+				break
+			}
+		}
+		read <- total
+	}()
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := DirectHandle(tcpConn)
+			ready <- struct{}{}
+			<-start
+			for i := 0; i < per; i++ {
+				if err := h.SendRaw(wire); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := <-read; n != senders*per*len(wire) {
+		t.Fatalf("peer read %d bytes, want %d", n, senders*per*len(wire))
+	}
+	if got := msgs.Value(); got != senders*per {
+		t.Errorf("write_msgs = %d, want %d", got, senders*per)
+	}
+	// The engagement assertion: strictly fewer flushes than messages means
+	// at least one writev carried more than one message through SendRaw.
+	// Before the fix the outer send lock serialized every sender and this
+	// ratio was pinned at exactly 1.0.
+	if calls.Value() >= msgs.Value() {
+		t.Errorf("write_syscalls = %d for %d messages; group commit never engaged through SendRaw",
+			calls.Value(), msgs.Value())
+	}
+
+	// The lifecycle check survives on the lock-free path.
+	table.Remove(tcpConn)
+	if err := DirectHandle(tcpConn).SendRaw([]byte("x")); err != conn.ErrClosed {
+		t.Errorf("SendRaw on closed conn = %v, want ErrClosed", err)
+	}
+}
+
+// benchHandleSendContended is the before/after for the coalesce fix: many
+// workers pushing responses down one shared connection through
+// Handle.SendRaw, with group commit off (the outer-lock path PR 4 shipped)
+// and on (the fixed path that reaches the group commit).
+func benchHandleSendContended(b *testing.B, coalesce bool) {
+	t := &testing.T{}
+	env := newTestEnv(t, ModeChan, 1)
+	defer env.stop()
+	sc := env.conn.Stream()
+	prof := metrics.NewProfile()
+	calls := prof.Counter(metrics.MetricTCPWriteCalls)
+	msgs := prof.Counter(metrics.MetricTCPWriteMsgs)
+	sc.InstrumentWrites(calls, msgs)
+	if coalesce {
+		sc.EnableCoalesce()
+	}
+	go func() { // drain so the socket buffer never fills
+		buf := make([]byte, 256<<10)
+		for {
+			if _, err := env.peer.NetConn().Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	wire := testMsg(1).Serialize()
+	b.SetBytes(int64(len(wire)))
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		h := DirectHandle(env.conn)
+		for pb.Next() {
+			if err := h.SendRaw(wire); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if c := calls.Value(); c > 0 {
+		b.ReportMetric(float64(msgs.Value())/float64(c), "msgs/syscall")
+	}
+}
+
+func BenchmarkHandleSendContendedLocked(b *testing.B)    { benchHandleSendContended(b, false) }
+func BenchmarkHandleSendContendedCoalesced(b *testing.B) { benchHandleSendContended(b, true) }

@@ -28,6 +28,7 @@ import (
 	"gosip/internal/conn"
 	"gosip/internal/metrics"
 	"gosip/internal/sipmsg"
+	"gosip/internal/transport"
 )
 
 // Mode selects the IPC mechanism.
@@ -86,7 +87,26 @@ func (h *Handle) Send(m *sipmsg.Message) error {
 }
 
 // SendRaw writes pre-serialized bytes under the connection's send lock.
+//
+// When the handle's writer is the shared StreamConn with group-commit
+// coalescing armed, the outer send lock is skipped: WriteRaw is then
+// itself atomic, and taking sendMu first would serialize every writer
+// before it could reach the coalescing path — the reason -tcp-coalesce
+// measured as an honest null end-to-end (msgs/syscall pinned at 1.0) while
+// the transport-level benchmark batched 30+ messages per writev. The
+// lifecycle check SendLocked performs is preserved as a racy fast-fail;
+// the race is benign because closing the socket makes the write itself
+// return an error, the same outcome SendLocked's check produces. Unix-mode
+// handles wrap a private duplicated descriptor, not the shared StreamConn,
+// so they keep the locked path (their writes must still be serialized
+// per-message against other holders of duplicated fds).
 func (h *Handle) SendRaw(data []byte) error {
+	if sc, ok := h.writer.(*transport.StreamConn); ok && sc.CoalesceActive() {
+		if h.Conn.State() == conn.StateClosed {
+			return conn.ErrClosed
+		}
+		return sc.WriteRaw(data)
+	}
 	return h.Conn.SendLocked(func() error { return h.writer.WriteRaw(data) })
 }
 

@@ -36,8 +36,12 @@ const (
 type Config struct {
 	// Scenario selects the measured workload (default ScenarioCalls).
 	Scenario Scenario
-	// Transport is UDP or TCP.
+	// Transport is UDP, TCP, or TLS.
 	Transport transport.Kind
+	// TLS is the fleet's shared TLS context when Transport is TLS: every
+	// phone dials through it, so one client session cache serves them all
+	// and reconnects resume instead of paying full handshakes.
+	TLS *transport.TLSContext
 	// ProxyAddr is the system under test.
 	ProxyAddr string
 	// Domain is the SIP domain.
@@ -185,6 +189,7 @@ func Run(cfg Config) (Result, error) {
 	phoneCfg := func(user string, opsPerConn int) phone.Config {
 		return phone.Config{
 			Transport:       cfg.Transport,
+			TLS:             cfg.TLS,
 			ProxyAddr:       cfg.ProxyAddr,
 			Domain:          cfg.Domain,
 			User:            user,

@@ -337,6 +337,18 @@ const (
 	MetricAuthCacheMisses    = "authcache.misses"
 	MetricAuthCacheEvictions = "authcache.evictions"
 
+	// TLS transport counters (internal/transport): handshake outcomes on
+	// both roles (accepted and dialed), session-ticket key rotations, and —
+	// for the process-pool architecture — sends that bypassed the fd
+	// cache/IPC fabric because TLS crypto state pins a connection to its
+	// owning process (SCM_RIGHTS would deliver a raw fd whose TLS session
+	// lives in another process's memory).
+	MetricTLSFullHandshakes    = "tls.full_handshakes"
+	MetricTLSResumptions       = "tls.resumptions"
+	MetricTLSHandshakeFailures = "tls.handshake_failures"
+	MetricTLSTicketRotations   = "tls.ticket_rotations"
+	MetricTLSPinnedSends       = "tls.pinned_sends"
+
 	// Flight-recorder counters (internal/trace): timelines kept by the
 	// tail-sampling decision, timelines lost (overwritten in the ring, or
 	// never reaching a terminal response), calls whose span array
@@ -372,6 +384,7 @@ const (
 // question (§5, Figures 4/5) answered as live distributions rather than
 // offline OProfile totals.
 const (
+	StageHandshake  = "stage.handshake"    // TLS handshake (full or resumed)
 	StageParse      = "stage.parse"        // wire bytes → parsed message
 	StageTxnMatch   = "stage.txn_match"    // transaction create/match
 	StageDBQueue    = "stage.db_queue"     // wait for a free connection-pool slot
@@ -399,8 +412,9 @@ const (
 // StageNames lists every per-stage histogram in pipeline order, for
 // reports that want a stable, complete stage table.
 var StageNames = []string{
-	StageParse, StageTxnMatch, StageDBQueue, StageDBLookup, StageFDCacheHit,
-	StageFDIPC, StageSend, StageSupervisor, StageProcess, StageIdleScan,
+	StageHandshake, StageParse, StageTxnMatch, StageDBQueue, StageDBLookup,
+	StageFDCacheHit, StageFDIPC, StageSend, StageSupervisor, StageProcess,
+	StageIdleScan,
 }
 
 // standardCounters and standardTimers are every Metric* name, so
@@ -422,6 +436,8 @@ var standardCounters = []string{
 	MetricLocRegistered, MetricLocRefreshed, MetricLocExpired,
 	MetricLocDeregistered,
 	MetricAuthCacheHits, MetricAuthCacheMisses, MetricAuthCacheEvictions,
+	MetricTLSFullHandshakes, MetricTLSResumptions, MetricTLSHandshakeFailures,
+	MetricTLSTicketRotations, MetricTLSPinnedSends,
 	MetricTraceRetained, MetricTraceDropped, MetricTraceTruncated,
 	MetricTraceSampledOut,
 }

@@ -34,8 +34,12 @@ const (
 
 // Config describes one simulated phone.
 type Config struct {
-	// Transport is UDP or TCP.
+	// Transport is UDP, TCP, or TLS.
 	Transport transport.Kind
+	// TLS supplies the client/server TLS state when Transport is TLS. The
+	// context is shared across a fleet of phones so they all resume against
+	// one session cache (the load generator owns it).
+	TLS *transport.TLSContext
 	// ProxyAddr is the SIP proxy's host:port.
 	ProxyAddr string
 	// Domain is the SIP domain (AOR host part).
@@ -155,6 +159,13 @@ func New(cfg Config, role Role) (*Phone, error) {
 	case transport.UDP:
 		p.udp, err = newUDPEndpoint(cfg)
 	case transport.TCP:
+		p.tcp, err = newTCPEndpoint(cfg, role)
+	case transport.TLS:
+		if cfg.TLS == nil {
+			return nil, errors.New("phone: TLS transport without a TLS context")
+		}
+		// TLS rides the TCP endpoint unchanged: the crypto layer sits at the
+		// net.Conn seam inside dial/accept.
 		p.tcp, err = newTCPEndpoint(cfg, role)
 	default:
 		err = fmt.Errorf("phone: unsupported transport %q", cfg.Transport)

@@ -53,6 +53,19 @@ func newTCPEndpoint(cfg Config, role Role) (*tcpEndpoint, error) {
 	}, nil
 }
 
+// dial opens a stream connection to target, adding the TLS client layer
+// (and paying — or resuming — its handshake) when the phone speaks TLS.
+func (e *tcpEndpoint) dial(target string) (*transport.StreamConn, error) {
+	if e.cfg.TLS == nil {
+		return transport.DialTCP(target)
+	}
+	tc, err := e.cfg.TLS.DialAddr(target, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return transport.NewStreamConn(tc), nil
+}
+
 // ensureConn returns the current client connection, dialing if needed.
 func (e *tcpEndpoint) ensureConn() (*transport.StreamConn, error) {
 	e.mu.Lock()
@@ -60,7 +73,7 @@ func (e *tcpEndpoint) ensureConn() (*transport.StreamConn, error) {
 	if e.cli != nil {
 		return e.cli, nil
 	}
-	sc, err := transport.DialTCP(e.cfg.ProxyAddr)
+	sc, err := e.dial(e.cfg.ProxyAddr)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +198,7 @@ type tcpLeg struct {
 }
 
 func (e *tcpEndpoint) directLeg(target string) (*tcpLeg, error) {
-	sc, err := transport.DialTCP(target)
+	sc, err := e.dial(target)
 	if err != nil {
 		return nil, err
 	}
@@ -239,6 +252,10 @@ func (e *tcpEndpoint) startAnswering() {
 			if tc, ok := nc.(*net.TCPConn); ok {
 				_ = tc.SetNoDelay(true)
 			}
+			// TLS phones answer proxy-dialed connections with the same
+			// certificate the proxy trusts; Server is a no-op without TLS
+			// and the handshake completes lazily on the first read.
+			nc = e.cfg.TLS.Server(nc)
 			e.wg.Add(1)
 			go func() {
 				defer e.wg.Done()

@@ -45,13 +45,19 @@ const (
 	StageWaitDown                // waiting on the downstream party's response
 	StageRetransmit              // one retransmission of the forwarded request
 	StageState                   // a transaction state-machine transition (absorb/ACK/final)
+	// StageHandshake is the TLS handshake of the connection a request
+	// arrived on (attached to the first traced request of the connection)
+	// or of a connection dialed to forward it. For an accepted connection
+	// the handshake precedes the request's parse, so the span's Start
+	// offset is negative — the one span allowed to sit before the origin.
+	StageHandshake
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"parse", "queue", "admission", "txn_match", "location",
 	"db_queue", "db_lookup", "fd_cache_hit", "fd_ipc", "send",
-	"wait_down", "retransmit", "state",
+	"wait_down", "retransmit", "state", "handshake",
 }
 
 // String returns the stage's snake_case name (matching the metrics
@@ -137,10 +143,14 @@ func (c *Context) Gap(s Stage, now time.Time) {
 	c.mu.Lock()
 	if !c.finished {
 		if c.n < MaxSpans {
+			// The gap starts where accounted time ends: the max span end,
+			// not the last appended span's — nested detail (fd IPC inside
+			// send) and pre-origin handshake spans append out of end order.
 			var end time.Duration
-			if c.n > 0 {
-				last := &c.spans[c.n-1]
-				end = last.Start + last.Dur
+			for i := 0; i < c.n; i++ {
+				if e := c.spans[i].Start + c.spans[i].Dur; e > end {
+					end = e
+				}
 			}
 			if off := now.Sub(c.start); off > end {
 				c.spans[c.n] = Span{Stage: s, Start: end, Dur: off - end}

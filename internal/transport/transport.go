@@ -285,6 +285,14 @@ func (c *StreamConn) InstrumentWrites(calls, msgs *metrics.Counter) {
 // connection is shared between goroutines.
 func (c *StreamConn) EnableCoalesce() { c.coalesce = true }
 
+// CoalesceActive reports whether group-commit coalescing is armed, i.e.
+// whether WriteRaw is itself an atomic group-committing send. Callers that
+// hold an outer per-connection send lock (the IPC handle path) consult
+// this to skip that lock: serializing writers before they reach WriteRaw
+// would prevent them from ever contending inside it, which is exactly the
+// condition group commit needs to batch.
+func (c *StreamConn) CoalesceActive() bool { return c.coalesce }
+
 // SetParseObserver forwards fn to the framing reader: it receives each
 // delivered message and its parse-only time (blocked socket reads
 // excluded). Set it before the connection's reader goroutine starts.
