@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Compare merges committed BENCH_pr*.json files into one perf-trajectory
+// table: one row per benchmark, one column per PR, each cell the run's
+// ns/op with its delta against the previous PR that ran the same
+// benchmark. New benchmarks show up mid-table with no delta — that is the
+// honest shape of a growing suite, not missing data.
+
+var prFilePat = regexp.MustCompile(`(?i)pr(\d+)`)
+
+// column is one BENCH file: its PR number and name → ns/op map.
+type column struct {
+	pr   int
+	nsop map[string]float64
+}
+
+func loadColumn(path string) (column, error) {
+	m := prFilePat.FindStringSubmatch(filepath.Base(path))
+	if m == nil {
+		return column{}, fmt.Errorf("%s: no PR number in file name (want BENCH_pr<N>.json)", path)
+	}
+	pr, _ := strconv.Atoi(m[1])
+	f, err := os.Open(path)
+	if err != nil {
+		return column{}, err
+	}
+	defer f.Close()
+	var recs []Record
+	if err := json.NewDecoder(f).Decode(&recs); err != nil {
+		return column{}, fmt.Errorf("%s: %v", path, err)
+	}
+	col := column{pr: pr, nsop: make(map[string]float64, len(recs))}
+	for _, r := range recs {
+		if ns, ok := r.Metrics["ns/op"]; ok && ns > 0 {
+			col.nsop[r.Name] = ns
+		}
+	}
+	return col, nil
+}
+
+// Compare renders the trajectory table for the given BENCH files as
+// markdown. Files are ordered by the PR number in their name.
+func Compare(w io.Writer, paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("no BENCH files given")
+	}
+	cols := make([]column, 0, len(paths))
+	for _, p := range paths {
+		c, err := loadColumn(p)
+		if err != nil {
+			return err
+		}
+		cols = append(cols, c)
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i].pr < cols[j].pr })
+
+	// Row order: first PR that ran the benchmark, then name — the table
+	// reads chronologically, suite growth included.
+	type row struct {
+		name  string
+		first int
+	}
+	var rows []row
+	seen := map[string]bool{}
+	for _, c := range cols {
+		names := make([]string, 0, len(c.nsop))
+		for n := range c.nsop {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if !seen[n] {
+				seen[n] = true
+				rows = append(rows, row{n, c.pr})
+			}
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].first != rows[j].first {
+			return rows[i].first < rows[j].first
+		}
+		return rows[i].name < rows[j].name
+	})
+
+	var b strings.Builder
+	b.WriteString("| benchmark |")
+	for _, c := range cols {
+		fmt.Fprintf(&b, " PR %d |", c.pr)
+	}
+	b.WriteString("\n|---|")
+	for range cols {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s |", strings.TrimPrefix(r.name, "Benchmark"))
+		prev := 0.0
+		for _, c := range cols {
+			ns, ok := c.nsop[r.name]
+			switch {
+			case !ok:
+				b.WriteString(" – |")
+			case prev == 0:
+				fmt.Fprintf(&b, " %s |", fmtNs(ns))
+			default:
+				fmt.Fprintf(&b, " %s (%+.0f%%) |", fmtNs(ns), (ns-prev)/prev*100)
+			}
+			if ok {
+				prev = ns
+			}
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// fmtNs prints a ns/op value compactly: sub-microsecond values keep
+// fractional digits, large ones switch to µs/ms.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	pr4 := writeBench(t, dir, "BENCH_pr4.json", `[
+		{"name":"BenchmarkUDPRoundtrip","iterations":10,"metrics":{"ns/op":8000}},
+		{"name":"BenchmarkOld","iterations":10,"metrics":{"ns/op":100}}
+	]`)
+	pr10 := writeBench(t, dir, "BENCH_pr10.json", `[
+		{"name":"BenchmarkUDPRoundtrip","iterations":10,"metrics":{"ns/op":4000}},
+		{"name":"BenchmarkUDPRoundtripUring","iterations":10,"metrics":{"ns/op":2000}}
+	]`)
+
+	var b strings.Builder
+	// Deliberately out of order: Compare sorts by PR number, numerically
+	// (pr10 after pr4, not lexically before).
+	if err := Compare(&b, []string{pr10, pr4}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "| benchmark | PR 4 | PR 10 |" {
+		t.Errorf("header = %q", lines[0])
+	}
+	wantRows := []string{
+		"| Old | 100ns | – |",
+		"| UDPRoundtrip | 8.0µs | 4.0µs (-50%) |",
+		"| UDPRoundtripUring | – | 2.0µs |",
+	}
+	for _, want := range wantRows {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing row %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareRejectsUnnumbered(t *testing.T) {
+	dir := t.TempDir()
+	p := writeBench(t, dir, "BENCH.json", `[]`)
+	if err := Compare(&strings.Builder{}, []string{p}); err == nil {
+		t.Fatal("expected error for file without PR number")
+	}
+}

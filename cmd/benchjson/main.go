@@ -5,11 +5,17 @@
 // same ones benchstat reads, so the two views never disagree:
 //
 //	go test -run xxx -bench . ./internal/transport/ | benchjson > BENCH.json
+//
+// With -compare it instead merges committed per-PR JSON files into one
+// perf-trajectory markdown table (benchmark × PR → ns/op and delta):
+//
+//	benchjson -compare BENCH_pr*.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -18,6 +24,16 @@ import (
 )
 
 func main() {
+	compare := flag.Bool("compare", false, "merge BENCH_pr*.json arguments into a perf-trajectory table")
+	flag.Parse()
+	if *compare {
+		if err := Compare(os.Stdout, flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	recs, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)

@@ -78,13 +78,13 @@ type workerEvent struct {
 }
 
 func newTCPServer(cfg Config) (Server, error) {
-	ln, err := net.Listen("tcp", cfg.Addr)
+	sub, err := newSubstrate(cfg)
 	if err != nil {
 		return nil, err
 	}
-	sub, err := newSubstrate(cfg)
+	ln, err := sub.listenStream(cfg.Addr)
 	if err != nil {
-		ln.Close()
+		sub.close()
 		return nil, err
 	}
 	fabric, err := ipc.NewFabric(cfg.IPCMode, cfg.Workers, cfg.IPCTimeout, sub.prof)
@@ -137,6 +137,7 @@ func newTCPServer(cfg Config) (Server, error) {
 		w.sender = &tcpSender{w: w}
 		srv.workers = append(srv.workers, w)
 	}
+	sub.setEngineInfo(sub.streamEngineSelected())
 	srv.wg.Add(2 + len(srv.workers))
 	go srv.acceptor()
 	go srv.supervisor()
@@ -481,15 +482,21 @@ func (ts *tcpSender) sendOnConn(c *conn.TCPConn, m *sipmsg.Message) error {
 		w.localMgr.Touch(c)
 		return nil
 	}
-	if w.srv.sub.tls != nil {
-		// TLS breaks the fd-passing model: the record-layer crypto state
-		// (keys, sequence numbers) lives in this process's user space, so a
-		// duplicated descriptor in another worker would desynchronize the
-		// stream. Non-owner sends are pinned to the shared connection object
-		// instead of going through the fd cache or the supervisor fabric —
-		// the send lock serializes writers, and tls.pinned_sends measures how
+	if w.srv.sub.tls != nil || w.srv.sub.streamEng != nil {
+		// TLS and the io_uring engine both break the fd-passing model: the
+		// connection's stream state (record-layer crypto for TLS; ring
+		// registration and buffered completion segments for engine conns)
+		// lives in this process's user space, so a duplicated descriptor in
+		// another worker would desynchronize the stream. Non-owner sends are
+		// pinned to the shared connection object instead of going through
+		// the fd cache or the supervisor fabric — the send lock serializes
+		// writers, and tls.pinned_sends / uring.pinned_sends measure how
 		// often the architecture's fd economy is bypassed.
-		w.srv.sub.tlsPinned.Inc()
+		if w.srv.sub.tls != nil {
+			w.srv.sub.tlsPinned.Inc()
+		} else {
+			w.srv.sub.uringPinned.Inc()
+		}
 		if err := ipc.DirectHandle(c).Send(m); err != nil {
 			return err
 		}

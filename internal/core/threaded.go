@@ -51,13 +51,13 @@ type threadedWorker struct {
 }
 
 func newThreadedServer(cfg Config) (Server, error) {
-	ln, err := net.Listen("tcp", cfg.Addr)
+	sub, err := newSubstrate(cfg)
 	if err != nil {
 		return nil, err
 	}
-	sub, err := newSubstrate(cfg)
+	ln, err := sub.listenStream(cfg.Addr)
 	if err != nil {
-		ln.Close()
+		sub.close()
 		return nil, err
 	}
 	local := ln.Addr().(*net.TCPAddr)
@@ -83,6 +83,7 @@ func newThreadedServer(cfg Config) (Server, error) {
 		w.sender = &threadedSender{w: w}
 		srv.workers = append(srv.workers, w)
 	}
+	sub.setEngineInfo(sub.streamEngineSelected())
 	srv.wg.Add(1 + len(srv.workers))
 	go srv.acceptor()
 	for _, w := range srv.workers {

@@ -1,0 +1,369 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"gosip/internal/connmgr"
+	"gosip/internal/core"
+	"gosip/internal/loadgen"
+	"gosip/internal/metrics"
+	"gosip/internal/transport"
+)
+
+// SyscallScale shapes the I/O-engine sweep: the paper's transport
+// comparison re-run at the completion-model limit. Where the batching
+// sweep (PR 4) varied how many messages one syscall moves, this sweep
+// varies the I/O engine itself — portable one-syscall-per-message, batched
+// recvmmsg/sendmmsg, and io_uring completion rings — and measures what is
+// left of the kernel boundary: ops/s, kernel crossings per completed
+// operation, and the P99 a caller observes.
+type SyscallScale struct {
+	// Pairs are the offered-load points (caller/callee pairs).
+	Pairs []int
+	// CallsPerCaller is each caller's closed-loop call count.
+	CallsPerCaller int
+	// Workers is the server worker count.
+	Workers int
+	// Batch is the recvmmsg/sendmmsg budget for the batched variants and
+	// the read/write batch the uring variant drains per wakeup.
+	Batch int
+	// Shards is the SO_REUSEPORT socket count for the sharded variant.
+	Shards int
+	// Reps runs each cell this many times, keeping the median-throughput
+	// run (see BatchingScale.Reps).
+	Reps int
+	// RcvBuf constrains every variant's receive buffers, putting the sweep
+	// in the burst-absorption regime where drain rate per wakeup decides
+	// whether the kernel drops (see BatchingScale.RcvBuf).
+	RcvBuf int
+}
+
+// DefaultSyscallScale mirrors the batching sweep's scale so the two
+// reports are directly comparable.
+func DefaultSyscallScale() SyscallScale {
+	return SyscallScale{
+		Pairs:          []int{8, 128},
+		CallsPerCaller: 50,
+		Workers:        4,
+		Batch:          32,
+		Shards:         4,
+		Reps:           5,
+		RcvBuf:         32 << 10,
+	}
+}
+
+// SyscallVariant is one (engine, transport) server configuration.
+type SyscallVariant struct {
+	Name      string
+	Arch      core.Architecture
+	Transport transport.Kind
+	Engine    transport.IOEngine
+	UDPBatch  int
+	UDPShards int
+	Coalesce  bool
+}
+
+// variants builds the sweep rows: for UDP the portable baseline, the PR 4
+// batch and batch+shard configurations, and the uring engine; for TCP the
+// portable baseline, write coalescing, and the uring engine. The uring
+// rows are present only when the kernel grants io_uring — the caller
+// learns about an exclusion from UringExcluded, never from a silently
+// shorter table.
+func (sc SyscallScale) variants() []SyscallVariant {
+	vs := []SyscallVariant{
+		{Name: "udp/portable", Arch: core.ArchUDP, Transport: transport.UDP, Engine: transport.EnginePortable},
+		{Name: fmt.Sprintf("udp/batch%d", sc.Batch), Arch: core.ArchUDP, Transport: transport.UDP,
+			Engine: transport.EngineBatch, UDPBatch: sc.Batch},
+	}
+	if sc.Shards > 1 && transport.ReusePortAvailable() {
+		vs = append(vs, SyscallVariant{
+			Name: fmt.Sprintf("udp/batch%d+shard%d", sc.Batch, sc.Shards), Arch: core.ArchUDP,
+			Transport: transport.UDP, Engine: transport.EngineBatch, UDPBatch: sc.Batch, UDPShards: sc.Shards,
+		})
+	}
+	if transport.UringSupported() {
+		vs = append(vs, SyscallVariant{
+			Name: "udp/uring", Arch: core.ArchUDP, Transport: transport.UDP,
+			Engine: transport.EngineUring, UDPBatch: sc.Batch,
+		})
+	}
+	vs = append(vs,
+		SyscallVariant{Name: "tcp/portable", Arch: core.ArchTCP, Transport: transport.TCP, Engine: transport.EnginePortable},
+		SyscallVariant{Name: "tcp/coalesce", Arch: core.ArchTCP, Transport: transport.TCP,
+			Engine: transport.EngineBatch, Coalesce: true},
+	)
+	if transport.UringSupported() {
+		vs = append(vs, SyscallVariant{
+			Name: "tcp/uring", Arch: core.ArchTCP, Transport: transport.TCP, Engine: transport.EngineUring,
+		})
+	}
+	return vs
+}
+
+// UringExcluded reports whether the uring rows were dropped from the sweep
+// and why. Exclusion is explicit: reports print the reason.
+func (sc SyscallScale) UringExcluded() (bool, string) {
+	if transport.UringSupported() {
+		return false, ""
+	}
+	_, _, reason := transport.UringProbeInfo()
+	return true, reason
+}
+
+// SyscallCell is one (variant, pairs) measurement.
+type SyscallCell struct {
+	Variant SyscallVariant
+	Pairs   int
+	// Engine is what the server actually armed (probe fallback visible).
+	Engine transport.IOEngine
+	Result loadgen.Result
+
+	RecvSyscalls, RecvMsgs int64
+	SendSyscalls, SendMsgs int64
+	WriteCalls, WriteMsgs  int64
+	UringSubmits           int64
+	UringWaits             int64
+	PoolDropped            int64
+}
+
+// kernelCrossings totals the cell's network-boundary syscalls. The
+// datagram engines fold their enters into the recv/send counters, so the
+// PR 4 formula carries over; the stream uring engine accounts its ring
+// crossings (submit and wait enters, covering sends, multishot rearms,
+// and accepts) in the ring counters instead of per-write counts.
+func (c SyscallCell) kernelCrossings() int64 {
+	if c.Engine == transport.EngineUring && c.Variant.Transport != transport.UDP {
+		return c.RecvSyscalls + c.SendSyscalls + c.UringSubmits + c.UringWaits
+	}
+	return c.RecvSyscalls + c.SendSyscalls + c.WriteCalls
+}
+
+// SyscallsPerOp is kernel crossings per completed operation.
+func (c SyscallCell) SyscallsPerOp() float64 {
+	if c.Result.Ops == 0 {
+		return 0
+	}
+	return float64(c.kernelCrossings()) / float64(c.Result.Ops)
+}
+
+// SyscallReport is the finished sweep.
+type SyscallReport struct {
+	Scale SyscallScale
+	Cells []SyscallCell
+}
+
+// Cell returns the measurement for (variant name, pairs), or nil.
+func (r *SyscallReport) Cell(name string, pairs int) *SyscallCell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Variant.Name == name && c.Pairs == pairs {
+			return c
+		}
+	}
+	return nil
+}
+
+// UringVerdict checks the acceptance comparison at the top load point:
+// uring syscalls/op against batch, and uring ops/s against batch+shard.
+// Ratios of zero mean the cells are missing (no io_uring on this host).
+func (r *SyscallReport) UringVerdict() (sysRatio, opsRatio float64) {
+	if len(r.Scale.Pairs) == 0 {
+		return 0, 0
+	}
+	top := r.Scale.Pairs[len(r.Scale.Pairs)-1]
+	uring := r.Cell("udp/uring", top)
+	batch := r.Cell(fmt.Sprintf("udp/batch%d", r.Scale.Batch), top)
+	combined := r.Cell(fmt.Sprintf("udp/batch%d+shard%d", r.Scale.Batch, r.Scale.Shards), top)
+	if uring == nil || batch == nil {
+		return 0, 0
+	}
+	if s := batch.SyscallsPerOp(); s > 0 {
+		sysRatio = uring.SyscallsPerOp() / s
+	}
+	if combined != nil && combined.Result.Throughput > 0 {
+		opsRatio = uring.Result.Throughput / combined.Result.Throughput
+	}
+	return sysRatio, opsRatio
+}
+
+// RunSyscalls sweeps engine × transport × offered load, interleaving
+// repetitions across cells (see RunBatching).
+func RunSyscalls(sc SyscallScale, progress func(string)) (*SyscallReport, error) {
+	rep := &SyscallReport{Scale: sc}
+	if excluded, reason := sc.UringExcluded(); excluded && progress != nil {
+		progress(fmt.Sprintf("[syscalls] uring rows excluded: %s", reason))
+	}
+	reps := sc.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	type key struct {
+		name  string
+		pairs int
+	}
+	runs := map[key][]*SyscallCell{}
+	for i := 0; i < reps; i++ {
+		for _, v := range sc.variants() {
+			for _, pairs := range sc.Pairs {
+				runtime.GC()
+				cell, err := runSyscallCell(sc, v, pairs)
+				if err != nil {
+					return nil, fmt.Errorf("syscalls (%s, %d pairs): %w", v.Name, pairs, err)
+				}
+				k := key{v.Name, pairs}
+				runs[k] = append(runs[k], cell)
+			}
+		}
+	}
+	for _, v := range sc.variants() {
+		for _, pairs := range sc.Pairs {
+			cells := runs[key{v.Name, pairs}]
+			sort.Slice(cells, func(i, j int) bool {
+				return cells[i].Result.Throughput < cells[j].Result.Throughput
+			})
+			cell := cells[len(cells)/2]
+			rep.Cells = append(rep.Cells, *cell)
+			if progress != nil {
+				progress(fmt.Sprintf("[syscalls] %-18s %3d pairs: %s (%.3f sys/op, p99 %v)",
+					v.Name, pairs, cell.Result, cell.SyscallsPerOp(),
+					cell.Result.P99CallLatency.Round(time.Microsecond)))
+			}
+		}
+	}
+	return rep, nil
+}
+
+func runSyscallCell(sc SyscallScale, v SyscallVariant, pairs int) (*SyscallCell, error) {
+	cfg := core.Config{
+		Arch:    v.Arch,
+		Workers: sc.Workers,
+		// Same split as the batching sweep: UDP rows stateless to isolate
+		// the kernel-crossing cost, stream rows stateful because the
+		// stateless relay cannot dial an ephemeral client port.
+		Stateful:    v.Transport != transport.UDP,
+		Domain:      "bench.gosip",
+		FDCache:     true,
+		ConnMgr:     connmgr.KindPQueue,
+		IOEngine:    v.Engine,
+		UDPBatch:    v.UDPBatch,
+		UDPShards:   v.UDPShards,
+		TCPCoalesce: v.Coalesce,
+		SoRcvBuf:    sc.RcvBuf,
+	}
+	srv, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	srv.DB().ProvisionN(2*pairs, cfg.Domain)
+
+	res, err := loadgen.Run(loadgen.Config{
+		Transport:      v.Transport,
+		ProxyAddr:      srv.Addr(),
+		Domain:         cfg.Domain,
+		Pairs:          pairs,
+		CallsPerCaller: sc.CallsPerCaller,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	p := srv.Profile()
+	cell := &SyscallCell{
+		Variant:      v,
+		Pairs:        pairs,
+		Engine:       selectedEngine(p),
+		Result:       res,
+		RecvSyscalls: p.Counter(metrics.MetricUDPRecvSyscalls).Value(),
+		RecvMsgs:     p.Counter(metrics.MetricUDPRecvMsgs).Value(),
+		SendSyscalls: p.Counter(metrics.MetricUDPSendSyscalls).Value(),
+		SendMsgs:     p.Counter(metrics.MetricUDPSendMsgs).Value(),
+		WriteCalls:   p.Counter(metrics.MetricTCPWriteCalls).Value(),
+		WriteMsgs:    p.Counter(metrics.MetricTCPWriteMsgs).Value(),
+		UringSubmits: p.Counter(metrics.MetricUringSubmits).Value(),
+		UringWaits:   p.Counter(metrics.MetricUringWaits).Value(),
+		PoolDropped:  p.Counter(metrics.MetricUDPPoolDropped).Value(),
+	}
+	if cell.PoolDropped != 0 {
+		return nil, fmt.Errorf("buffer pool dropped %d buffers (recycling broke)", cell.PoolDropped)
+	}
+	return cell, nil
+}
+
+// Table renders ops/s, syscalls/op, and P99 per variant and load point.
+func (r *SyscallReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "The last syscall: I/O engines, %d-byte rcvbuf\n\n", r.Scale.RcvBuf)
+	if excluded, reason := r.Scale.UringExcluded(); excluded {
+		fmt.Fprintf(&b, "uring rows excluded: %s\n\n", reason)
+	}
+	fmt.Fprintf(&b, "%-22s", "variant")
+	for _, p := range r.Scale.Pairs {
+		fmt.Fprintf(&b, "%36s", fmt.Sprintf("%d pairs", p))
+	}
+	b.WriteByte('\n')
+	for _, v := range r.Scale.variants() {
+		fmt.Fprintf(&b, "%-22s", v.Name)
+		for _, p := range r.Scale.Pairs {
+			c := r.Cell(v.Name, p)
+			if c == nil {
+				fmt.Fprintf(&b, "%36s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "%36s", fmt.Sprintf("%.0f ops/s, %.3f sys/op, p99 %v",
+				c.Result.Throughput, c.SyscallsPerOp(),
+				c.Result.P99CallLatency.Round(time.Millisecond)))
+		}
+		b.WriteByte('\n')
+	}
+	if sys, ops := r.UringVerdict(); sys > 0 {
+		top := r.Scale.Pairs[len(r.Scale.Pairs)-1]
+		fmt.Fprintf(&b, "\nudp/uring at %d pairs: syscalls/op %.2fx of batch%d, ops/s %.2fx of batch%d+shard%d\n",
+			top, sys, r.Scale.Batch, ops, r.Scale.Batch, r.Scale.Shards)
+	}
+	return b.String()
+}
+
+// Markdown renders the sweep for EXPERIMENTS.md.
+func (r *SyscallReport) Markdown() string {
+	var b strings.Builder
+	b.WriteString("\n| variant | engine |")
+	for _, p := range r.Scale.Pairs {
+		fmt.Fprintf(&b, " %d pairs (ops/s) |", p)
+	}
+	top := r.Scale.Pairs[len(r.Scale.Pairs)-1]
+	fmt.Fprintf(&b, " syscalls/op @ %d | p99 @ %d |\n|---|---|", top, top)
+	for range r.Scale.Pairs {
+		b.WriteString("---|")
+	}
+	b.WriteString("---|---|\n")
+	for _, v := range r.Scale.variants() {
+		c := r.Cell(v.Name, top)
+		eng := v.Engine
+		if c != nil {
+			eng = c.Engine
+		}
+		fmt.Fprintf(&b, "| %s | %s |", v.Name, eng)
+		for _, p := range r.Scale.Pairs {
+			if c := r.Cell(v.Name, p); c != nil {
+				fmt.Fprintf(&b, " %.0f |", c.Result.Throughput)
+			} else {
+				b.WriteString(" - |")
+			}
+		}
+		if c != nil {
+			fmt.Fprintf(&b, " %.3f | %v |\n", c.SyscallsPerOp(),
+				c.Result.P99CallLatency.Round(time.Microsecond))
+		} else {
+			b.WriteString(" - | - |\n")
+		}
+	}
+	if excluded, reason := r.Scale.UringExcluded(); excluded {
+		fmt.Fprintf(&b, "\nuring rows excluded on this host: %s\n", reason)
+	}
+	return b.String()
+}

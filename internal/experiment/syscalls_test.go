@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"gosip/internal/transport"
+)
+
+// TestRunSyscallsSmoke runs the engine sweep at a tiny scale: every
+// variant row present, the right engine armed per cell, and the renderers
+// intact.
+func TestRunSyscallsSmoke(t *testing.T) {
+	sc := SyscallScale{
+		Pairs:          []int{2},
+		CallsPerCaller: 3,
+		Workers:        2,
+		Batch:          8,
+		Shards:         2,
+		Reps:           1,
+		RcvBuf:         32 << 10,
+	}
+	rep, err := RunSyscalls(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != len(sc.variants()) {
+		t.Fatalf("got %d cells, want %d", len(rep.Cells), len(sc.variants()))
+	}
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		if c.Result.CallsFailed != 0 {
+			t.Errorf("%s: %d failed calls", c.Variant.Name, c.Result.CallsFailed)
+		}
+		if c.SyscallsPerOp() <= 0 {
+			t.Errorf("%s: syscalls/op = %g", c.Variant.Name, c.SyscallsPerOp())
+		}
+		if c.Variant.Engine == transport.EngineUring && c.Engine != transport.EngineUring {
+			t.Errorf("%s: armed %s, want uring", c.Variant.Name, c.Engine)
+		}
+	}
+	table := rep.Table()
+	mdTable := rep.Markdown()
+	for _, want := range []string{"udp/portable", "udp/batch8", "tcp/portable", "tcp/coalesce"} {
+		if !strings.Contains(table, want) || !strings.Contains(mdTable, want) {
+			t.Errorf("row %q missing from renderers", want)
+		}
+	}
+	if transport.UringSupported() {
+		if rep.Cell("udp/uring", 2) == nil || rep.Cell("tcp/uring", 2) == nil {
+			t.Error("uring cells missing despite kernel support")
+		}
+		if sys, ops := rep.UringVerdict(); sys <= 0 || ops <= 0 {
+			t.Errorf("verdict = (%g, %g), want positive ratios", sys, ops)
+		}
+	} else if excluded, reason := sc.UringExcluded(); !excluded || reason == "" {
+		t.Error("no uring support but exclusion not reported")
+	}
+}

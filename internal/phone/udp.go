@@ -36,7 +36,10 @@ type udpEndpoint struct {
 const phoneBatch = 4
 
 func newUDPEndpoint(cfg Config) (*udpEndpoint, error) {
-	sock, err := transport.ListenUDPOptions("127.0.0.1:0", transport.UDPOptions{BatchSize: phoneBatch})
+	sock, err := transport.ListenUDPOptions("127.0.0.1:0", transport.UDPOptions{
+		BatchSize: phoneBatch,
+		Engine:    cfg.IOEngine,
+	})
 	if err != nil {
 		return nil, err
 	}

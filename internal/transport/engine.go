@@ -1,0 +1,81 @@
+// I/O engine selection. The transport layer offers three submission models
+// for the same socket APIs:
+//
+//   - portable: one blocking syscall per operation through the net package —
+//     the paper-faithful baseline, available everywhere.
+//   - batch: recvmmsg/sendmmsg datagram batching and writev group commit
+//     (PR 4/PR 6), amortizing one syscall over a batch. Linux amd64/arm64;
+//     degrades to portable elsewhere.
+//   - uring: io_uring submission/completion rings — multishot receives with
+//     registered buffer rings, batched sends per ring flush — so steady-state
+//     packet I/O approaches zero syscalls per message. Linux amd64/arm64
+//     with a runtime probe; degrades to batch when the kernel or seccomp
+//     denies io_uring_setup.
+//
+// Engines change how bytes cross the kernel boundary, never what bytes are
+// delivered: the parity suite pins byte-identical behaviour between them.
+package transport
+
+import "fmt"
+
+// IOEngine names a kernel I/O submission model.
+type IOEngine string
+
+// Supported engines. The empty string means EngineBatch: the batched paths
+// are themselves opt-in per call site (BatchSize, EnableCoalesce), so the
+// default engine preserves existing behaviour bit for bit.
+const (
+	EnginePortable IOEngine = "portable"
+	EngineBatch    IOEngine = "batch"
+	EngineUring    IOEngine = "uring"
+)
+
+// ParseEngine normalizes a -io-engine flag value. The empty string selects
+// the batch default.
+func ParseEngine(s string) (IOEngine, error) {
+	switch IOEngine(s) {
+	case "", EngineBatch:
+		return EngineBatch, nil
+	case EnginePortable:
+		return EnginePortable, nil
+	case EngineUring:
+		return EngineUring, nil
+	}
+	return "", fmt.Errorf("transport: unknown io engine %q (want portable, batch, or uring)", s)
+}
+
+// UringSupported reports whether the io_uring engine can be armed here:
+// the compile target supports it and the runtime probe (an io_uring_setup
+// attempt, cached) succeeded.
+func UringSupported() bool {
+	ok, _, _ := UringProbeInfo()
+	return ok
+}
+
+// UringProbeInfo exposes the cached startup probe: whether io_uring is
+// usable, the kernel's advertised feature flags, and — when unusable — the
+// reason (for the explicit CI skip line and the gosip_io_engine gauge).
+func UringProbeInfo() (ok bool, features uint32, reason string) {
+	return uringProbeInfo()
+}
+
+// SetUringForceDenied makes the probe report failure regardless of kernel
+// support, returning the previous setting. Test hook for the probe-denied
+// fallback suite; takes effect for sockets opened after the call.
+func SetUringForceDenied(v bool) bool {
+	return setUringForceDenied(v)
+}
+
+// Engine reports which I/O engine this socket actually armed (after
+// probing and fallback), for startup logs and experiment cell labels: uring
+// when the ring is live, batch when the mmsg fast path is, and portable
+// when every call is a single blocking syscall.
+func (s *UDPSocket) Engine() IOEngine {
+	if s.uring != nil {
+		return EngineUring
+	}
+	if s.mmsg {
+		return EngineBatch
+	}
+	return EnginePortable
+}

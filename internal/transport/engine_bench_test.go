@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"gosip/internal/metrics"
+)
+
+// The engine benchmarks extend the PR 4 syscalls/op series to the uring
+// engine and the TLS stream layer, so every transport × engine cell
+// reports the same metric pair (ns/op, syscalls/op) and benchstat can
+// compare them directly.
+
+// benchUDPRoundtripUring is benchUDPRoundtrip on the uring engine: the
+// submit and wait io_uring_enter calls are accounted in the same
+// send/recv syscall counters, so syscalls/op means the same thing —
+// kernel crossings per datagram round-trip.
+func benchUDPRoundtripUring(b *testing.B, batch int) {
+	if !UringSupported() {
+		b.Skip("no io_uring")
+	}
+	prof := metrics.NewProfile()
+	sock, err := ListenUDPOptions("127.0.0.1:0", UDPOptions{
+		Engine:    EngineUring,
+		BatchSize: batch,
+		RcvBuf:    1 << 20,
+		Profile:   prof,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sock.Close()
+	dst := sock.LocalAddr()
+
+	wire := testMsg(1).Serialize()
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+
+	bw := sock.NewBatchWriter(batch)
+	br := sock.NewBatchReader(batch)
+	dgs := make([]Datagram, batch)
+	for i := range dgs {
+		dgs[i] = Datagram{Data: wire, Dst: dst}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		k := batch
+		if rem := b.N - i; rem < k {
+			k = rem
+		}
+		if err := sock.WriteBatch(bw, dgs[:k]); err != nil {
+			b.Fatal(err)
+		}
+		for got := 0; got < k; {
+			n, err := sock.ReadBatch(br)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got += n
+		}
+	}
+	b.StopTimer()
+	benchSyscallsPerOp(b, prof, b.N)
+}
+
+func BenchmarkUDPRoundtripUring(b *testing.B)        { benchUDPRoundtripUring(b, 1) }
+func BenchmarkUDPRoundtripUringBatch32(b *testing.B) { benchUDPRoundtripUring(b, 32) }
+
+// BenchmarkStreamWriteContendedUring is benchStreamWrite on an engine-
+// backed conn: contended writers group-commit through one in-flight
+// SENDMSG, and syscalls/op is submission flushes per message.
+func BenchmarkStreamWriteContendedUring(b *testing.B) {
+	if !UringSupported() {
+		b.Skip("no io_uring")
+	}
+	prof := metrics.NewProfile()
+	eng, err := NewStreamEngine(StreamEngineOptions{Profile: prof})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	ln, err := eng.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- nc
+	}()
+	client, err := net.DialTimeout("tcp", ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	go io.Copy(io.Discard, client)
+	var srv net.Conn
+	select {
+	case srv = <-accepted:
+	case <-time.After(5 * time.Second):
+		b.Fatal("accept timed out")
+	}
+	defer srv.Close()
+
+	wire := testMsg(1).Serialize()
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := srv.Write(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	calls := prof.Counter(metrics.MetricTCPWriteCalls).Value()
+	msgs := prof.Counter(metrics.MetricTCPWriteMsgs).Value()
+	b.ReportMetric(float64(calls)/float64(msgs), "syscalls/op")
+}
+
+// benchTLSStreamWrite is benchStreamWrite with the TLS layer in place:
+// the same contended-send shape, measured above crypto/tls, so the
+// syscalls/op column lines up with the plain-TCP benchmarks. Coalescing
+// matters more here — every write call that is saved also saves a TLS
+// record seal.
+func benchTLSStreamWrite(b *testing.B, coalesce bool) {
+	srvCtx, cliCtx := newTLSPair(b, TLSOptions{}, TLSOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		tc := srvCtx.Server(nc)
+		io.Copy(io.Discard, tc)
+		tc.Close()
+	}()
+	nc, err := net.DialTimeout("tcp", ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := cliCtx.Client(nc, ln.Addr().String())
+	if err := client.Handshake(); err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	prof := metrics.NewProfile()
+	sc := NewStreamConn(client)
+	sc.InstrumentWrites(prof.Counter(metrics.MetricTCPWriteCalls), prof.Counter(metrics.MetricTCPWriteMsgs))
+	if coalesce {
+		sc.EnableCoalesce()
+	}
+
+	wire := testMsg(1).Serialize()
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := sc.WriteRaw(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	calls := prof.Counter(metrics.MetricTCPWriteCalls).Value()
+	msgs := prof.Counter(metrics.MetricTCPWriteMsgs).Value()
+	b.ReportMetric(float64(calls)/float64(msgs), "syscalls/op")
+}
+
+func BenchmarkTLSStreamWriteContended(b *testing.B)          { benchTLSStreamWrite(b, false) }
+func BenchmarkTLSStreamWriteContendedCoalesced(b *testing.B) { benchTLSStreamWrite(b, true) }

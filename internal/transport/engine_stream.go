@@ -1,0 +1,73 @@
+// Portable shell of the stream I/O engine: the uring-backed listener and
+// connection factory the stream architectures use when -io-engine uring is
+// selected. On platforms without io_uring (or when the probe fails) the
+// constructor reports unsupported and callers keep the portable
+// net.Listener path.
+package transport
+
+import (
+	"net"
+
+	"gosip/internal/metrics"
+)
+
+// StreamEngineOptions shapes a stream engine.
+type StreamEngineOptions struct {
+	// Profile receives ring instrumentation (nil-safe).
+	Profile *metrics.Profile
+	// RcvBuf/SndBuf request socket buffer sizes on accepted connections
+	// (dialed connections are configured by the dialer before wrapping).
+	RcvBuf, SndBuf int
+	// Ring is the submission-queue depth (0 = 256).
+	Ring int
+	// Bufs is the ingress buffer-ring population (0 = 1024).
+	Bufs int
+	// BufSize is the ingress buffer size in bytes (0 = 8192).
+	BufSize int
+}
+
+// streamEngineImpl is the platform half of the stream engine.
+type streamEngineImpl interface {
+	Listen(addr string) (net.Listener, error)
+	Wrap(nc net.Conn) (net.Conn, error)
+	Close() error
+}
+
+// StreamEngine runs stream-socket I/O through io_uring: accepted and
+// dialed connections become completion-driven net.Conns (multishot RECV
+// into a shared registered buffer ring; queued writes group-committed into
+// single SENDMSG submissions), and listeners accept via multishot ACCEPT.
+// One engine (one ring, one reaper goroutine) serves a whole server.
+type StreamEngine struct {
+	impl streamEngineImpl
+}
+
+// NewStreamEngine builds a stream engine, or returns (nil, nil) when
+// io_uring is unavailable on this platform or kernel — the caller's signal
+// to stay on the portable path.
+func NewStreamEngine(o StreamEngineOptions) (*StreamEngine, error) {
+	impl, err := newStreamEngineImpl(o)
+	if err != nil {
+		return nil, err
+	}
+	if impl == nil {
+		return nil, nil
+	}
+	return &StreamEngine{impl: impl}, nil
+}
+
+// Listen opens a TCP listener whose accept path is a multishot ACCEPT
+// submission and whose connections are engine-backed.
+func (e *StreamEngine) Listen(addr string) (net.Listener, error) { return e.impl.Listen(addr) }
+
+// Wrap converts an established connection (a dialer's *net.TCPConn) into
+// an engine-backed one. The original conn's fd is duplicated and the
+// original closed; addresses are preserved.
+func (e *StreamEngine) Wrap(nc net.Conn) (net.Conn, error) { return e.impl.Wrap(nc) }
+
+// Close cancels every outstanding operation, closes every engine-backed
+// connection and listener, and releases the ring.
+func (e *StreamEngine) Close() error { return e.impl.Close() }
+
+// IsEngineConn reports whether nc is an engine-backed connection.
+func IsEngineConn(nc net.Conn) bool { return isEngineConn(nc) }

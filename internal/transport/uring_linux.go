@@ -1,0 +1,617 @@
+//go:build linux && (amd64 || arm64)
+
+// io_uring ring core, on raw syscalls so the module stays dependency-free
+// (no golang.org/x/sys, no liburing). The three syscalls — io_uring_setup,
+// io_uring_enter, io_uring_register — share numbers on linux/amd64 and
+// linux/arm64, and every ring structure is fixed-layout little-endian, so
+// one build tag covers both targets exactly like batch_linux.go.
+//
+// The model: userspace writes submission queue entries (SQEs) into a
+// mmap'd ring and publishes them with one atomic tail store; a single
+// io_uring_enter submits the whole batch. Completions (CQEs) appear in a
+// second mmap'd ring; a dedicated reaper goroutine blocks in
+// io_uring_enter(GETEVENTS) and dispatches them. Multishot operations
+// (RECVMSG, RECV, ACCEPT) complete many times from one SQE, so a
+// steady-state receive path costs no submissions at all — the wait syscall
+// amortizes over every completion the wakeup carries.
+//
+// Ingress payloads land in registered buffer rings (IORING_REGISTER_
+// PBUF_RING): the kernel picks a buffer per completion and reports its id
+// in the CQE; consumers hand ids back by advancing the buffer ring tail —
+// a userspace-only operation. Running the ring dry terminates the
+// multishot with ENOBUFS; the owner rearms it once consumers return
+// buffers (counted, never silent).
+
+package transport
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+
+	"gosip/internal/metrics"
+)
+
+// Syscall numbers (identical on amd64 and arm64).
+const (
+	sysIoUringSetup    = 425
+	sysIoUringEnter    = 426
+	sysIoUringRegister = 427
+)
+
+// io_uring_setup flags and features.
+const (
+	uringSetupClamp  = 1 << 4 // IORING_SETUP_CLAMP
+	uringSetupCQSize = 1 << 3 // IORING_SETUP_CQSIZE
+
+	uringFeatSingleMmap = 1 << 0 // IORING_FEAT_SINGLE_MMAP
+	uringFeatNoDrop     = 1 << 1 // IORING_FEAT_NODROP
+)
+
+// io_uring_enter flags.
+const uringEnterGetevents = 1 << 0
+
+// Ring mmap offsets.
+const (
+	uringOffSQRing = 0
+	uringOffCQRing = 0x8000000
+	uringOffSQEs   = 0x10000000
+)
+
+// Opcodes used by the engine.
+const (
+	opNop         = 0
+	opSendmsg     = 9
+	opRecvmsg     = 10
+	opAccept      = 13
+	opAsyncCancel = 14
+	opRecv        = 27
+)
+
+// Per-opcode SQE modifier flags.
+const (
+	sqeFlagBufferSelect = 1 << 5 // IOSQE_BUFFER_SELECT
+
+	recvMultishot   = 1 << 1 // IORING_RECV_MULTISHOT (sqe.ioprio)
+	acceptMultishot = 1 << 0 // IORING_ACCEPT_MULTISHOT (sqe.ioprio)
+)
+
+// CQE flags.
+const (
+	cqeFBuffer = 1 << 0 // IORING_CQE_F_BUFFER: bid in flags>>16
+	cqeFMore   = 1 << 1 // IORING_CQE_F_MORE: multishot still armed
+)
+
+// io_uring_register opcodes.
+const (
+	uringRegisterPbufRing   = 22
+	uringUnregisterPbufRing = 23
+)
+
+type sqringOffsets struct {
+	head, tail, ringMask, ringEntries uint32
+	flags, dropped, array, resv1      uint32
+	userAddr                          uint64
+}
+
+type cqringOffsets struct {
+	head, tail, ringMask, ringEntries uint32
+	overflow, cqes, flags, resv1      uint32
+	userAddr                          uint64
+}
+
+type uringParams struct {
+	sqEntries    uint32
+	cqEntries    uint32
+	flags        uint32
+	sqThreadCPU  uint32
+	sqThreadIdle uint32
+	features     uint32
+	wqFd         uint32
+	resv         [3]uint32
+	sqOff        sqringOffsets
+	cqOff        cqringOffsets
+}
+
+// uringSQE is struct io_uring_sqe (64 bytes). Union fields carry the name
+// of the member this engine uses.
+type uringSQE struct {
+	opcode      uint8
+	flags       uint8
+	ioprio      uint16
+	fd          int32
+	off         uint64 // addr2 union
+	addr        uint64
+	len         uint32
+	opFlags     uint32 // msg_flags / accept_flags / cancel_flags
+	userData    uint64
+	bufGroup    uint16 // buf_index union
+	personality uint16
+	spliceFdIn  int32
+	_           [2]uint64
+}
+
+// uringCQE is struct io_uring_cqe (16 bytes).
+type uringCQE struct {
+	userData uint64
+	res      int32
+	flags    uint32
+}
+
+// uringBuf is struct io_uring_buf, one entry of a registered buffer ring.
+// The u16 at offset 14 of entry 0 doubles as the ring's shared tail.
+type uringBuf struct {
+	addr uint64
+	len  uint32
+	bid  uint16
+	resv uint16
+}
+
+type uringBufReg struct {
+	ringAddr    uint64
+	ringEntries uint32
+	bgid        uint16
+	flags       uint16
+	resv        [3]uint64
+}
+
+func ioUringSetup(entries uint32, p *uringParams) (int, error) {
+	fd, _, errno := syscall.Syscall(sysIoUringSetup, uintptr(entries), uintptr(unsafe.Pointer(p)), 0)
+	if errno != 0 {
+		return -1, os.NewSyscallError("io_uring_setup", errno)
+	}
+	return int(fd), nil
+}
+
+func ioUringEnter(fd int, toSubmit, minComplete, flags uint32) (int, syscall.Errno) {
+	r1, _, errno := syscall.Syscall6(sysIoUringEnter, uintptr(fd),
+		uintptr(toSubmit), uintptr(minComplete), uintptr(flags), 0, 0)
+	return int(r1), errno
+}
+
+func ioUringRegister(fd int, opcode uint32, arg unsafe.Pointer, nrArgs uint32) syscall.Errno {
+	_, _, errno := syscall.Syscall6(sysIoUringRegister, uintptr(fd),
+		uintptr(opcode), uintptr(arg), uintptr(nrArgs), 0, 0)
+	return errno
+}
+
+// uringCounters is the instrumentation every ring carries (nil-safe).
+type uringCounters struct {
+	submits   *metrics.Counter
+	sqes      *metrics.Counter
+	waits     *metrics.Counter
+	cqes      *metrics.Counter
+	overflows *metrics.Counter
+	sqBatch   *metrics.Histogram
+	cqBatch   *metrics.Histogram
+}
+
+func newUringCounters(p *metrics.Profile) uringCounters {
+	var c uringCounters
+	if p != nil {
+		c.submits = p.Counter(metrics.MetricUringSubmits)
+		c.sqes = p.Counter(metrics.MetricUringSQEs)
+		c.waits = p.Counter(metrics.MetricUringWaits)
+		c.cqes = p.Counter(metrics.MetricUringCQEs)
+		c.overflows = p.Counter(metrics.MetricUringCQOverflows)
+		c.sqBatch = p.Histogram(metrics.HistUringSQBatch)
+		c.cqBatch = p.Histogram(metrics.HistUringCQBatch)
+	}
+	return c
+}
+
+// uringRing owns one io_uring instance: the fd, the three mmap regions,
+// and the submit lock. One goroutine (the owner's reaper) consumes the CQ;
+// any goroutine may submit under submitMu.
+type uringRing struct {
+	fd       int
+	features uint32
+
+	sqMem, cqMem, sqeMem []byte
+
+	sqHead, sqTail *uint32
+	sqMask         uint32
+	sqArray        []uint32
+	sqes           []uringSQE
+
+	cqHead, cqTail, cqOverflow *uint32
+	cqMask                     uint32
+	cqRing                     []uringCQE
+
+	submitMu sync.Mutex
+	sqLocal  uint32 // next SQE index (tail not yet published)
+	sqPend   uint32 // filled-but-unsubmitted SQE count
+
+	lastOverflow uint32
+	ctr          uringCounters
+
+	closed     atomic.Bool
+	reaperDone chan struct{}
+
+	bufRings []*uringBufRing // owned registered buffer rings, for cleanup
+}
+
+// newUringRing sets up a ring with sqEntries submission slots and a CQ
+// four times as deep (completions outpace submissions under multishot).
+func newUringRing(sqEntries uint32, ctr uringCounters) (*uringRing, error) {
+	if sqEntries == 0 {
+		sqEntries = 256
+	}
+	p := uringParams{flags: uringSetupClamp | uringSetupCQSize, cqEntries: sqEntries * 4}
+	fd, err := ioUringSetup(sqEntries, &p)
+	if err != nil {
+		return nil, err
+	}
+	r := &uringRing{fd: fd, features: p.features, ctr: ctr, reaperDone: make(chan struct{})}
+
+	sqSize := int(p.sqOff.array) + int(p.sqEntries)*4
+	cqSize := int(p.cqOff.cqes) + int(p.cqEntries)*16
+	if p.features&uringFeatSingleMmap != 0 && cqSize > sqSize {
+		sqSize = cqSize
+	}
+	r.sqMem, err = syscall.Mmap(fd, uringOffSQRing, sqSize,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	if err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("transport: mmap sq ring: %w", err)
+	}
+	if p.features&uringFeatSingleMmap != 0 {
+		r.cqMem = r.sqMem
+	} else {
+		r.cqMem, err = syscall.Mmap(fd, uringOffCQRing, cqSize,
+			syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+		if err != nil {
+			syscall.Munmap(r.sqMem)
+			syscall.Close(fd)
+			return nil, fmt.Errorf("transport: mmap cq ring: %w", err)
+		}
+	}
+	r.sqeMem, err = syscall.Mmap(fd, uringOffSQEs, int(p.sqEntries)*64,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	if err != nil {
+		r.unmap()
+		syscall.Close(fd)
+		return nil, fmt.Errorf("transport: mmap sqes: %w", err)
+	}
+
+	sq := r.sqMem
+	r.sqHead = (*uint32)(unsafe.Pointer(&sq[p.sqOff.head]))
+	r.sqTail = (*uint32)(unsafe.Pointer(&sq[p.sqOff.tail]))
+	r.sqMask = *(*uint32)(unsafe.Pointer(&sq[p.sqOff.ringMask]))
+	r.sqArray = unsafe.Slice((*uint32)(unsafe.Pointer(&sq[p.sqOff.array])), p.sqEntries)
+	r.sqes = unsafe.Slice((*uringSQE)(unsafe.Pointer(&r.sqeMem[0])), p.sqEntries)
+
+	cq := r.cqMem
+	r.cqHead = (*uint32)(unsafe.Pointer(&cq[p.cqOff.head]))
+	r.cqTail = (*uint32)(unsafe.Pointer(&cq[p.cqOff.tail]))
+	r.cqOverflow = (*uint32)(unsafe.Pointer(&cq[p.cqOff.overflow]))
+	r.cqMask = *(*uint32)(unsafe.Pointer(&cq[p.cqOff.ringMask]))
+	r.cqRing = unsafe.Slice((*uringCQE)(unsafe.Pointer(&cq[p.cqOff.cqes])), p.cqEntries)
+
+	// The SQ array never changes: identity-map slot i → SQE i.
+	for i := range r.sqArray {
+		r.sqArray[i] = uint32(i)
+	}
+	r.sqLocal = *r.sqTail
+	return r, nil
+}
+
+func (r *uringRing) unmap() {
+	if r.sqeMem != nil {
+		syscall.Munmap(r.sqeMem)
+		r.sqeMem = nil
+	}
+	if r.cqMem != nil && len(r.cqMem) > 0 && &r.cqMem[0] != &r.sqMem[0] {
+		syscall.Munmap(r.cqMem)
+	}
+	r.cqMem = nil
+	if r.sqMem != nil {
+		syscall.Munmap(r.sqMem)
+		r.sqMem = nil
+	}
+}
+
+// getSQE returns the next free SQE, zeroed. submitMu must be held; if the
+// ring is full the pending batch is flushed first (after which the kernel
+// has consumed every published entry and the ring is empty again).
+func (r *uringRing) getSQE() (*uringSQE, error) {
+	if r.sqPend >= uint32(len(r.sqes)) {
+		if err := r.flushLocked(); err != nil {
+			return nil, err
+		}
+	}
+	sqe := &r.sqes[r.sqLocal&r.sqMask]
+	*sqe = uringSQE{}
+	r.sqLocal++
+	r.sqPend++
+	return sqe, nil
+}
+
+// flushLocked publishes and submits every pending SQE with one
+// io_uring_enter (more if the kernel accepts the batch partially).
+// submitMu must be held.
+func (r *uringRing) flushLocked() error {
+	n := r.sqPend
+	if n == 0 {
+		return nil
+	}
+	atomic.StoreUint32(r.sqTail, r.sqLocal)
+	remaining := n
+	for remaining > 0 {
+		done, errno := ioUringEnter(r.fd, remaining, 0, 0)
+		switch errno {
+		case 0:
+		case syscall.EINTR:
+			continue
+		case syscall.EBUSY:
+			// CQ backlogged (NODROP overflow list in play): ask the kernel
+			// to flush completions into the ring, then retry.
+			r.ctr.submits.Inc()
+			ioUringEnter(r.fd, 0, 0, uringEnterGetevents)
+			continue
+		default:
+			r.sqPend = 0
+			return os.NewSyscallError("io_uring_enter", errno)
+		}
+		r.ctr.submits.Inc()
+		remaining -= uint32(done)
+	}
+	r.ctr.sqes.Add(int64(n))
+	r.ctr.sqBatch.Record(time.Duration(n))
+	r.sqPend = 0
+	return nil
+}
+
+// submit runs fill (which may call getSQE any number of times) and flushes
+// the batch: the engine's one entry point for submissions.
+func (r *uringRing) submit(fill func() error) error {
+	r.submitMu.Lock()
+	defer r.submitMu.Unlock()
+	if err := fill(); err != nil {
+		return err
+	}
+	return r.flushLocked()
+}
+
+// reap drains available CQEs into handle and returns how many it saw. Only
+// the reaper goroutine calls this.
+func (r *uringRing) reap(handle func(uringCQE)) int {
+	head := atomic.LoadUint32(r.cqHead)
+	tail := atomic.LoadUint32(r.cqTail)
+	n := 0
+	for head != tail {
+		cqe := r.cqRing[head&r.cqMask]
+		head++
+		n++
+		// Publish before dispatching: handlers may submit, and submission
+		// can need free CQ slots (EBUSY flush) — holding the whole batch
+		// back would livelock a full ring.
+		atomic.StoreUint32(r.cqHead, head)
+		handle(cqe)
+	}
+	if n > 0 {
+		r.ctr.cqes.Add(int64(n))
+		r.ctr.cqBatch.Record(time.Duration(n))
+	}
+	if of := atomic.LoadUint32(r.cqOverflow); of != r.lastOverflow {
+		r.ctr.overflows.Add(int64(of - r.lastOverflow))
+		r.lastOverflow = of
+	}
+	return n
+}
+
+// runReaper is the ring's completion loop: drain, then block in one
+// GETEVENTS enter for the next batch. onWait (nil-safe) observes each wait
+// syscall so the owner can fold it into its syscalls/op accounting.
+func (r *uringRing) runReaper(handle func(uringCQE), onWait func()) {
+	defer close(r.reaperDone)
+	for {
+		n := r.reap(handle)
+		if r.closed.Load() {
+			// One final drain so no completion is lost, then exit.
+			r.reap(handle)
+			return
+		}
+		if n > 0 {
+			continue
+		}
+		r.ctr.waits.Inc()
+		if onWait != nil {
+			onWait()
+		}
+		_, errno := ioUringEnter(r.fd, 0, 1, uringEnterGetevents)
+		if errno != 0 && errno != syscall.EINTR && errno != syscall.EBUSY && errno != syscall.ETIME {
+			// The ring is unusable (fd closed under us, or worse). Drain
+			// what's visible and stop.
+			r.reap(handle)
+			return
+		}
+	}
+}
+
+// wake submits a NOP so a reaper blocked in GETEVENTS sees a completion.
+func (r *uringRing) wake() {
+	r.submit(func() error {
+		sqe, err := r.getSQE()
+		if err != nil {
+			return err
+		}
+		sqe.opcode = opNop
+		sqe.userData = udNop
+		return nil
+	})
+}
+
+// close tears the ring down: signal the reaper, wake it, join it, then
+// unregister buffer rings and release the mmaps and fd.
+func (r *uringRing) close() {
+	if r.closed.Swap(true) {
+		return
+	}
+	r.wake()
+	<-r.reaperDone
+	for _, br := range r.bufRings {
+		reg := uringBufReg{bgid: br.bgid}
+		ioUringRegister(r.fd, uringUnregisterPbufRing, unsafe.Pointer(&reg), 1)
+		br.unmap()
+	}
+	r.unmap()
+	syscall.Close(r.fd)
+}
+
+// uringBufRing is one registered provided-buffer ring plus the slab its
+// entries point into. Single producer: the owner pushes ids back under its
+// own lock; the kernel is the only consumer.
+type uringBufRing struct {
+	bgid    uint16
+	entries uint32
+	bufSize int
+	ringMem []byte
+	slab    []byte
+	tail    uint16
+}
+
+// newBufRing registers a buffer ring of n (rounded up to a power of two)
+// buffers of bufSize bytes under group id bgid, initially full.
+func (r *uringRing) newBufRing(bgid uint16, n uint32, bufSize int) (*uringBufRing, error) {
+	entries := uint32(1)
+	for entries < n {
+		entries <<= 1
+	}
+	ringMem, err := syscall.Mmap(-1, 0, int(entries)*16,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_ANON|syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("transport: mmap buffer ring: %w", err)
+	}
+	slab, err := syscall.Mmap(-1, 0, int(entries)*bufSize,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_ANON|syscall.MAP_PRIVATE)
+	if err != nil {
+		syscall.Munmap(ringMem)
+		return nil, fmt.Errorf("transport: mmap buffer slab: %w", err)
+	}
+	b := &uringBufRing{bgid: bgid, entries: entries, bufSize: bufSize, ringMem: ringMem, slab: slab}
+	reg := uringBufReg{
+		ringAddr:    uint64(uintptr(unsafe.Pointer(&ringMem[0]))),
+		ringEntries: entries,
+		bgid:        bgid,
+	}
+	if errno := ioUringRegister(r.fd, uringRegisterPbufRing, unsafe.Pointer(&reg), 1); errno != 0 {
+		b.unmap()
+		return nil, os.NewSyscallError("io_uring_register(PBUF_RING)", errno)
+	}
+	for bid := uint32(0); bid < entries; bid++ {
+		b.push(uint16(bid))
+	}
+	r.bufRings = append(r.bufRings, b)
+	return b, nil
+}
+
+func (b *uringBufRing) unmap() {
+	if b.slab != nil {
+		syscall.Munmap(b.slab)
+		b.slab = nil
+	}
+	if b.ringMem != nil {
+		syscall.Munmap(b.ringMem)
+		b.ringMem = nil
+	}
+}
+
+// buf returns the slab slice behind a buffer id.
+func (b *uringBufRing) buf(bid uint16) []byte {
+	off := int(bid) * b.bufSize
+	return b.slab[off : off+b.bufSize]
+}
+
+// push hands a buffer id back to the kernel. The caller serializes pushes
+// (the owner's queue lock); the tail publish is a release store.
+func (b *uringBufRing) push(bid uint16) {
+	idx := uint32(b.tail) & (b.entries - 1)
+	e := (*uringBuf)(unsafe.Pointer(&b.ringMem[idx*16]))
+	e.addr = uint64(uintptr(unsafe.Pointer(&b.slab[int(bid)*b.bufSize])))
+	e.len = uint32(b.bufSize)
+	e.bid = bid
+	b.tail++
+	// The shared tail is the u16 at offset 14, overlapping entry 0's resv
+	// field. Go's atomics are 32-bit at minimum, so publish with a 32-bit
+	// store at offset 12 that preserves entry 0's bid in the low half.
+	lo := uint32(b.ringMem[12]) | uint32(b.ringMem[13])<<8
+	atomic.StoreUint32((*uint32)(unsafe.Pointer(&b.ringMem[12])), lo|uint32(b.tail)<<16)
+}
+
+// userData tags: high byte selects the completion class, low bits carry
+// the object id (buffer-less NOPs carry none).
+const (
+	udTagNop        = 0x01
+	udTagUDPRecv    = 0x02
+	udTagUDPSend    = 0x03
+	udTagStreamRecv = 0x04
+	udTagStreamSend = 0x05
+	udTagAccept     = 0x06
+	udTagCancel     = 0x07
+)
+
+const udNop = uint64(udTagNop) << 56
+
+func udFor(tag uint8, id uint32) uint64 { return uint64(tag)<<56 | uint64(id) }
+func udTag(ud uint64) uint8             { return uint8(ud >> 56) }
+func udID(ud uint64) uint32             { return uint32(ud) }
+
+// --- startup probe -----------------------------------------------------
+
+var (
+	uringProbeOnce     sync.Once
+	uringProbeOK       bool
+	uringProbeFeatures uint32
+	uringProbeReason   string
+
+	uringForceDenied atomic.Bool
+)
+
+func setUringForceDenied(v bool) bool { return uringForceDenied.Swap(v) }
+
+// uringProbeInfo attempts io_uring_setup once per process and checks for
+// the features this engine needs: buffer-ring registration and a kernel
+// new enough to run multishot receive (features bitmap ≥ NODROP|...,
+// proxied by a successful PBUF_RING registration, which appeared after
+// multishot). Failure of any step degrades the engine to batch.
+func uringProbeInfo() (bool, uint32, string) {
+	uringProbeOnce.Do(func() {
+		var p uringParams
+		p.flags = uringSetupClamp
+		fd, err := ioUringSetup(8, &p)
+		if err != nil {
+			uringProbeReason = fmt.Sprintf("io_uring_setup: %v", err)
+			return
+		}
+		defer syscall.Close(fd)
+		uringProbeFeatures = p.features
+		// Register (and immediately drop) a tiny buffer ring: kernels with
+		// PBUF_RING (≥ 5.19) also carry multishot recvmsg/accept.
+		ringMem, err := syscall.Mmap(-1, 0, 16*16,
+			syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_ANON|syscall.MAP_PRIVATE)
+		if err != nil {
+			uringProbeReason = fmt.Sprintf("mmap: %v", err)
+			return
+		}
+		defer syscall.Munmap(ringMem)
+		reg := uringBufReg{
+			ringAddr:    uint64(uintptr(unsafe.Pointer(&ringMem[0]))),
+			ringEntries: 16,
+			bgid:        0,
+		}
+		if errno := ioUringRegister(fd, uringRegisterPbufRing, unsafe.Pointer(&reg), 1); errno != 0 {
+			uringProbeReason = fmt.Sprintf("buffer-ring registration unsupported: %v", errno)
+			return
+		}
+		uringProbeOK = true
+	})
+	if uringForceDenied.Load() {
+		return false, uringProbeFeatures, "probe force-denied (test hook)"
+	}
+	return uringProbeOK, uringProbeFeatures, uringProbeReason
+}

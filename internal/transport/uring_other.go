@@ -1,0 +1,21 @@
+//go:build !linux || !(amd64 || arm64)
+
+// io_uring engine stubs for platforms without it: the probe reports
+// unsupported, arming is a no-op, and every caller stays on the batch or
+// portable paths.
+
+package transport
+
+import "net"
+
+func armUring(s *UDPSocket, o UDPOptions) (uringAttachment, error) { return nil, nil }
+
+func newStreamEngineImpl(o StreamEngineOptions) (streamEngineImpl, error) { return nil, nil }
+
+func isEngineConn(nc net.Conn) bool { return false }
+
+func uringProbeInfo() (bool, uint32, string) {
+	return false, 0, "io_uring requires linux amd64/arm64"
+}
+
+func setUringForceDenied(v bool) bool { return false }

@@ -1,0 +1,925 @@
+//go:build linux && (amd64 || arm64)
+
+// The io_uring stream engine. One ring serves every stream socket of a
+// server: listeners arm multishot ACCEPT, connections arm multishot RECV
+// into a shared registered buffer ring, and writes queue per connection and
+// leave as one SENDMSG submission at a time (an iovec group commit — the
+// completion-driven analogue of the writev coalescing path). TCP needs
+// ordered delivery, and io_uring guarantees no ordering between independent
+// SQEs, so exactly one send is in flight per connection; everything that
+// queues behind it departs with the next submission.
+//
+// Engine-backed connections implement net.Conn, so the SIP framing reader,
+// the TLS layer, and the connection-manager machinery stack on top
+// unchanged.
+
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+	"unsafe"
+
+	"gosip/internal/metrics"
+)
+
+// Stream engine shaping defaults.
+const (
+	defaultStreamRing    = 256
+	defaultStreamBufs    = 1024
+	defaultStreamBufSize = 8192
+
+	// maxStreamSendIovs bounds one SENDMSG's iovec group.
+	maxStreamSendIovs = 64
+	// maxStreamWQBytes is the per-connection write-queue budget; writers
+	// block (backpressure) beyond it.
+	maxStreamWQBytes = 1 << 20
+	// maxStreamFreeBufs bounds the per-connection recycle list.
+	maxStreamFreeBufs = 64
+)
+
+type uringStream struct {
+	ring *uringRing
+	br   *uringBufRing
+	opts StreamEngineOptions
+
+	mu     sync.Mutex
+	conns  map[uint32]*uringConn
+	lns    map[uint32]*uringListener
+	nextID uint32
+	closed bool
+	rearm  map[uint32]bool // conns whose multishot RECV died of ENOBUFS
+
+	writeCalls   *metrics.Counter
+	writeMsgs    *metrics.Counter
+	resubmits    *metrics.Counter
+	bufExhausted *metrics.Counter
+	sendErrors   *metrics.Counter
+}
+
+func newStreamEngineImpl(o StreamEngineOptions) (streamEngineImpl, error) {
+	if ok, _, _ := uringProbeInfo(); !ok {
+		return nil, nil
+	}
+	ringSz := uint32(o.Ring)
+	if ringSz == 0 {
+		ringSz = defaultStreamRing
+	}
+	nBufs := uint32(o.Bufs)
+	if nBufs == 0 {
+		nBufs = defaultStreamBufs
+	}
+	bufSize := o.BufSize
+	if bufSize == 0 {
+		bufSize = defaultStreamBufSize
+	}
+	ring, err := newUringRing(ringSz, newUringCounters(o.Profile))
+	if err != nil {
+		return nil, err
+	}
+	br, err := ring.newBufRing(0, nBufs, bufSize)
+	if err != nil {
+		ring.closed.Store(true)
+		close(ring.reaperDone)
+		ring.unmap()
+		syscall.Close(ring.fd)
+		return nil, err
+	}
+	e := &uringStream{
+		ring:  ring,
+		br:    br,
+		opts:  o,
+		conns: make(map[uint32]*uringConn),
+		lns:   make(map[uint32]*uringListener),
+		rearm: make(map[uint32]bool),
+	}
+	if p := o.Profile; p != nil {
+		e.writeCalls = p.Counter(metrics.MetricTCPWriteCalls)
+		e.writeMsgs = p.Counter(metrics.MetricTCPWriteMsgs)
+		e.resubmits = p.Counter(metrics.MetricUringResubmits)
+		e.bufExhausted = p.Counter(metrics.MetricUringBufExhausted)
+		e.sendErrors = p.Counter(metrics.MetricUringSendErrors)
+	}
+	go ring.runReaper(e.onCQE, nil)
+	return e, nil
+}
+
+func isEngineConn(nc net.Conn) bool {
+	_, ok := nc.(*uringConn)
+	return ok
+}
+
+// onCQE dispatches one completion on the reaper goroutine.
+func (e *uringStream) onCQE(cqe uringCQE) {
+	id := udID(cqe.userData)
+	switch udTag(cqe.userData) {
+	case udTagStreamRecv:
+		e.mu.Lock()
+		c := e.conns[id]
+		e.mu.Unlock()
+		if c != nil {
+			c.onRecv(cqe)
+		} else if cqe.flags&cqeFBuffer != 0 {
+			// Completion for a connection already finalized: reclaim the buffer.
+			e.returnBufs([]uint16{uint16(cqe.flags >> 16)})
+		}
+	case udTagStreamSend:
+		e.mu.Lock()
+		c := e.conns[id]
+		e.mu.Unlock()
+		if c != nil {
+			c.onSend(cqe)
+		}
+	case udTagAccept:
+		e.mu.Lock()
+		ln := e.lns[id]
+		e.mu.Unlock()
+		if ln != nil {
+			ln.onAccept(cqe)
+		} else if cqe.res >= 0 {
+			syscall.Close(int(cqe.res))
+		}
+	}
+}
+
+// returnBufs pushes consumed ingress buffers back and rearms any multishot
+// receives that died of exhaustion.
+func (e *uringStream) returnBufs(bids []uint16) {
+	if len(bids) == 0 {
+		return
+	}
+	e.mu.Lock()
+	if e.closed {
+		// The ring (and the buffer ring's mapping with it) is gone; the
+		// kernel already released every registered buffer.
+		e.mu.Unlock()
+		return
+	}
+	for _, bid := range bids {
+		e.br.push(bid)
+	}
+	var rearm []*uringConn
+	if len(e.rearm) > 0 && !e.closed {
+		for id := range e.rearm {
+			if c := e.conns[id]; c != nil {
+				rearm = append(rearm, c)
+			}
+			delete(e.rearm, id)
+		}
+	}
+	e.mu.Unlock()
+	for _, c := range rearm {
+		e.resubmits.Inc()
+		c.armRecv()
+	}
+}
+
+// register installs an object under a fresh id. ids are never reused, so a
+// late completion can't be misdelivered to a successor.
+func (e *uringStream) register(c *uringConn, ln *uringListener) (uint32, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, net.ErrClosed
+	}
+	e.nextID++
+	id := e.nextID
+	if c != nil {
+		c.id = id
+		e.conns[id] = c
+	}
+	if ln != nil {
+		ln.id = id
+		e.lns[id] = ln
+	}
+	return id, nil
+}
+
+// Listen opens a TCP listener and arms multishot ACCEPT on it.
+func (e *uringStream) Listen(addr string) (net.Listener, error) {
+	inner, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	tl, ok := inner.(*net.TCPListener)
+	if !ok {
+		inner.Close()
+		return nil, fmt.Errorf("transport: uring listener needs TCP, got %T", inner)
+	}
+	f, err := tl.File()
+	if err != nil {
+		inner.Close()
+		return nil, err
+	}
+	ln := &uringListener{
+		eng:      e,
+		inner:    inner,
+		file:     f,
+		fd:       int(f.Fd()),
+		acceptCh: make(chan int, 128),
+		closedCh: make(chan struct{}),
+	}
+	if _, err := e.register(nil, ln); err != nil {
+		f.Close()
+		inner.Close()
+		return nil, err
+	}
+	if err := ln.armAccept(); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return ln, nil
+}
+
+// Wrap converts an established *net.TCPConn into an engine-backed conn by
+// duplicating its fd; the original is closed.
+func (e *uringStream) Wrap(nc net.Conn) (net.Conn, error) {
+	tc, ok := nc.(*net.TCPConn)
+	if !ok {
+		return nil, fmt.Errorf("transport: uring wrap needs *net.TCPConn, got %T", nc)
+	}
+	f, err := tc.File()
+	if err != nil {
+		return nil, err
+	}
+	local, remote := tc.LocalAddr(), tc.RemoteAddr()
+	tc.Close()
+	c, err := e.newConn(f, local, remote)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// newConn registers a connection around an owned fd and arms its receive.
+func (e *uringStream) newConn(f *os.File, local, remote net.Addr) (*uringConn, error) {
+	c := &uringConn{
+		eng:    e,
+		file:   f,
+		fd:     int(f.Fd()),
+		local:  local,
+		remote: remote,
+		rGen:   make(chan struct{}),
+		wGen:   make(chan struct{}),
+	}
+	if _, err := e.register(c, nil); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.recvLive = true
+	c.mu.Unlock()
+	if err := c.armRecv(); err != nil {
+		c.mu.Lock()
+		c.recvLive = false
+		c.recvDone = true
+		c.mu.Unlock()
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears the engine down: ring first (cancels every outstanding
+// operation with it), then every conn and listener fd.
+func (e *uringStream) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := make([]*uringConn, 0, len(e.conns))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	lns := make([]*uringListener, 0, len(e.lns))
+	for _, ln := range e.lns {
+		lns = append(lns, ln)
+	}
+	e.mu.Unlock()
+	// Closing the ring fd releases its pending requests, so the dup'd
+	// socket fds can be closed directly afterwards.
+	e.ring.close()
+	for _, ln := range lns {
+		ln.teardown()
+	}
+	for _, c := range conns {
+		c.teardown()
+	}
+	return nil
+}
+
+// --- listener ----------------------------------------------------------
+
+type uringListener struct {
+	eng   *uringStream
+	id    uint32
+	inner net.Listener
+	file  *os.File
+	fd    int
+
+	acceptCh chan int
+	closedCh chan struct{}
+	mu       sync.Mutex
+	closed   bool
+}
+
+func (l *uringListener) armAccept() error {
+	return l.eng.ring.submit(func() error {
+		sqe, err := l.eng.ring.getSQE()
+		if err != nil {
+			return err
+		}
+		sqe.opcode = opAccept
+		sqe.fd = int32(l.fd)
+		sqe.ioprio = acceptMultishot
+		sqe.opFlags = syscall.SOCK_CLOEXEC
+		sqe.userData = udFor(udTagAccept, l.id)
+		return nil
+	})
+}
+
+// onAccept handles one multishot ACCEPT completion (reaper goroutine).
+func (l *uringListener) onAccept(cqe uringCQE) {
+	if cqe.res >= 0 {
+		select {
+		case l.acceptCh <- int(cqe.res):
+		default:
+			// Accept backlog full: shed the connection, as a kernel listen
+			// backlog overflow would.
+			syscall.Close(int(cqe.res))
+		}
+	}
+	if cqe.flags&cqeFMore != 0 {
+		return
+	}
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	if closed || cqe.res == -int32(syscall.ECANCELED) || cqe.res == -int32(syscall.EBADF) {
+		return
+	}
+	l.eng.resubmits.Inc()
+	l.armAccept()
+}
+
+func (l *uringListener) Accept() (net.Conn, error) {
+	for {
+		select {
+		case fd := <-l.acceptCh:
+			c, err := l.adopt(fd)
+			if err != nil {
+				syscall.Close(fd)
+				continue // peer vanished between accept and adoption
+			}
+			return c, nil
+		case <-l.closedCh:
+			return nil, net.ErrClosed
+		}
+	}
+}
+
+// adopt turns a raw accepted fd into an engine conn: socket options first
+// (Nagle off, optional buffer sizes — what wrapStream does for portable
+// accepts), then registration and the receive arm.
+func (l *uringListener) adopt(fd int) (net.Conn, error) {
+	_ = syscall.SetsockoptInt(fd, syscall.IPPROTO_TCP, syscall.TCP_NODELAY, 1)
+	if l.eng.opts.RcvBuf > 0 {
+		_ = syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, syscall.SO_RCVBUF, l.eng.opts.RcvBuf)
+	}
+	if l.eng.opts.SndBuf > 0 {
+		_ = syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, syscall.SO_SNDBUF, l.eng.opts.SndBuf)
+	}
+	remote := sockaddrTCP(fd, syscall.Getpeername)
+	local := l.inner.Addr()
+	f := os.NewFile(uintptr(fd), "uring-accepted")
+	c, err := l.eng.newConn(f, local, remote)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func sockaddrTCP(fd int, get func(int) (syscall.Sockaddr, error)) net.Addr {
+	sa, err := get(fd)
+	if err != nil {
+		return &net.TCPAddr{}
+	}
+	switch a := sa.(type) {
+	case *syscall.SockaddrInet4:
+		return &net.TCPAddr{IP: append(net.IP(nil), a.Addr[:]...), Port: a.Port}
+	case *syscall.SockaddrInet6:
+		return &net.TCPAddr{IP: append(net.IP(nil), a.Addr[:]...), Port: a.Port}
+	}
+	return &net.TCPAddr{}
+}
+
+func (l *uringListener) Addr() net.Addr { return l.inner.Addr() }
+
+func (l *uringListener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.closedCh)
+	l.mu.Unlock()
+	// Cancel the multishot accept, then release the fds. Queued-but-never-
+	// accepted fds are closed too.
+	l.eng.ring.submit(func() error {
+		sqe, err := l.eng.ring.getSQE()
+		if err != nil {
+			return err
+		}
+		sqe.opcode = opAsyncCancel
+		sqe.addr = udFor(udTagAccept, l.id)
+		sqe.userData = udFor(udTagCancel, l.id)
+		return nil
+	})
+	l.eng.mu.Lock()
+	delete(l.eng.lns, l.id)
+	l.eng.mu.Unlock()
+	l.drainAccepted()
+	l.file.Close()
+	return l.inner.Close()
+}
+
+// teardown is the engine-shutdown path: the ring is already gone.
+func (l *uringListener) teardown() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.closedCh)
+	}
+	l.mu.Unlock()
+	l.drainAccepted()
+	l.file.Close()
+	l.inner.Close()
+}
+
+func (l *uringListener) drainAccepted() {
+	for {
+		select {
+		case fd := <-l.acceptCh:
+			syscall.Close(fd)
+		default:
+			return
+		}
+	}
+}
+
+// --- connection --------------------------------------------------------
+
+// streamSeg is one received byte range still held in the ingress slab.
+type streamSeg struct {
+	bid  uint16
+	data []byte
+}
+
+// uringConn is an engine-backed net.Conn. Reads drain completion segments;
+// writes queue and leave as single-inflight SENDMSG group commits.
+type uringConn struct {
+	eng    *uringStream
+	id     uint32
+	file   *os.File
+	fd     int
+	local  net.Addr
+	remote net.Addr
+
+	mu sync.Mutex
+
+	// Read side.
+	segs      []streamSeg
+	segHead   int
+	segOff    int
+	rerr      error // terminal read condition (io.EOF or a real error)
+	recvLive  bool  // multishot RECV armed
+	recvDone  bool  // receive side is terminal; no more completions
+	rGen      chan struct{}
+	rDeadline time.Time
+
+	// Write side.
+	wq        [][]byte
+	wqBytes   int
+	wInflight int // entries of wq currently referenced by the in-flight SENDMSG
+	wPartial  int // bytes of wq[0] already accepted by a short send
+	wIovs     []syscall.Iovec
+	wHdr      syscall.Msghdr
+	werr      error
+	wGen      chan struct{}
+	wFree     [][]byte
+
+	closing   bool
+	finalized bool
+}
+
+func (c *uringConn) armRecv() error {
+	return c.eng.ring.submit(func() error {
+		sqe, err := c.eng.ring.getSQE()
+		if err != nil {
+			return err
+		}
+		sqe.opcode = opRecv
+		sqe.fd = int32(c.fd)
+		sqe.ioprio = recvMultishot
+		sqe.flags = sqeFlagBufferSelect
+		sqe.bufGroup = c.eng.br.bgid
+		sqe.userData = udFor(udTagStreamRecv, c.id)
+		return nil
+	})
+}
+
+// onRecv handles one multishot RECV completion (reaper goroutine).
+func (c *uringConn) onRecv(cqe uringCQE) {
+	more := cqe.flags&cqeFMore != 0
+	c.mu.Lock()
+	switch {
+	case cqe.res > 0 && cqe.flags&cqeFBuffer != 0:
+		bid := uint16(cqe.flags >> 16)
+		c.segs = append(c.segs, streamSeg{bid: bid, data: c.eng.br.buf(bid)[:cqe.res]})
+	case cqe.res == 0:
+		// Orderly EOF: terminal.
+		if c.rerr == nil {
+			c.rerr = io.EOF
+		}
+		c.recvDone = true
+	case cqe.res < 0:
+		errno := syscall.Errno(-cqe.res)
+		if errno == syscall.ENOBUFS && !c.closing {
+			// Shared buffer ring dry: rearm once buffers return.
+			c.eng.bufExhausted.Inc()
+			c.recvLive = false
+			c.eng.mu.Lock()
+			c.eng.rearm[c.id] = true
+			c.eng.mu.Unlock()
+			c.wakeReadersLocked()
+			c.mu.Unlock()
+			return
+		}
+		if c.rerr == nil {
+			if errno == syscall.ECANCELED || errno == syscall.EBADF {
+				c.rerr = net.ErrClosed
+			} else {
+				c.rerr = os.NewSyscallError("recv", errno)
+			}
+		}
+		c.recvDone = true
+	}
+	if !more && !c.recvDone {
+		if c.closing {
+			c.recvDone = true
+		} else {
+			// The kernel retired the multishot without a terminal condition;
+			// rearm outside the lock.
+			c.recvLive = false
+			c.wakeReadersLocked()
+			c.mu.Unlock()
+			c.eng.resubmits.Inc()
+			if err := c.armRecv(); err == nil {
+				c.mu.Lock()
+				c.recvLive = true
+				c.mu.Unlock()
+			} else {
+				c.mu.Lock()
+				if c.rerr == nil {
+					c.rerr = err
+				}
+				c.recvDone = true
+				c.maybeFinalizeLocked()
+				c.mu.Unlock()
+			}
+			return
+		}
+	}
+	if c.recvDone {
+		c.recvLive = false
+	}
+	c.wakeReadersLocked()
+	c.maybeFinalizeLocked()
+	c.mu.Unlock()
+}
+
+// onSend handles one SENDMSG completion (reaper goroutine): recycle what
+// the kernel took, resubmit the remainder or the next group.
+func (c *uringConn) onSend(cqe uringCQE) {
+	c.mu.Lock()
+	inflight := c.wInflight
+	c.wInflight = 0
+	if cqe.res < 0 {
+		errno := syscall.Errno(-cqe.res)
+		c.eng.sendErrors.Inc()
+		if c.werr == nil {
+			if errno == syscall.ECANCELED || errno == syscall.EBADF || errno == syscall.EPIPE {
+				c.werr = net.ErrClosed
+			} else {
+				c.werr = os.NewSyscallError("send", errno)
+			}
+		}
+		c.dropQueueLocked()
+	} else {
+		sent := int(cqe.res) + c.wPartial
+		c.wPartial = 0
+		done := 0
+		for done < inflight && sent >= len(c.wq[done]) {
+			sent -= len(c.wq[done])
+			c.recycleLocked(c.wq[done])
+			done++
+		}
+		if done < inflight && sent > 0 {
+			// Short send mid-buffer: the unsent tail goes back to the front.
+			c.wPartial = sent
+		}
+		if done > 0 {
+			c.wq = c.wq[done:]
+		}
+		c.wqBytes = 0
+		for _, b := range c.wq {
+			c.wqBytes += len(b)
+		}
+		if len(c.wq) > 0 && c.werr == nil && !c.finalized {
+			c.submitSendLocked()
+		}
+	}
+	c.wakeWritersLocked()
+	c.maybeFinalizeLocked()
+	c.mu.Unlock()
+}
+
+// submitSendLocked groups the head of the write queue into one SENDMSG.
+// c.mu held; the ring's submit lock nests inside it.
+func (c *uringConn) submitSendLocked() {
+	n := len(c.wq)
+	if n > maxStreamSendIovs {
+		n = maxStreamSendIovs
+	}
+	if cap(c.wIovs) < n {
+		c.wIovs = make([]syscall.Iovec, n)
+	}
+	c.wIovs = c.wIovs[:n]
+	for i := 0; i < n; i++ {
+		b := c.wq[i]
+		if i == 0 && c.wPartial > 0 {
+			b = b[c.wPartial:]
+		}
+		c.wIovs[i].Base = &b[0]
+		c.wIovs[i].Len = uint64(len(b))
+	}
+	c.wHdr = syscall.Msghdr{Iov: &c.wIovs[0], Iovlen: uint64(n)}
+	err := c.eng.ring.submit(func() error {
+		sqe, err := c.eng.ring.getSQE()
+		if err != nil {
+			return err
+		}
+		sqe.opcode = opSendmsg
+		sqe.fd = int32(c.fd)
+		sqe.addr = uint64(uintptr(unsafe.Pointer(&c.wHdr)))
+		sqe.opFlags = syscall.MSG_NOSIGNAL
+		sqe.userData = udFor(udTagStreamSend, c.id)
+		return nil
+	})
+	if err != nil {
+		if c.werr == nil {
+			c.werr = err
+		}
+		c.dropQueueLocked()
+		return
+	}
+	c.eng.writeCalls.Inc()
+	c.wInflight = n
+}
+
+func (c *uringConn) dropQueueLocked() {
+	c.wq = nil
+	c.wqBytes = 0
+	c.wInflight = 0
+	c.wPartial = 0
+}
+
+func (c *uringConn) recycleLocked(b []byte) {
+	if len(c.wFree) < maxStreamFreeBufs {
+		c.wFree = append(c.wFree, b[:0])
+	}
+}
+
+func (c *uringConn) copyLocked(p []byte) []byte {
+	var buf []byte
+	if n := len(c.wFree); n > 0 {
+		buf = c.wFree[n-1]
+		c.wFree = c.wFree[:n-1]
+	}
+	return append(buf[:0], p...)
+}
+
+func (c *uringConn) wakeReadersLocked() { close(c.rGen); c.rGen = make(chan struct{}) }
+func (c *uringConn) wakeWritersLocked() { close(c.wGen); c.wGen = make(chan struct{}) }
+
+// Read implements net.Conn: drain buffered segments, else block for the
+// next completion, honoring the read deadline.
+func (c *uringConn) Read(p []byte) (int, error) {
+	var released []uint16
+	for {
+		c.mu.Lock()
+		if !c.rDeadline.IsZero() && !time.Now().Before(c.rDeadline) {
+			c.mu.Unlock()
+			return 0, os.ErrDeadlineExceeded
+		}
+		if c.segHead < len(c.segs) {
+			n := 0
+			for n < len(p) && c.segHead < len(c.segs) {
+				seg := &c.segs[c.segHead]
+				k := copy(p[n:], seg.data[c.segOff:])
+				n += k
+				c.segOff += k
+				if c.segOff == len(seg.data) {
+					released = append(released, seg.bid)
+					c.segHead++
+					c.segOff = 0
+				}
+			}
+			if c.segHead == len(c.segs) {
+				c.segs = c.segs[:0]
+				c.segHead = 0
+			}
+			c.mu.Unlock()
+			c.eng.returnBufs(released)
+			return n, nil
+		}
+		if c.rerr != nil {
+			err := c.rerr
+			c.mu.Unlock()
+			return 0, err
+		}
+		if c.closing {
+			c.mu.Unlock()
+			return 0, net.ErrClosed
+		}
+		dl := c.rDeadline
+		ch := c.rGen
+		c.mu.Unlock()
+
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if !dl.IsZero() {
+			d := time.Until(dl)
+			if d <= 0 {
+				return 0, os.ErrDeadlineExceeded
+			}
+			timer = time.NewTimer(d)
+			timerC = timer.C
+		}
+		select {
+		case <-ch:
+		case <-timerC:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// Write implements net.Conn: copy, queue, and ensure a send is in flight.
+// The bytes are on their way when Write returns (group commit), with
+// failures surfacing on a later write — the contract coalesced StreamConn
+// writers already live with. Writers block only when the queue budget is
+// exhausted (kernel-socket-buffer-style backpressure).
+func (c *uringConn) Write(p []byte) (int, error) {
+	for {
+		c.mu.Lock()
+		if c.werr != nil {
+			err := c.werr
+			c.mu.Unlock()
+			return 0, err
+		}
+		if c.closing {
+			c.mu.Unlock()
+			return 0, net.ErrClosed
+		}
+		if c.wqBytes < maxStreamWQBytes {
+			c.wq = append(c.wq, c.copyLocked(p))
+			c.wqBytes += len(p)
+			c.eng.writeMsgs.Inc()
+			if c.wInflight == 0 {
+				c.submitSendLocked()
+			}
+			err := c.werr
+			c.mu.Unlock()
+			if err != nil {
+				return 0, err
+			}
+			return len(p), nil
+		}
+		ch := c.wGen
+		c.mu.Unlock()
+		<-ch
+	}
+}
+
+func (c *uringConn) LocalAddr() net.Addr  { return c.local }
+func (c *uringConn) RemoteAddr() net.Addr { return c.remote }
+
+func (c *uringConn) SetDeadline(t time.Time) error {
+	c.SetReadDeadline(t)
+	return c.SetWriteDeadline(t)
+}
+
+func (c *uringConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rDeadline = t
+	c.wakeReadersLocked()
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *uringConn) SetWriteDeadline(t time.Time) error {
+	// Writes never block past the queue budget; deadlines are accepted for
+	// interface compatibility (the proxy does not set them).
+	return nil
+}
+
+// Close cancels the receive side and finalizes once every outstanding
+// operation has completed.
+func (c *uringConn) Close() error {
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closing = true
+	needCancel := c.recvLive && !c.recvDone
+	c.wakeReadersLocked()
+	c.wakeWritersLocked()
+	c.maybeFinalizeLocked()
+	c.mu.Unlock()
+	if needCancel {
+		c.eng.ring.submit(func() error {
+			sqe, err := c.eng.ring.getSQE()
+			if err != nil {
+				return err
+			}
+			sqe.opcode = opAsyncCancel
+			sqe.addr = udFor(udTagStreamRecv, c.id)
+			sqe.userData = udFor(udTagCancel, c.id)
+			return nil
+		})
+	}
+	return nil
+}
+
+// maybeFinalizeLocked releases the fd and registration once the conn is
+// closing and no operation can still reference it. c.mu held.
+func (c *uringConn) maybeFinalizeLocked() {
+	if c.finalized || !c.closing || !c.recvDone || c.wInflight > 0 {
+		return
+	}
+	c.finalized = true
+	var bids []uint16
+	for i := c.segHead; i < len(c.segs); i++ {
+		bids = append(bids, c.segs[i].bid)
+	}
+	c.segs = nil
+	c.segHead = 0
+	c.file.Close()
+	eng := c.eng
+	id := c.id
+	go func() {
+		eng.mu.Lock()
+		delete(eng.conns, id)
+		delete(eng.rearm, id)
+		eng.mu.Unlock()
+		eng.returnBufs(bids)
+	}()
+}
+
+// teardown is the engine-shutdown path: the ring is gone, so no completion
+// will ever arrive; just release the fd and unblock everyone.
+func (c *uringConn) teardown() {
+	c.mu.Lock()
+	if !c.closing {
+		c.closing = true
+	}
+	c.recvDone = true
+	c.recvLive = false
+	c.wInflight = 0
+	if c.rerr == nil {
+		c.rerr = net.ErrClosed
+	}
+	if c.werr == nil {
+		c.werr = net.ErrClosed
+	}
+	fin := c.finalized
+	c.finalized = true
+	c.wakeReadersLocked()
+	c.wakeWritersLocked()
+	c.mu.Unlock()
+	if !fin {
+		c.file.Close()
+	}
+}

@@ -1,0 +1,549 @@
+//go:build linux && (amd64 || arm64)
+
+// The io_uring UDP attachment. Ingress is one multishot RECVMSG per
+// socket: the kernel picks a buffer from the registered ring for every
+// datagram and posts a CQE; the reaper decodes the source address and
+// queues the payload (still in the slab — zero copy) for readers. Egress
+// turns each WriteBatch flush into a batch of SENDMSG submissions sharing
+// one io_uring_enter, the completion-model analogue of sendmmsg.
+//
+// Syscalls/op accounting maps onto the existing counters so the batching
+// experiment's formula is engine-independent: submit enters land in
+// udp.send_syscalls, the reaper's wait enters in udp.recv_syscalls, and
+// the message counters are unchanged.
+
+package transport
+
+import (
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+	"unsafe"
+
+	"gosip/internal/metrics"
+)
+
+// uringRecvmsgOut mirrors struct io_uring_recvmsg_out, the header the
+// kernel writes at the start of each multishot-RECVMSG buffer; the source
+// sockaddr follows it, then (controllen) control data, then the payload.
+type uringRecvmsgOut struct {
+	namelen    uint32
+	controllen uint32
+	payloadlen uint32
+	flags      uint32
+}
+
+// recvmsgNameSpace is the per-datagram sockaddr area: the template
+// msghdr's Namelen, sized for the largest address family we accept.
+const recvmsgNameSpace = uint32(unsafe.Sizeof(syscall.RawSockaddrInet6{}))
+
+// recvmsgPayloadOff is where the datagram bytes start inside a buffer.
+const recvmsgPayloadOff = int(unsafe.Sizeof(uringRecvmsgOut{})) + int(recvmsgNameSpace)
+
+// uringSendSlot is one in-flight SENDMSG: the msghdr and its pointed-to
+// iovec/sockaddr/payload must stay stable until the completion arrives.
+type uringSendSlot struct {
+	hdr  syscall.Msghdr
+	iov  syscall.Iovec
+	name syscall.RawSockaddrInet6
+	buf  []byte
+}
+
+// uringPkt is one received datagram queued for readers.
+type uringPkt struct {
+	bid  uint16
+	data []byte
+	src  *net.UDPAddr
+}
+
+// uringUDP runs one socket's I/O through a private ring (one ring per
+// SO_REUSEPORT shard keeps submission locks uncontended, matching the
+// shard model of the batch engine).
+type uringUDP struct {
+	sock *UDPSocket
+	ring *uringRing
+	fd   int
+
+	recvTmpl syscall.Msghdr // template msghdr the multishot RECVMSG reuses
+	ingress  *uringBufRing
+
+	mu       sync.Mutex
+	inq      []uringPkt
+	inqHead  int
+	free     int  // buffers currently owned by the kernel's ring
+	rearm    bool // multishot died of ENOBUFS; resubmit on next return
+	closed   bool
+	wake     chan struct{}
+	closedCh chan struct{}
+	deadline time.Time
+
+	sendMu    sync.Mutex
+	slots     []uringSendSlot
+	freeSlots []uint16
+
+	resubmits    *metrics.Counter
+	bufExhausted *metrics.Counter
+	sendFallback *metrics.Counter
+	sendErrors   *metrics.Counter
+	recvTrunc    *metrics.Counter
+}
+
+// Default ring shaping; UDPOptions knobs override.
+const (
+	defaultUringBufSize = 4096
+	maxSendCopy         = defaultUringBufSize
+)
+
+// armUring is the platform hook ListenUDPOptions calls for -io-engine
+// uring; a nil attachment (no error) means the probe denied io_uring and
+// the socket stays on the batch engine.
+func armUring(s *UDPSocket, o UDPOptions) (uringAttachment, error) {
+	u, err := armUringUDP(s, o)
+	if err != nil || u == nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// armUringUDP attaches a ring to a freshly opened socket. Returns nil (and
+// no error) when the probe says io_uring is unusable: the caller falls
+// back to the batch engine.
+func armUringUDP(s *UDPSocket, o UDPOptions) (*uringUDP, error) {
+	if ok, _, _ := uringProbeInfo(); !ok {
+		return nil, nil
+	}
+	rc, err := s.conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	fd := -1
+	if err := rc.Control(func(f uintptr) { fd = int(f) }); err != nil {
+		return nil, err
+	}
+
+	batch := o.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	sqEntries := uint32(o.UringRing)
+	if sqEntries == 0 {
+		sqEntries = uint32(4 * batch)
+		if sqEntries < 64 {
+			sqEntries = 64
+		}
+		if sqEntries > 1024 {
+			sqEntries = 1024
+		}
+	}
+	nBufs := uint32(o.UringBufs)
+	if nBufs == 0 {
+		nBufs = uint32(8 * batch)
+		if nBufs < 64 {
+			nBufs = 64
+		}
+		if nBufs > 2048 {
+			nBufs = 2048
+		}
+	}
+	bufSize := o.UringBufSize
+	if bufSize == 0 {
+		bufSize = defaultUringBufSize
+	}
+	if bufSize < recvmsgPayloadOff+512 {
+		bufSize = recvmsgPayloadOff + 512
+	}
+
+	ring, err := newUringRing(sqEntries, newUringCounters(o.Profile))
+	if err != nil {
+		return nil, err
+	}
+	ingress, err := ring.newBufRing(0, nBufs, bufSize)
+	if err != nil {
+		ring.closed.Store(true)
+		close(ring.reaperDone) // reaper never started
+		ring.unmap()
+		syscall.Close(ring.fd)
+		return nil, err
+	}
+
+	u := &uringUDP{
+		sock:     s,
+		ring:     ring,
+		fd:       fd,
+		ingress:  ingress,
+		free:     int(ingress.entries),
+		wake:     make(chan struct{}, 1),
+		closedCh: make(chan struct{}),
+	}
+	u.recvTmpl.Namelen = recvmsgNameSpace
+	nSlots := sqEntries / 2
+	u.slots = make([]uringSendSlot, nSlots)
+	u.freeSlots = make([]uint16, nSlots)
+	for i := range u.slots {
+		u.slots[i].buf = make([]byte, maxSendCopy)
+		u.freeSlots[i] = uint16(i)
+	}
+	if p := o.Profile; p != nil {
+		u.resubmits = p.Counter(metrics.MetricUringResubmits)
+		u.bufExhausted = p.Counter(metrics.MetricUringBufExhausted)
+		u.sendFallback = p.Counter(metrics.MetricUringSendFallback)
+		u.sendErrors = p.Counter(metrics.MetricUringSendErrors)
+		u.recvTrunc = p.Counter(metrics.MetricUringRecvTrunc)
+	}
+
+	if err := u.armRecv(); err != nil {
+		ring.close()
+		return nil, err
+	}
+	go ring.runReaper(u.onCQE, func() { s.recvSyscalls.Inc() })
+	return u, nil
+}
+
+// armRecv submits the multishot RECVMSG that feeds the ingress queue.
+func (u *uringUDP) armRecv() error {
+	return u.ring.submit(func() error {
+		sqe, err := u.ring.getSQE()
+		if err != nil {
+			return err
+		}
+		sqe.opcode = opRecvmsg
+		sqe.fd = int32(u.fd)
+		sqe.addr = uint64(uintptr(unsafe.Pointer(&u.recvTmpl)))
+		sqe.ioprio = recvMultishot
+		sqe.flags = sqeFlagBufferSelect
+		sqe.bufGroup = u.ingress.bgid
+		sqe.userData = udFor(udTagUDPRecv, 0)
+		return nil
+	})
+}
+
+// onCQE dispatches one completion; runs on the reaper goroutine.
+func (u *uringUDP) onCQE(cqe uringCQE) {
+	switch udTag(cqe.userData) {
+	case udTagUDPRecv:
+		u.onRecv(cqe)
+	case udTagUDPSend:
+		u.onSend(cqe)
+	}
+}
+
+func (u *uringUDP) onRecv(cqe uringCQE) {
+	if cqe.res < 0 {
+		errno := syscall.Errno(-cqe.res)
+		u.mu.Lock()
+		if u.closed {
+			u.mu.Unlock()
+			return
+		}
+		if errno == syscall.ENOBUFS {
+			// The buffer ring ran dry: consumers hold every buffer. Rearm
+			// once they give some back.
+			u.bufExhausted.Inc()
+			u.rearm = true
+			u.mu.Unlock()
+			return
+		}
+		u.mu.Unlock()
+		if errno == syscall.ECANCELED || errno == syscall.EBADF || errno == syscall.ENOTCONN {
+			return
+		}
+		// Transient failure: rearm immediately.
+		u.resubmits.Inc()
+		u.armRecv()
+		return
+	}
+	more := cqe.flags&cqeFMore != 0
+	if cqe.flags&cqeFBuffer != 0 {
+		bid := uint16(cqe.flags >> 16)
+		buf := u.ingress.buf(bid)
+		out := (*uringRecvmsgOut)(unsafe.Pointer(&buf[0]))
+		if out.flags&syscall.MSG_TRUNC != 0 {
+			u.recvTrunc.Inc()
+		}
+		src := rawToUDPAddr((*syscall.RawSockaddrInet6)(unsafe.Pointer(&buf[int(unsafe.Sizeof(uringRecvmsgOut{}))])))
+		payload := buf[recvmsgPayloadOff:]
+		n := int(out.payloadlen)
+		if n > len(payload) {
+			n = len(payload)
+		}
+		u.mu.Lock()
+		if u.closed {
+			u.mu.Unlock()
+			u.returnBids([]uint16{bid})
+		} else {
+			u.free--
+			u.inq = append(u.inq, uringPkt{bid: bid, data: payload[:n], src: src})
+			u.mu.Unlock()
+			u.signal()
+		}
+	}
+	if !more {
+		u.mu.Lock()
+		closed := u.closed
+		u.mu.Unlock()
+		if !closed {
+			u.resubmits.Inc()
+			u.armRecv()
+		}
+	}
+}
+
+func (u *uringUDP) onSend(cqe uringCQE) {
+	if cqe.res < 0 {
+		u.sendErrors.Inc()
+	}
+	idx := udID(cqe.userData)
+	u.sendMu.Lock()
+	u.freeSlots = append(u.freeSlots, uint16(idx))
+	u.sendMu.Unlock()
+}
+
+// signal wakes one blocked reader; the reader re-signals if the queue
+// still has packets for others.
+func (u *uringUDP) signal() {
+	select {
+	case u.wake <- struct{}{}:
+	default:
+	}
+}
+
+// returnBids hands consumed ingress buffers back to the kernel ring and
+// rearms the multishot receive if it died of exhaustion.
+func (u *uringUDP) returnBids(bids []uint16) {
+	if len(bids) == 0 {
+		return
+	}
+	u.mu.Lock()
+	if u.closed {
+		// The ring mapping may already be gone; the kernel released the
+		// registered buffers when the ring fd closed.
+		u.mu.Unlock()
+		return
+	}
+	for _, bid := range bids {
+		u.ingress.push(bid)
+	}
+	u.free += len(bids)
+	rearm := u.rearm && !u.closed
+	u.rearm = false
+	u.mu.Unlock()
+	if rearm {
+		u.resubmits.Inc()
+		u.armRecv()
+	}
+}
+
+// setDeadline bounds blocked readers (phone retransmission timeouts). A
+// deadline already in the past unblocks them immediately.
+func (u *uringUDP) setDeadline(t time.Time) {
+	u.mu.Lock()
+	u.deadline = t
+	u.mu.Unlock()
+	u.signal()
+}
+
+var errDeadline = os.ErrDeadlineExceeded
+
+// wait blocks until the ingress queue is non-empty, the socket closes, or
+// the deadline passes. Returns nil when packets are available; the caller
+// rechecks under u.mu.
+func (u *uringUDP) wait() error {
+	for {
+		u.mu.Lock()
+		if u.closed {
+			u.mu.Unlock()
+			return net.ErrClosed
+		}
+		if u.inqHead < len(u.inq) {
+			u.mu.Unlock()
+			return nil
+		}
+		dl := u.deadline
+		u.mu.Unlock()
+
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if !dl.IsZero() {
+			d := time.Until(dl)
+			if d <= 0 {
+				return errDeadline
+			}
+			timer = time.NewTimer(d)
+			timerC = timer.C
+		}
+		select {
+		case <-u.wake:
+		case <-timerC:
+		case <-u.closedCh:
+			if timer != nil {
+				timer.Stop()
+			}
+			return net.ErrClosed
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// readBatch implements ReadBatch on the completion path: return the
+// previous batch's buffers, wait for arrivals, and hand out up to the
+// reader's capacity as zero-copy slab slices.
+func (u *uringUDP) readBatch(br *BatchReader) (int, error) {
+	u.returnBids(br.bids)
+	br.bids = br.bids[:0]
+	for {
+		if err := u.wait(); err != nil {
+			return 0, err
+		}
+		u.mu.Lock()
+		n := len(u.inq) - u.inqHead
+		if n == 0 {
+			// Lost the race to another reader; wait again.
+			u.mu.Unlock()
+			continue
+		}
+		if n > len(br.pkts) {
+			n = len(br.pkts)
+		}
+		for i := 0; i < n; i++ {
+			p := u.inq[u.inqHead+i]
+			br.pkts[i] = Packet{Data: p.data, Src: p.src}
+			br.bids = append(br.bids, p.bid)
+		}
+		u.inqHead += n
+		if u.inqHead == len(u.inq) {
+			u.inq = u.inq[:0]
+			u.inqHead = 0
+		}
+		remaining := u.inqHead < len(u.inq)
+		u.mu.Unlock()
+		if remaining {
+			u.signal()
+		}
+		u.sock.recvMsgs.Add(int64(n))
+		u.sock.recvOcc.Record(time.Duration(n))
+		return n, nil
+	}
+}
+
+// readPacket implements ReadPacket: one datagram, zero copy, buffer
+// returned via Release.
+func (u *uringUDP) readPacket() (Packet, error) {
+	for {
+		if err := u.wait(); err != nil {
+			return Packet{}, err
+		}
+		u.mu.Lock()
+		if u.inqHead >= len(u.inq) {
+			u.mu.Unlock()
+			continue
+		}
+		p := u.inq[u.inqHead]
+		u.inqHead++
+		if u.inqHead == len(u.inq) {
+			u.inq = u.inq[:0]
+			u.inqHead = 0
+		}
+		remaining := u.inqHead < len(u.inq)
+		u.mu.Unlock()
+		if remaining {
+			u.signal()
+		}
+		u.sock.recvMsgs.Inc()
+		u.sock.recvOcc.Record(1)
+		return Packet{Data: p.data, Src: p.src, ubid: uint32(p.bid) + 1}, nil
+	}
+}
+
+// writeBatch submits one SENDMSG per datagram and flushes them in a single
+// enter — the ring's sendmmsg. Datagrams that cannot take a slot (pool
+// empty, payload larger than a slot buffer) fall back to the direct
+// syscall so nothing ever blocks on completions.
+func (u *uringUDP) writeBatch(dgs []Datagram) error {
+	var fallback []Datagram
+	err := u.ring.submit(func() error {
+		for i := range dgs {
+			dg := &dgs[i]
+			u.sendMu.Lock()
+			var slot *uringSendSlot
+			var idx uint16
+			if n := len(u.freeSlots); n > 0 && len(dg.Data) <= maxSendCopy {
+				idx = u.freeSlots[n-1]
+				u.freeSlots = u.freeSlots[:n-1]
+				slot = &u.slots[idx]
+			}
+			u.sendMu.Unlock()
+			if slot == nil {
+				fallback = append(fallback, *dg)
+				continue
+			}
+			nl, err := encodeUDPAddr(&slot.name, dg.Dst, u.sock.is6)
+			if err != nil {
+				u.sendMu.Lock()
+				u.freeSlots = append(u.freeSlots, idx)
+				u.sendMu.Unlock()
+				return err
+			}
+			n := copy(slot.buf[:cap(slot.buf)], dg.Data)
+			slot.iov.Base = &slot.buf[0]
+			slot.iov.Len = uint64(n)
+			slot.hdr = syscall.Msghdr{
+				Name:    (*byte)(unsafe.Pointer(&slot.name)),
+				Namelen: nl,
+				Iov:     &slot.iov,
+				Iovlen:  1,
+			}
+			sqe, err := u.ring.getSQE()
+			if err != nil {
+				u.sendMu.Lock()
+				u.freeSlots = append(u.freeSlots, idx)
+				u.sendMu.Unlock()
+				return err
+			}
+			sqe.opcode = opSendmsg
+			sqe.fd = int32(u.fd)
+			sqe.addr = uint64(uintptr(unsafe.Pointer(&slot.hdr)))
+			sqe.opFlags = syscall.MSG_NOSIGNAL
+			sqe.userData = udFor(udTagUDPSend, uint32(idx))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	submitted := len(dgs) - len(fallback)
+	if submitted > 0 {
+		u.sock.sendSyscalls.Inc() // the flush's submit enter
+		u.sock.sendMsgs.Add(int64(submitted))
+		u.sock.sendOcc.Record(time.Duration(submitted))
+	}
+	for _, dg := range fallback {
+		u.sendFallback.Inc()
+		if err := u.sock.WriteTo(dg.Data, dg.Dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// releaseBid returns a single ReadPacket buffer (Packet.ubid).
+func (u *uringUDP) releaseBid(bid uint16) {
+	u.returnBids([]uint16{bid})
+}
+
+// close tears down the attachment: unblock readers, then close the ring
+// (which joins the reaper and releases the registered buffers).
+func (u *uringUDP) close() {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return
+	}
+	u.closed = true
+	close(u.closedCh)
+	u.mu.Unlock()
+	u.ring.close()
+}
